@@ -1,0 +1,57 @@
+# LANDLORD reproduction build targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test ./internal/spec -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzLoad -fuzztime 30s
+	$(GO) test ./internal/shrinkwrap -fuzz FuzzUnpack -fuzztime 30s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/specscan
+	$(GO) run ./examples/site-service
+	$(GO) run ./examples/hep-pipeline
+	$(GO) run ./examples/alpha-sweep
+	$(GO) run ./examples/multisite
+
+# Regenerate every paper artifact at full scale into results/.
+experiments:
+	$(GO) build -o bin/landlord-sim ./cmd/landlord-sim
+	mkdir -p results
+	bin/landlord-sim repo       | tee results/repo.txt
+	bin/landlord-sim table2     | tee results/table2.txt
+	bin/landlord-sim fig3       | tee results/fig3.txt
+	bin/landlord-sim fig4       | tee results/fig4.txt
+	bin/landlord-sim fig5       | tee results/fig5.txt
+	bin/landlord-sim fig6 -reps 5 | tee results/fig6.txt
+	bin/landlord-sim fig7       | tee results/fig7.txt
+	bin/landlord-sim fig8       | tee results/fig8.txt
+	bin/landlord-sim baselines  | tee results/baselines.txt
+	bin/landlord-sim cluster    | tee results/cluster.txt
+	bin/landlord-sim drift      | tee results/drift.txt
+	bin/landlord-sim dedup      | tee results/dedup.txt
+	bin/landlord-sim latency    | tee results/latency.txt
+
+clean:
+	rm -rf bin

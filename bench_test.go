@@ -1,0 +1,378 @@
+// Benchmarks: one per paper table/figure (T2, F3-F8), the ablations
+// called out in DESIGN.md (A1 MinHash prefilter, A2 candidate order,
+// A3 baselines), and micro-benchmarks of the hot primitives. Each
+// experiment benchmark runs a scaled configuration per iteration so
+// `go test -bench=.` finishes in minutes; cmd/landlord-sim runs the
+// full paper-scale versions.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cvmfs"
+	"repro/internal/hep"
+	"repro/internal/pkggraph"
+	"repro/internal/shrinkwrap"
+	"repro/internal/sim"
+	"repro/internal/similarity"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+var (
+	fullRepoOnce sync.Once
+	fullRepo     *pkggraph.Repo
+
+	midRepoOnce sync.Once
+	midRepo     *pkggraph.Repo
+)
+
+// benchFullRepo returns the paper-scale 9,660-package repository,
+// generated once per process.
+func benchFullRepo(b *testing.B) *pkggraph.Repo {
+	b.Helper()
+	fullRepoOnce.Do(func() {
+		fullRepo = pkggraph.MustGenerate(pkggraph.DefaultGenConfig(), 1)
+	})
+	return fullRepo
+}
+
+// benchMidRepo returns a ~1,000-package repository for I/O-heavy
+// benchmarks (Shrinkwrap builds touch every synthetic file).
+func benchMidRepo(b *testing.B) *pkggraph.Repo {
+	b.Helper()
+	midRepoOnce.Do(func() {
+		cfg := pkggraph.DefaultGenConfig()
+		cfg.CoreFamilies = 4
+		cfg.FrameworkFamilies = 12
+		cfg.LibraryFamilies = 60
+		cfg.ApplicationFamilies = 120
+		midRepo = pkggraph.MustGenerate(cfg, 42)
+	})
+	return midRepo
+}
+
+// benchParams is the scaled standard simulation: 100 unique jobs x3 on
+// the full repository with the paper's 1.4x cache:repo ratio.
+func benchParams(repo *pkggraph.Repo) sim.Params {
+	return sim.Params{
+		Repo:       repo,
+		Alpha:      0.75,
+		CacheBytes: repo.TotalSize() * 14 / 10,
+		UniqueJobs: 100,
+		Repeats:    3,
+		MaxInitial: 100,
+		Seed:       1,
+		UseMinHash: true,
+	}
+}
+
+// BenchmarkTable2Shrinkwrap regenerates the Figure 2 table: builds all
+// seven LHC benchmark application images via Shrinkwrap (experiment T2).
+func BenchmarkTable2Shrinkwrap(b *testing.B) {
+	repo := benchMidRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		builder := shrinkwrap.NewBuilder(cvmfs.NewStore(repo), shrinkwrap.DefaultCostModel())
+		rows, err := hep.MeasureAll(builder, repo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig3Closure regenerates the Figure 3 curve: dependency
+// closures over random selections (experiment F3).
+func BenchmarkFig3Closure(b *testing.B) {
+	repo := benchFullRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.ClosureCurve(repo, 500, 100, 10, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 5 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+// BenchmarkFig4Sweep regenerates a scaled Figure 4 sweep: three α
+// points, one repetition each (experiments F4a-c).
+func BenchmarkFig4Sweep(b *testing.B) {
+	repo := benchFullRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.SweepAlpha(benchParams(repo), []float64{0.40, 0.75, 0.95}, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 3 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+// BenchmarkFig5Single regenerates the Figure 5 timeline: one
+// instrumented simulation at α=0.75 (experiment F5).
+func BenchmarkFig5Single(b *testing.B) {
+	repo := benchFullRepo(b)
+	p := benchParams(repo)
+	p.TimelineEvery = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Timeline) == 0 {
+			b.Fatal("no timeline")
+		}
+	}
+}
+
+// BenchmarkFig6Sensitivity regenerates a scaled Figure 6 row: the same
+// sweep at two cache sizes (experiments F6a-d).
+func BenchmarkFig6Sensitivity(b *testing.B) {
+	repo := benchFullRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mult := range []int64{1, 5} {
+			p := benchParams(repo)
+			p.CacheBytes = repo.TotalSize() * mult
+			if _, err := sim.SweepAlpha(p, []float64{0.60, 0.90}, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Random regenerates the Figure 7 comparison: the
+// dependency scheme versus the uniform-random scheme (experiment F7).
+func BenchmarkFig7Random(b *testing.B) {
+	repo := benchFullRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []sim.WorkloadKind{sim.WorkloadDeps, sim.WorkloadRandom} {
+			p := benchParams(repo)
+			p.Workload = kind
+			if _, err := sim.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Zone regenerates a scaled Figure 8: sweep plus
+// operational-zone detection (experiment F8).
+func BenchmarkFig8Zone(b *testing.B) {
+	repo := benchFullRepo(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.SweepAlpha(benchParams(repo), []float64{0.40, 0.65, 0.80, 0.95}, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.OperationalZone(points, 0.30, 2.0)
+	}
+}
+
+// BenchmarkAblationMinHash compares Algorithm 1's candidate search
+// with and without the MinHash prefilter (ablation A1): the paper
+// argues the constant-time approximation is what makes large
+// specification sets practical.
+func BenchmarkAblationMinHash(b *testing.B) {
+	repo := benchFullRepo(b)
+	for _, mode := range []struct {
+		name    string
+		minhash bool
+	}{{"exact", false}, {"minhash", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := benchParams(repo)
+			p.UseMinHash = mode.minhash
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrder compares closest-first merge-candidate
+// ordering against arbitrary order (ablation A2).
+func BenchmarkAblationOrder(b *testing.B) {
+	repo := benchFullRepo(b)
+	for _, mode := range []struct {
+		name   string
+		noSort bool
+	}{{"closest-first", false}, {"unsorted", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := benchParams(repo)
+			p.NoCandidateSort = mode.noSort
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines runs the Section III comparison: LANDLORD vs
+// naive vs layered vs full-repo stores on one stream (ablation A3).
+func BenchmarkBaselines(b *testing.B) {
+	repo := benchFullRepo(b)
+	stream, err := workload.Stream(workload.NewDepClosure(repo, 1), 50, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunBaselines(repo, stream, 0.8, repo.TotalSize()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot primitives ---
+
+func benchSpecs(b *testing.B, repo *pkggraph.Repo) (spec.Spec, spec.Spec) {
+	b.Helper()
+	gen := workload.NewDepClosure(repo, 9)
+	return gen.Next(), gen.Next()
+}
+
+// BenchmarkJaccardDistance measures the exact set distance on
+// realistic dependency-closed specifications (~500 packages each).
+func BenchmarkJaccardDistance(b *testing.B) {
+	repo := benchFullRepo(b)
+	s1, s2 := benchSpecs(b, repo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		similarity.JaccardDistance(s1, s2)
+	}
+}
+
+// BenchmarkMinHashSign measures signing a realistic specification with
+// the default 64-hash sketch.
+func BenchmarkMinHashSign(b *testing.B) {
+	repo := benchFullRepo(b)
+	s1, _ := benchSpecs(b, repo)
+	h := similarity.MustNewHasher(64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sign(s1)
+	}
+}
+
+// BenchmarkMinHashEstimate measures the constant-time distance
+// estimate the prefilter uses per cached image.
+func BenchmarkMinHashEstimate(b *testing.B) {
+	repo := benchFullRepo(b)
+	s1, s2 := benchSpecs(b, repo)
+	h := similarity.MustNewHasher(64, 1)
+	sig1, sig2 := h.Sign(s1), h.Sign(s2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		similarity.EstimateDistance(sig1, sig2)
+	}
+}
+
+// BenchmarkSpecUnion measures the merge-walk union underlying every
+// image merge.
+func BenchmarkSpecUnion(b *testing.B) {
+	repo := benchFullRepo(b)
+	s1, s2 := benchSpecs(b, repo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1.Union(s2)
+	}
+}
+
+// BenchmarkClosure measures dependency-closure expansion of a
+// 100-package selection, the image-construction primitive.
+func BenchmarkClosure(b *testing.B) {
+	repo := benchFullRepo(b)
+	ids := make([]pkggraph.PkgID, 100)
+	for i := range ids {
+		ids[i] = pkggraph.PkgID(i * 97 % repo.Len())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repo.Closure(ids)
+	}
+}
+
+// BenchmarkManagerRequest measures Algorithm 1 end to end against a
+// populated cache.
+func BenchmarkManagerRequest(b *testing.B) {
+	repo := benchFullRepo(b)
+	mgr := core.MustNewManager(repo, core.Config{
+		Alpha:    0.75,
+		Capacity: repo.TotalSize() * 2,
+		MinHash:  core.DefaultMinHash(),
+	})
+	gen := workload.NewDepClosure(repo, 5)
+	// Populate with 50 images.
+	warm := make([]spec.Spec, 200)
+	for i := range warm {
+		warm[i] = gen.Next()
+		if i < 50 {
+			if _, err := mgr.Request(warm[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Request(warm[i%len(warm)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShrinkwrapBuild measures one warm-cache image build.
+func BenchmarkShrinkwrapBuild(b *testing.B) {
+	repo := benchMidRepo(b)
+	builder := shrinkwrap.NewBuilder(cvmfs.NewStore(repo), shrinkwrap.DefaultCostModel())
+	gen := workload.NewDepClosure(repo, 3)
+	gen.MaxInitial = 5
+	s := gen.Next()
+	if _, err := builder.Build(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Build(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepoGenerate measures synthesizing the full SFT-scale
+// repository.
+func BenchmarkRepoGenerate(b *testing.B) {
+	cfg := pkggraph.DefaultGenConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pkggraph.Generate(cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// writeSmallRepo saves a scaled-down repository file so tests avoid
+// generating the full 9,660-package default on every run.
+func writeSmallRepo(t *testing.T) string {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 5
+	cfg.LibraryFamilies = 20
+	cfg.ApplicationFamilies = 33
+	repo := pkggraph.MustGenerate(cfg, 42)
+	path := filepath.Join(t.TempDir(), "repo.jsonl")
+	if err := repo.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// specFileFor writes a spec file containing the given package keys.
+func specFileFor(t *testing.T, repoFile string, n int) string {
+	t.Helper()
+	repo, err := pkggraph.LoadFile(repoFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.CreateTemp(t.TempDir(), "*.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := pkggraph.PkgID((i * 37) % repo.Len())
+		if _, err := f.WriteString(repo.Package(id).Key() + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f.Name()
+}
+
+func TestRunInsertThenHitPersists(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	cacheDir := t.TempDir()
+	specFile := specFileFor(t, repoFile, 2)
+
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, []string{"./job.sh"}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	statePath := filepath.Join(cacheDir, "state.json")
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatalf("state not persisted: %v", err)
+	}
+	var st stateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("state not valid JSON: %v", err)
+	}
+	if len(st.Images) != 1 {
+		t.Fatalf("state holds %d images, want 1", len(st.Images))
+	}
+	// Second invocation loads the state and hits.
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	data2, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 stateFile
+	if err := json.Unmarshal(data2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Images) != 1 {
+		t.Fatalf("hit should not create images: %d", len(st2.Images))
+	}
+}
+
+func TestRunStatsMode(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	if err := run(t.TempDir(), "", 0.8, 0, 1, repoFile, false, true, nil); err != nil {
+		t.Fatalf("stats on empty cache: %v", err)
+	}
+}
+
+func TestRunMissingSpec(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	if err := run(t.TempDir(), "", 0.8, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("missing -spec accepted")
+	}
+	if err := run(t.TempDir(), "/nonexistent.spec", 0.8, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("nonexistent spec file accepted")
+	}
+}
+
+func TestRunBadAlpha(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(t.TempDir(), specFile, 3.0, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("alpha 3.0 accepted")
+	}
+}
+
+func TestRunEmptySpecFile(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	empty := filepath.Join(t.TempDir(), "empty.spec")
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if err := run(t.TempDir(), empty, 0.8, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestRunMaterialize(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(t.TempDir(), specFile, 0.8, 0, 1, repoFile, true, false, nil); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+}
+
+func TestRunCorruptState(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	cacheDir := t.TempDir()
+	os.WriteFile(filepath.Join(cacheDir, "state.json"), []byte("{broken"), 0o644)
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}
+
+func TestRunCapacityEvicts(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	cacheDir := t.TempDir()
+	// Tiny capacity: each new image evicts the previous one.
+	a := specFileFor(t, repoFile, 1)
+	b := specFileFor(t, repoFile, 3)
+	if err := run(cacheDir, a, 0.0, 0.000001, 1, repoFile, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cacheDir, b, 0.0, 0.000001, 1, repoFile, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(cacheDir, "state.json"))
+	var st stateFile
+	json.Unmarshal(data, &st)
+	if len(st.Images) != 1 {
+		t.Fatalf("capacity 1KB should keep a single (oversized) image, got %d", len(st.Images))
+	}
+}

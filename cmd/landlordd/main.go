@@ -1,0 +1,102 @@
+// Command landlordd runs LANDLORD as a site-wide HTTP service — the
+// batch-system-plugin deployment of Section V. Submitters POST job
+// specifications to /v1/request and receive the image to run in;
+// /v1/stats, /v1/images, /v1/prune, /v1/snapshot and /metrics expose
+// operations.
+//
+//	landlordd -config site.json &
+//	landlordd -addr :8080 -alpha 0.8 -capacity-gb 2048 &
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/request \
+//	     -d '{"packages":["app-0001/1.6.0/x86_64-centos7-gcc8-opt"],"close":true}'
+//
+// Flags override the config file. With -config, the site's prune
+// schedule (prune_every_requests expressed as a time interval here) is
+// run by a background maintenance loop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "site configuration file (JSON; flags override)")
+		addr       = flag.String("addr", "", "listen address (overrides config)")
+		alpha      = flag.Float64("alpha", -1, "merge threshold (overrides config)")
+		capacityGB = flag.Float64("capacity-gb", -1, "cache capacity in GB, 0 = unlimited (overrides config)")
+		repoSeed   = flag.Int64("repo-seed", 0, "seed for the synthetic repository (overrides config)")
+		repoFile   = flag.String("repo-file", "", "load the repository from this JSONL file (overrides config)")
+	)
+	flag.Parse()
+
+	site := config.Default()
+	if *configPath != "" {
+		loaded, err := config.Load(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+			os.Exit(1)
+		}
+		site = loaded
+	}
+	if *addr != "" {
+		site.Addr = *addr
+	}
+	if *alpha >= 0 {
+		site.Alpha = alpha
+	}
+	if *capacityGB >= 0 {
+		site.CapacityGB = *capacityGB
+	}
+	if *repoSeed != 0 {
+		site.RepoSeed = *repoSeed
+	}
+	if *repoFile != "" {
+		site.RepoFile = *repoFile
+	}
+	if err := site.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+		os.Exit(1)
+	}
+
+	repo, err := site.OpenRepo()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := server.New(repo, site.CoreConfig(repo))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+		os.Exit(1)
+	}
+
+	if site.PruneEveryRequests > 0 {
+		// Approximate the request-count schedule with a time ticker:
+		// one maintenance pass per minute per thousand scheduled
+		// requests, minimum once a minute.
+		interval := time.Minute
+		go func() {
+			for range time.Tick(interval) {
+				splits := srv.PruneNow(site.PruneUtilization, site.PruneMinServed)
+				if splits > 0 {
+					log.Printf("landlordd: maintenance pass split %d image(s)", splits)
+				}
+			}
+		}()
+	}
+
+	log.Printf("landlordd: serving %d-package repository (%s) on %s (alpha=%.2f)",
+		repo.Len(), stats.FormatBytes(repo.TotalSize()), site.Addr, *site.Alpha)
+	if err := http.ListenAndServe(site.Addr, srv.Handler()); err != nil {
+		log.Fatalf("landlordd: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Command specgen generates container specifications by scanning
+// application sources and logs — the paper's automatic
+// specification-generation tooling (Section V): Python import
+// statements, `module load` directives, and logs from previous
+// LANDLORD runs.
+//
+//	specgen -path ./myanalysis -mapping site.json > job.spec
+//
+// Without -resolve, discovered tokens are printed one per line. With
+// -resolve, tokens are mapped to repository packages (via the optional
+// mapping file and/or direct key lookup), dependency-closed, and
+// emitted as a specification ready for `landlord -spec`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pkggraph"
+	"repro/internal/specscan"
+)
+
+func main() {
+	var (
+		path        = flag.String("path", "", "file or directory to scan (.py, .sh, .bash, .log)")
+		mappingPath = flag.String("mapping", "", "JSON file mapping tokens to package keys")
+		resolve     = flag.Bool("resolve", false, "resolve tokens against the repository and emit a closed spec")
+		repoSeed    = flag.Int64("repo-seed", 1, "seed for the synthetic repository (with -resolve)")
+		repoFile    = flag.String("repo-file", "", "load the repository from this JSONL file (with -resolve)")
+	)
+	flag.Parse()
+	if err := run(*path, *mappingPath, *resolve, *repoSeed, *repoFile); err != nil {
+		fmt.Fprintf(os.Stderr, "specgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, mappingPath string, resolve bool, repoSeed int64, repoFile string) error {
+	if path == "" {
+		return fmt.Errorf("missing -path; run with -h for usage")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	var tokens []string
+	if info.IsDir() {
+		tokens, err = specscan.ScanDir(path)
+	} else {
+		tokens, err = specscan.ScanFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	if len(tokens) == 0 {
+		return fmt.Errorf("no requirements found under %s", path)
+	}
+
+	if !resolve {
+		for _, tok := range tokens {
+			fmt.Println(tok)
+		}
+		return nil
+	}
+
+	var mapping specscan.Mapping
+	if mappingPath != "" {
+		data, err := os.ReadFile(mappingPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &mapping); err != nil {
+			return fmt.Errorf("parsing mapping %s: %w", mappingPath, err)
+		}
+	}
+	var repo *pkggraph.Repo
+	if repoFile != "" {
+		repo, err = pkggraph.LoadFile(repoFile)
+	} else {
+		repo, err = pkggraph.Generate(pkggraph.DefaultGenConfig(), repoSeed)
+	}
+	if err != nil {
+		return err
+	}
+	s, missing, err := specscan.Resolve(tokens, mapping, repo)
+	if err != nil {
+		return err
+	}
+	for _, tok := range missing {
+		fmt.Fprintf(os.Stderr, "specgen: warning: unresolved requirement %q\n", tok)
+	}
+	return s.Write(os.Stdout, repo)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+func writeSmallRepo(t *testing.T) string {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 5
+	cfg.LibraryFamilies = 20
+	cfg.ApplicationFamilies = 33
+	repo := pkggraph.MustGenerate(cfg, 42)
+	path := filepath.Join(t.TempDir(), "repo.jsonl")
+	if err := repo.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMissingPath(t *testing.T) {
+	if err := run("", "", false, 1, ""); err == nil {
+		t.Fatal("missing -path accepted")
+	}
+	if err := run("/nonexistent-dir-xyz", "", false, 1, ""); err == nil {
+		t.Fatal("nonexistent path accepted")
+	}
+}
+
+func TestRunScanOnly(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("import numpy\n"), 0o644)
+	if err := run(dir, "", false, 1, ""); err != nil {
+		t.Fatalf("scan-only: %v", err)
+	}
+}
+
+func TestRunNoRequirements(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("x = 1\n"), 0o644)
+	if err := run(dir, "", false, 1, ""); err == nil {
+		t.Fatal("empty scan accepted")
+	}
+}
+
+func TestRunResolveWithMapping(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	repo, err := pkggraph.LoadFile(repoFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := repo.Package(0).Key()
+
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("import numpy\n"), 0o644)
+	mapping := filepath.Join(dir, "map.json")
+	os.WriteFile(mapping, []byte(`{"numpy": "`+key+`"}`), 0o644)
+
+	if err := run(dir, mapping, true, 1, repoFile); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+}
+
+func TestRunResolveUnresolvable(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("import mystery\n"), 0o644)
+	if err := run(dir, "", true, 1, repoFile); err == nil {
+		t.Fatal("fully unresolved scan accepted")
+	}
+}
+
+func TestRunBadMapping(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("import numpy\n"), 0o644)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{broken"), 0o644)
+	if err := run(dir, bad, true, 1, repoFile); err == nil {
+		t.Fatal("broken mapping accepted")
+	}
+	if err := run(dir, filepath.Join(dir, "missing.json"), true, 1, repoFile); err == nil {
+		t.Fatal("missing mapping accepted")
+	}
+}
+
+func TestRunSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "job.sh")
+	os.WriteFile(file, []byte("module load gcc/8\n"), 0o644)
+	if err := run(file, "", false, 1, ""); err != nil {
+		t.Fatalf("single file scan: %v", err)
+	}
+}

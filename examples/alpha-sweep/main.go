@@ -1,0 +1,57 @@
+// Alpha sweep: explore the cache/container efficiency trade-off and
+// find the operational zone, the paper's headline tuning result
+// (Figure 8): extreme alpha values behave pathologically, while a wide
+// middle range balances storage utilization against merge I/O.
+//
+//	go run ./examples/alpha-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/pkggraph"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo, err := pkggraph.Generate(cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := sim.Params{
+		Repo:       repo,
+		CacheBytes: repo.TotalSize() * 14 / 10, // the paper's ~1.4x cache:repo ratio
+		UniqueJobs: 120,
+		Repeats:    4,
+		MaxInitial: 8,
+		Seed:       1,
+		UseMinHash: true,
+	}
+	points, err := sim.SweepAlpha(params, sim.DefaultAlphas(), 5, runtime.GOMAXPROCS(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("alpha  cache-eff  container-eff  write-amp   ops (hit/merge/insert)")
+	for _, p := range points {
+		fmt.Printf("%.2f   %5.1f%%     %5.1f%%        %.2fx       %.0f/%.0f/%.0f\n",
+			p.Alpha, p.CacheEfficiency*100, p.ContainerEfficiency*100,
+			p.WriteAmplification(), p.Hits, p.Merges, p.Inserts)
+	}
+
+	lo, hi, ok := sim.OperationalZone(points, 0.30, 2.0)
+	if ok {
+		fmt.Printf("\noperational zone: alpha in [%.2f, %.2f]\n", lo, hi)
+		fmt.Println("(the paper recommends starting at a moderate alpha of 0.8)")
+	} else {
+		fmt.Println("\nno alpha satisfies both limits in this configuration")
+	}
+}

@@ -1,0 +1,92 @@
+// Site service: run LANDLORD as an HTTP service (the batch-system
+// plugin deployment) and drive it through the Go client — in one
+// process, over a real TCP loopback listener.
+//
+//	go run ./examples/site-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo, err := pkggraph.Generate(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(repo, core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("landlordd serving on %s\n\n", base)
+
+	client := server.NewClient(base, nil)
+	if err := client.Healthz(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit three jobs as a batch system would: package keys in,
+	// image decisions out.
+	jobs := [][]string{
+		{pick(repo, "app-0001", -1), pick(repo, "library-0003", -1)},
+		{pick(repo, "app-0001", -1), pick(repo, "library-0005", -1)},
+		{pick(repo, "app-0001", -1), pick(repo, "library-0003", -1)},
+	}
+	for i, keys := range jobs {
+		res, err := client.Request(keys, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d: %-6s image %d v%d (%s, %d packages)\n",
+			i+1, res.Op, res.ImageID, res.ImageVersion,
+			stats.FormatBytes(res.ImageSize), res.Packages)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice stats: %d requests (%d hits, %d merges, %d inserts), %d images, cache efficiency %.0f%%\n",
+		st.Requests, st.Hits, st.Merges, st.Inserts, st.Images, st.CacheEfficiency*100)
+
+	imgs, err := client.Images()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, img := range imgs {
+		fmt.Printf("  image %d v%d: %d packages, %s, %d merges\n",
+			img.ID, img.Version, img.Packages, stats.FormatBytes(img.Size), img.Merges)
+	}
+}
+
+// pick returns the key of a family's newest version (version < 0).
+func pick(repo *pkggraph.Repo, family string, version int) string {
+	versions := repo.FamilyVersions(family)
+	if len(versions) == 0 {
+		log.Fatalf("no such family: %s", family)
+	}
+	if version < 0 || version >= len(versions) {
+		version = len(versions) - 1
+	}
+	return repo.Package(versions[version]).Key()
+}

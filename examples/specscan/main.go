@@ -1,0 +1,107 @@
+// Specscan: derive a container specification from application sources
+// — the paper's automatic specification generation — then submit the
+// resulting job through LANDLORD. The example writes a small analysis
+// project (Python driver plus a batch script) to a temp directory,
+// scans it, resolves the discovered requirements against the
+// repository through a site mapping, and requests a container.
+//
+//	go run ./examples/specscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/specscan"
+	"repro/internal/stats"
+)
+
+const pythonDriver = `#!/usr/bin/env python
+import numpy
+import uproot
+from analysis_helpers import selection
+
+def main():
+    selection.run()
+`
+
+const batchScript = `#!/bin/bash
+module load gcc/8.2.0
+module load root/6.18
+python driver.py
+`
+
+func main() {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo, err := pkggraph.Generate(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write the example "analysis project".
+	dir, err := os.MkdirTemp("", "landlord-specscan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	must(os.WriteFile(filepath.Join(dir, "driver.py"), []byte(pythonDriver), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "submit.sh"), []byte(batchScript), 0o644))
+
+	tokens, err := specscan.ScanDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered requirements: %v\n", tokens)
+
+	// A site mapping translates requirement tokens to repository
+	// packages. Tokens without a mapping (the project's own helper
+	// module) are reported as unresolved.
+	mapping := specscan.Mapping{
+		"numpy":     key(repo, "library-0004"),
+		"uproot":    key(repo, "library-0007"),
+		"python":    key(repo, "framework-002"),
+		"gcc/8.2.0": key(repo, "framework-000"),
+		"root/6.18": key(repo, "framework-001"),
+	}
+	s, missing, err := specscan.Resolve(tokens, mapping, repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unresolved (project-local) tokens: %v\n", missing)
+	fmt.Printf("specification: %d packages, %s after dependency closure\n",
+		s.Len(), stats.FormatBytes(s.Size(repo)))
+
+	mgr, err := core.NewManager(repo, core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mgr.Request(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("landlord: %s -> image %d (%s)\n",
+		res.Op, res.ImageID, stats.FormatBytes(res.ImageSize))
+}
+
+// key returns the newest version key of a family.
+func key(repo *pkggraph.Repo, family string) string {
+	versions := repo.FamilyVersions(family)
+	if len(versions) == 0 {
+		log.Fatalf("no such family: %s", family)
+	}
+	return repo.Package(versions[len(versions)-1]).Key()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

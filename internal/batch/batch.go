@@ -1,0 +1,155 @@
+// Package batch integrates LANDLORD with a minimal batch/pilot-job
+// system, the deployment mode of Section V: "researchers would also
+// set up their particular submission systems to wrap invoked jobs",
+// and when static specifications are unavailable, "runtime tracing
+// (possibly over multiple runs...)" recovers them from job logs.
+//
+// A System drains a FIFO queue of jobs through the LANDLORD wrapper:
+// each job's specification is requested from the cache manager, the
+// job "runs" (simulated) in the prepared image, and a per-job log is
+// written recording every package used — in exactly the format
+// specscan.ScanJobLog parses, closing the paper's trace-derivation
+// loop: run once with a hand spec, derive future specs from the log.
+package batch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/specscan"
+)
+
+// Job is one queued unit of work.
+type Job struct {
+	// Name identifies the job; it becomes the log file name, so it
+	// must be non-empty and unique within a drain.
+	Name string
+	// Spec is the job's container specification (already
+	// dependency-closed).
+	Spec spec.Spec
+	// RunTime is the simulated execution duration, accumulated into
+	// the record for throughput accounting.
+	RunTime time.Duration
+}
+
+// Record is the outcome of one executed job.
+type Record struct {
+	Job          string
+	Op           core.Op
+	ImageID      uint64
+	ImageSize    int64
+	BytesWritten int64
+	RunTime      time.Duration
+	LogPath      string
+}
+
+// System is a FIFO batch queue draining through a LANDLORD manager.
+// It is not safe for concurrent use; wrap it (or use internal/server)
+// for multi-submitter deployments.
+type System struct {
+	repo   *pkggraph.Repo
+	mgr    *core.Manager
+	logDir string
+	queue  []Job
+	done   []Record
+}
+
+// NewSystem creates a batch system writing job logs under logDir
+// (created if absent).
+func NewSystem(repo *pkggraph.Repo, mgr *core.Manager, logDir string) (*System, error) {
+	if err := os.MkdirAll(logDir, 0o755); err != nil {
+		return nil, fmt.Errorf("batch: creating log dir: %w", err)
+	}
+	return &System{repo: repo, mgr: mgr, logDir: logDir}, nil
+}
+
+// Submit queues a job. Validation happens at drain time, when the
+// failure can be recorded against the job.
+func (s *System) Submit(job Job) {
+	s.queue = append(s.queue, job)
+}
+
+// Queued returns the number of jobs waiting.
+func (s *System) Queued() int { return len(s.queue) }
+
+// Completed returns the records of all drained jobs, oldest first.
+func (s *System) Completed() []Record { return s.done }
+
+// Drain executes every queued job in order. It stops at the first
+// failure, leaving the remaining jobs queued, and returns the records
+// of the jobs completed by this call.
+func (s *System) Drain() ([]Record, error) {
+	var out []Record
+	for len(s.queue) > 0 {
+		job := s.queue[0]
+		if job.Name == "" {
+			return out, fmt.Errorf("batch: job %d has no name", len(s.done))
+		}
+		if job.Spec.Empty() {
+			return out, fmt.Errorf("batch: job %q has an empty specification", job.Name)
+		}
+		res, err := s.mgr.Request(job.Spec)
+		if err != nil {
+			return out, fmt.Errorf("batch: job %q: %w", job.Name, err)
+		}
+		logPath := filepath.Join(s.logDir, job.Name+".log")
+		if err := s.writeLog(logPath, job, res); err != nil {
+			return out, err
+		}
+		rec := Record{
+			Job:          job.Name,
+			Op:           res.Op,
+			ImageID:      res.ImageID,
+			ImageSize:    res.ImageSize,
+			BytesWritten: res.BytesWritten,
+			RunTime:      job.RunTime,
+			LogPath:      logPath,
+		}
+		s.queue = s.queue[1:]
+		s.done = append(s.done, rec)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// writeLog emits the job's execution log, including the
+// "landlord: using package <key>" lines that specscan.ScanJobLog
+// recovers specifications from.
+func (s *System) writeLog(path string, job Job, res core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("batch: writing log for %q: %w", job.Name, err)
+	}
+	fmt.Fprintf(f, "job %s starting\n", job.Name)
+	fmt.Fprintf(f, "landlord: %s image %d (%d bytes)\n", res.Op, res.ImageID, res.ImageSize)
+	for _, id := range job.Spec.IDs() {
+		fmt.Fprintf(f, "landlord: using package %s\n", s.repo.Package(id).Key())
+	}
+	fmt.Fprintf(f, "job %s completed in %v (simulated)\n", job.Name, job.RunTime)
+	return f.Close()
+}
+
+// DeriveSpec recovers a job's specification from a log written by a
+// previous Drain — the paper's runtime-tracing fallback. The returned
+// spec is dependency-closed.
+func DeriveSpec(logPath string, repo *pkggraph.Repo) (spec.Spec, error) {
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		return spec.Spec{}, fmt.Errorf("batch: reading log: %w", err)
+	}
+	tokens := specscan.ScanJobLog(string(data))
+	s, missing, err := specscan.Resolve(tokens, nil, repo)
+	if err != nil {
+		return spec.Spec{}, fmt.Errorf("batch: deriving spec from %s: %w", logPath, err)
+	}
+	if len(missing) > 0 {
+		return spec.Spec{}, fmt.Errorf("batch: log %s references %d unknown packages (first: %q)",
+			logPath, len(missing), missing[0])
+	}
+	return s, nil
+}

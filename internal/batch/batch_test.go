@@ -1,0 +1,185 @@
+package batch
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func testRepo(t testing.TB) *pkggraph.Repo {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 5
+	cfg.LibraryFamilies = 20
+	cfg.ApplicationFamilies = 33
+	return pkggraph.MustGenerate(cfg, 42)
+}
+
+func testSystem(t testing.TB, alpha float64) (*System, *pkggraph.Repo, *core.Manager) {
+	t.Helper()
+	repo := testRepo(t)
+	mgr := core.MustNewManager(repo, core.Config{Alpha: alpha, MinHash: core.DefaultMinHash()})
+	sys, err := NewSystem(repo, mgr, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, repo, mgr
+}
+
+func job(repo *pkggraph.Repo, name string, picks ...pkggraph.PkgID) Job {
+	return Job{Name: name, Spec: spec.WithClosure(repo, picks), RunTime: time.Minute}
+}
+
+func TestDrainExecutesFIFO(t *testing.T) {
+	sys, repo, mgr := testSystem(t, 0.8)
+	sys.Submit(job(repo, "gen", 160))
+	sys.Submit(job(repo, "sim", 161))
+	sys.Submit(job(repo, "gen-rerun", 160))
+	if sys.Queued() != 3 {
+		t.Fatalf("Queued = %d", sys.Queued())
+	}
+	recs, err := sys.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || sys.Queued() != 0 {
+		t.Fatalf("drained %d, queued %d", len(recs), sys.Queued())
+	}
+	if recs[0].Job != "gen" || recs[2].Job != "gen-rerun" {
+		t.Fatal("FIFO order violated")
+	}
+	if recs[0].Op != core.OpInsert {
+		t.Fatalf("first job op = %v", recs[0].Op)
+	}
+	if recs[2].Op != core.OpHit {
+		t.Fatalf("re-run op = %v, want hit", recs[2].Op)
+	}
+	if mgr.Stats().Requests != 3 {
+		t.Fatal("manager did not see all jobs")
+	}
+	if len(sys.Completed()) != 3 {
+		t.Fatal("Completed not recorded")
+	}
+}
+
+func TestDrainWritesParsableLogs(t *testing.T) {
+	sys, repo, _ := testSystem(t, 0.8)
+	original := job(repo, "trace-me", 170, 171)
+	sys.Submit(original)
+	recs, err := sys.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(recs[0].LogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "job trace-me starting") || !strings.Contains(text, "completed in") {
+		t.Fatalf("log missing framing:\n%s", text)
+	}
+	// The paper's loop: derive the next submission's spec from the log.
+	derived, err := DeriveSpec(recs[0].LogPath, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !derived.Equal(original.Spec) {
+		t.Fatalf("derived spec differs: %d vs %d packages", derived.Len(), original.Spec.Len())
+	}
+}
+
+func TestDeriveSpecErrors(t *testing.T) {
+	repo := testRepo(t)
+	if _, err := DeriveSpec("/nonexistent.log", repo); err == nil {
+		t.Error("missing log accepted")
+	}
+	dir := t.TempDir()
+	empty := dir + "/empty.log"
+	os.WriteFile(empty, []byte("no packages here\n"), 0o644)
+	if _, err := DeriveSpec(empty, repo); err == nil {
+		t.Error("log without packages accepted")
+	}
+	ghost := dir + "/ghost.log"
+	os.WriteFile(ghost, []byte("landlord: using package ghost/1/p\n"), 0o644)
+	if _, err := DeriveSpec(ghost, repo); err == nil {
+		t.Error("log with unknown package accepted")
+	}
+}
+
+func TestDrainStopsAtInvalidJob(t *testing.T) {
+	sys, repo, _ := testSystem(t, 0.8)
+	sys.Submit(job(repo, "ok", 160))
+	sys.Submit(Job{Name: "", Spec: spec.New([]pkggraph.PkgID{1})})
+	sys.Submit(job(repo, "after", 161))
+	recs, err := sys.Drain()
+	if err == nil {
+		t.Fatal("expected error for nameless job")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("completed %d before failing, want 1", len(recs))
+	}
+	if sys.Queued() != 2 {
+		t.Fatalf("queued = %d, want 2 (failed job + successor)", sys.Queued())
+	}
+}
+
+func TestDrainRejectsEmptySpec(t *testing.T) {
+	sys, _, _ := testSystem(t, 0.8)
+	sys.Submit(Job{Name: "empty", Spec: spec.Spec{}})
+	if _, err := sys.Drain(); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestNewSystemBadLogDir(t *testing.T) {
+	repo := testRepo(t)
+	mgr := core.MustNewManager(repo, core.Config{Alpha: 0.5})
+	// A file where the directory should be.
+	path := t.TempDir() + "/file"
+	os.WriteFile(path, []byte("x"), 0o644)
+	if _, err := NewSystem(repo, mgr, path); err == nil {
+		t.Fatal("file as log dir accepted")
+	}
+}
+
+// TestTraceLoopAcrossGenerations runs the paper's full wrapper loop:
+// generation 1 jobs run from hand specs, generation 2 derives its
+// specs from generation 1's logs and benefits from the warm cache.
+func TestTraceLoopAcrossGenerations(t *testing.T) {
+	sys, repo, mgr := testSystem(t, 0.8)
+	gen1 := []Job{job(repo, "a", 180), job(repo, "b", 181)}
+	for _, j := range gen1 {
+		sys.Submit(j)
+	}
+	recs, err := sys.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := mgr.Stats().Hits
+	for i, rec := range recs {
+		derived, err := DeriveSpec(rec.LogPath, repo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Submit(Job{Name: rec.Job + "-gen2", Spec: derived, RunTime: time.Minute})
+		_ = i
+	}
+	recs2, err := sys.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs2 {
+		if rec.Op != core.OpHit {
+			t.Errorf("generation-2 job %q did not hit (op=%v)", rec.Job, rec.Op)
+		}
+	}
+	if mgr.Stats().Hits != hitsBefore+int64(len(recs2)) {
+		t.Error("generation 2 should be all hits")
+	}
+}

@@ -1,0 +1,315 @@
+// Package campaign models the WLCG operating picture of Section II:
+// several experiments (ATLAS, CMS, LHCb, ...) submit production
+// campaigns — pipelines of phases (gen, sim, digi, reco) — against a
+// shared software repository, with each campaign revising the software
+// versions in use. "High-throughput jobs are often generated
+// automatically by submission systems on behalf of multiple users ...
+// as a user's work evolves, different jobs need different software,
+// and new containers are generated."
+//
+// The generator partitions the repository's application families among
+// experiments, derives a specification per (experiment, phase,
+// campaign), and emits a labeled job stream. Run drives a LANDLORD
+// manager with the stream and reports per-experiment operation mixes
+// plus cross-experiment image sharing — the question site operators
+// actually ask of a shared cache.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// ExperimentConfig declares one experiment in the campaign.
+type ExperimentConfig struct {
+	// Name identifies the experiment (e.g. "atlas").
+	Name string
+	// Weight is the experiment's share of submitted jobs (relative).
+	Weight float64
+	// Phases is the production pipeline (e.g. gen, sim, reco). Each
+	// phase gets its own specification per campaign.
+	Phases []string
+	// PhasePackages is the number of application packages in each
+	// phase's initial selection (before dependency closure).
+	PhasePackages int
+}
+
+// Config parameterizes a campaign simulation.
+type Config struct {
+	Repo *pkggraph.Repo
+	// Experiments to simulate; weights are normalized internally.
+	Experiments []ExperimentConfig
+	// Campaigns is the number of software revisions: campaign k+1
+	// mutates each phase's selection relative to campaign k.
+	Campaigns int
+	// MutateFraction is the fraction of a phase's packages revised
+	// between campaigns (version swaps within the same family when
+	// possible).
+	MutateFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Repo == nil {
+		return fmt.Errorf("campaign: nil repo")
+	}
+	if len(c.Experiments) == 0 {
+		return fmt.Errorf("campaign: no experiments")
+	}
+	for _, e := range c.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("campaign: experiment with empty name")
+		}
+		if e.Weight <= 0 {
+			return fmt.Errorf("campaign: experiment %q has non-positive weight", e.Name)
+		}
+		if len(e.Phases) == 0 {
+			return fmt.Errorf("campaign: experiment %q has no phases", e.Name)
+		}
+		if e.PhasePackages < 1 {
+			return fmt.Errorf("campaign: experiment %q needs PhasePackages >= 1", e.Name)
+		}
+	}
+	if c.Campaigns < 1 {
+		return fmt.Errorf("campaign: need at least one campaign")
+	}
+	if c.MutateFraction < 0 || c.MutateFraction > 1 {
+		return fmt.Errorf("campaign: MutateFraction %v out of range", c.MutateFraction)
+	}
+	return nil
+}
+
+// DefaultExperiments mirrors the paper's four collaborations with the
+// pipeline phases of Figure 2.
+func DefaultExperiments() []ExperimentConfig {
+	return []ExperimentConfig{
+		{Name: "alice", Weight: 1, Phases: []string{"gen-sim"}, PhasePackages: 8},
+		{Name: "atlas", Weight: 3, Phases: []string{"gen", "sim"}, PhasePackages: 10},
+		{Name: "cms", Weight: 3, Phases: []string{"gen-sim", "digi", "reco"}, PhasePackages: 10},
+		{Name: "lhcb", Weight: 1, Phases: []string{"gen-sim"}, PhasePackages: 6},
+	}
+}
+
+// Job is one labeled submission.
+type Job struct {
+	Experiment string
+	Phase      string
+	Campaign   int
+	Spec       spec.Spec
+}
+
+// Generator produces labeled campaign jobs.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	cum []float64 // cumulative experiment weights
+	// specs[experiment][phase][campaign] holds the phase selections
+	// (pre-closure).
+	selections map[string]map[string][][]pkggraph.PkgID
+}
+
+// NewGenerator partitions the repository and derives every
+// (experiment, phase, campaign) selection up front, so job emission is
+// cheap and the whole schedule is deterministic in the seed.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		selections: make(map[string]map[string][][]pkggraph.PkgID),
+	}
+	var total float64
+	for _, e := range cfg.Experiments {
+		total += e.Weight
+		g.cum = append(g.cum, total)
+	}
+
+	// Partition application packages among experiments round-robin by
+	// family, so each experiment has a disjoint leaf pool while all
+	// share the repository's core through closures.
+	pools := make([][]pkggraph.PkgID, len(cfg.Experiments))
+	famIdx := 0
+	seenFam := make(map[string]int)
+	for id := 0; id < cfg.Repo.Len(); id++ {
+		p := cfg.Repo.Package(pkggraph.PkgID(id))
+		if p.Tier != pkggraph.TierApplication {
+			continue
+		}
+		e, ok := seenFam[p.Name]
+		if !ok {
+			e = famIdx % len(cfg.Experiments)
+			seenFam[p.Name] = e
+			famIdx++
+		}
+		pools[e] = append(pools[e], pkggraph.PkgID(id))
+	}
+	for i, e := range cfg.Experiments {
+		if len(pools[i]) < e.PhasePackages {
+			return nil, fmt.Errorf("campaign: experiment %q needs %d app packages, pool has %d",
+				e.Name, e.PhasePackages, len(pools[i]))
+		}
+	}
+
+	for i, e := range cfg.Experiments {
+		phases := make(map[string][][]pkggraph.PkgID, len(e.Phases))
+		for _, phase := range e.Phases {
+			sels := make([][]pkggraph.PkgID, cfg.Campaigns)
+			sels[0] = g.sampleFromPool(pools[i], e.PhasePackages)
+			for c := 1; c < cfg.Campaigns; c++ {
+				sels[c] = g.mutate(sels[c-1], pools[i])
+			}
+			phases[phase] = sels
+		}
+		g.selections[e.Name] = phases
+	}
+	return g, nil
+}
+
+// sampleFromPool draws n distinct packages from the pool.
+func (g *Generator) sampleFromPool(pool []pkggraph.PkgID, n int) []pkggraph.PkgID {
+	idx := g.rng.Perm(len(pool))[:n]
+	sort.Ints(idx)
+	out := make([]pkggraph.PkgID, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// mutate revises a selection for the next campaign: MutateFraction of
+// its packages swap to a sibling version of the same family when one
+// exists, otherwise to a fresh pool pick.
+func (g *Generator) mutate(prev, pool []pkggraph.PkgID) []pkggraph.PkgID {
+	next := append([]pkggraph.PkgID(nil), prev...)
+	k := int(float64(len(next))*g.cfg.MutateFraction + 0.5)
+	for _, i := range g.rng.Perm(len(next))[:k] {
+		fam := g.cfg.Repo.FamilyVersions(g.cfg.Repo.Package(next[i]).Name)
+		if len(fam) > 1 {
+			next[i] = fam[g.rng.Intn(len(fam))]
+		} else {
+			next[i] = pool[g.rng.Intn(len(pool))]
+		}
+	}
+	return next
+}
+
+// pickExperiment draws an experiment index by weight.
+func (g *Generator) pickExperiment() int {
+	x := g.rng.Float64() * g.cum[len(g.cum)-1]
+	for i, c := range g.cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(g.cum) - 1
+}
+
+// Jobs emits n labeled jobs: experiments chosen by weight, phases
+// uniformly, campaigns advancing through the stream (early jobs come
+// from early campaigns, as production does).
+func (g *Generator) Jobs(n int) []Job {
+	out := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		e := g.cfg.Experiments[g.pickExperiment()]
+		phase := e.Phases[g.rng.Intn(len(e.Phases))]
+		// The active campaign advances with stream position, with some
+		// stragglers still submitting against older revisions.
+		frontier := i * g.cfg.Campaigns / n
+		campaign := frontier
+		if frontier > 0 && g.rng.Float64() < 0.2 {
+			campaign = g.rng.Intn(frontier + 1)
+		}
+		sel := g.selections[e.Name][phase][campaign]
+		out = append(out, Job{
+			Experiment: e.Name,
+			Phase:      phase,
+			Campaign:   campaign,
+			Spec:       spec.WithClosure(g.cfg.Repo, sel),
+		})
+	}
+	return out
+}
+
+// ExperimentReport is one experiment's slice of a campaign run.
+type ExperimentReport struct {
+	Name    string
+	Jobs    int
+	Hits    int
+	Merges  int
+	Inserts int
+	// MeanContainerEfficiency over the experiment's jobs.
+	MeanContainerEfficiency float64
+}
+
+// Report summarizes a campaign run against one manager.
+type Report struct {
+	Jobs          int
+	PerExperiment []ExperimentReport
+	// SharedImages counts cached images whose contents served jobs of
+	// more than one experiment — cross-experiment sharing through the
+	// common core.
+	SharedImages int
+	Images       int
+	TotalData    int64
+	UniqueData   int64
+}
+
+// Run submits the jobs to mgr in order and aggregates per-experiment
+// behaviour.
+func Run(mgr *core.Manager, jobs []Job) (Report, error) {
+	perExp := make(map[string]*ExperimentReport)
+	imageUsers := make(map[uint64]map[string]bool) // image -> experiments served
+	order := []string{}
+	for i, job := range jobs {
+		res, err := mgr.Request(job.Spec)
+		if err != nil {
+			return Report{}, fmt.Errorf("campaign: job %d (%s/%s): %w", i, job.Experiment, job.Phase, err)
+		}
+		er := perExp[job.Experiment]
+		if er == nil {
+			er = &ExperimentReport{Name: job.Experiment}
+			perExp[job.Experiment] = er
+			order = append(order, job.Experiment)
+		}
+		er.Jobs++
+		switch res.Op {
+		case core.OpHit:
+			er.Hits++
+		case core.OpMerge:
+			er.Merges++
+		case core.OpInsert:
+			er.Inserts++
+		}
+		er.MeanContainerEfficiency += res.ContainerEfficiency()
+		users := imageUsers[res.ImageID]
+		if users == nil {
+			users = make(map[string]bool)
+			imageUsers[res.ImageID] = users
+		}
+		users[job.Experiment] = true
+	}
+	rep := Report{Jobs: len(jobs), Images: mgr.Len(), TotalData: mgr.TotalData(), UniqueData: mgr.UniqueData()}
+	sort.Strings(order)
+	for _, name := range order {
+		er := perExp[name]
+		if er.Jobs > 0 {
+			er.MeanContainerEfficiency /= float64(er.Jobs)
+		}
+		rep.PerExperiment = append(rep.PerExperiment, *er)
+	}
+	// Count sharing only among images still cached.
+	for _, img := range mgr.Images() {
+		if users := imageUsers[img.ID]; len(users) > 1 {
+			rep.SharedImages++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,224 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+)
+
+func testRepo(t testing.TB) *pkggraph.Repo {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	return pkggraph.MustGenerate(cfg, 42)
+}
+
+func testConfig(t testing.TB) Config {
+	return Config{
+		Repo:           testRepo(t),
+		Experiments:    DefaultExperiments(),
+		Campaigns:      3,
+		MutateFraction: 0.3,
+		Seed:           1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(t)
+
+	c := base
+	c.Repo = nil
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("nil repo accepted")
+	}
+	c = base
+	c.Experiments = nil
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("no experiments accepted")
+	}
+	c = base
+	c.Experiments = []ExperimentConfig{{Name: "", Weight: 1, Phases: []string{"gen"}, PhasePackages: 1}}
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("empty name accepted")
+	}
+	c = base
+	c.Experiments = []ExperimentConfig{{Name: "x", Weight: 0, Phases: []string{"gen"}, PhasePackages: 1}}
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("zero weight accepted")
+	}
+	c = base
+	c.Experiments = []ExperimentConfig{{Name: "x", Weight: 1, Phases: nil, PhasePackages: 1}}
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("no phases accepted")
+	}
+	c = base
+	c.Campaigns = 0
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("zero campaigns accepted")
+	}
+	c = base
+	c.MutateFraction = 1.5
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("bad mutate fraction accepted")
+	}
+	c = base
+	c.Experiments = []ExperimentConfig{{Name: "greedy", Weight: 1, Phases: []string{"gen"}, PhasePackages: 100000}}
+	if _, err := NewGenerator(c); err == nil {
+		t.Error("oversized phase accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := testConfig(t)
+	a, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewGenerator(cfg)
+	ja, jb := a.Jobs(50), b.Jobs(50)
+	for i := range ja {
+		if ja[i].Experiment != jb[i].Experiment || ja[i].Phase != jb[i].Phase ||
+			ja[i].Campaign != jb[i].Campaign || !ja[i].Spec.Equal(jb[i].Spec) {
+			t.Fatalf("job %d differs between identical generators", i)
+		}
+	}
+}
+
+func TestJobsLabeledAndClosed(t *testing.T) {
+	g, err := NewGenerator(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := g.cfg.Repo
+	jobs := g.Jobs(100)
+	if len(jobs) != 100 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	byExp := make(map[string]int)
+	for i, j := range jobs {
+		byExp[j.Experiment]++
+		if j.Spec.Empty() {
+			t.Fatalf("job %d empty", i)
+		}
+		closed := repo.Closure(j.Spec.IDs())
+		if len(closed) != j.Spec.Len() {
+			t.Fatalf("job %d not dependency-closed", i)
+		}
+		if j.Campaign < 0 || j.Campaign >= 3 {
+			t.Fatalf("job %d campaign %d out of range", i, j.Campaign)
+		}
+	}
+	// All four experiments appear; weighted ones dominate.
+	for _, e := range DefaultExperiments() {
+		if byExp[e.Name] == 0 {
+			t.Errorf("experiment %s never submitted", e.Name)
+		}
+	}
+	if byExp["atlas"] <= byExp["lhcb"] {
+		t.Errorf("weights ignored: atlas %d <= lhcb %d", byExp["atlas"], byExp["lhcb"])
+	}
+}
+
+func TestCampaignsAdvance(t *testing.T) {
+	g, err := NewGenerator(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs(300)
+	if jobs[0].Campaign != 0 {
+		t.Fatalf("first job campaign %d", jobs[0].Campaign)
+	}
+	last := jobs[len(jobs)-1]
+	if last.Campaign == 0 {
+		t.Fatal("campaigns never advanced")
+	}
+	// Non-decreasing frontier: a job's campaign never exceeds the
+	// frontier at its position.
+	n := len(jobs)
+	for i, j := range jobs {
+		if j.Campaign > i*3/n {
+			t.Fatalf("job %d campaign %d beyond frontier", i, j.Campaign)
+		}
+	}
+}
+
+func TestExperimentPoolsDisjoint(t *testing.T) {
+	g, err := NewGenerator(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := g.cfg.Repo
+	// Application leaves of different experiments never overlap (the
+	// shared content is the core/framework/library closure).
+	leafOwner := make(map[pkggraph.PkgID]string)
+	for name, phases := range g.selections {
+		for _, sels := range phases {
+			for _, sel := range sels {
+				for _, id := range sel {
+					if repo.Package(id).Tier != pkggraph.TierApplication {
+						continue
+					}
+					if owner, ok := leafOwner[id]; ok && owner != name {
+						t.Fatalf("package %d selected by both %s and %s", id, owner, name)
+					}
+					leafOwner[id] = name
+				}
+			}
+		}
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	cfg := testConfig(t)
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs(200)
+	mgr := core.MustNewManager(cfg.Repo, core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()})
+	rep, err := Run(mgr, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 200 {
+		t.Fatalf("Jobs = %d", rep.Jobs)
+	}
+	var total int
+	for _, er := range rep.PerExperiment {
+		total += er.Jobs
+		if er.Hits+er.Merges+er.Inserts != er.Jobs {
+			t.Fatalf("%s ops don't partition jobs: %+v", er.Name, er)
+		}
+		if er.MeanContainerEfficiency <= 0 || er.MeanContainerEfficiency > 1 {
+			t.Fatalf("%s efficiency %v", er.Name, er.MeanContainerEfficiency)
+		}
+	}
+	if total != rep.Jobs {
+		t.Fatal("per-experiment jobs don't sum")
+	}
+	// Campaign re-submissions give hits; the shared core gives merges
+	// across experiments — at alpha 0.8 some cached image should serve
+	// multiple experiments.
+	if rep.SharedImages == 0 {
+		t.Error("no cross-experiment image sharing at alpha 0.8")
+	}
+	if rep.UniqueData > rep.TotalData {
+		t.Fatal("unique exceeds total")
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	cfg := testConfig(t)
+	mgr := core.MustNewManager(cfg.Repo, core.Config{Alpha: 0.8})
+	rep, err := Run(mgr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 0 || len(rep.PerExperiment) != 0 {
+		t.Fatalf("empty run: %+v", rep)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cluster models the distributed deployment the paper targets:
+// multiple computing sites, each with a head node running a LANDLORD
+// cache and a pool of worker nodes with local scratch space for images.
+//
+// "We also suppose that each compute node has scratch space available
+// for storing container images locally, but that the total repository
+// contents or the collection of all container images may be too large
+// to store on every worker node." (Section V) — workers therefore keep
+// an LRU cache of images keyed by (image ID, content version); when a
+// job is dispatched to a worker whose copy is absent or stale, the
+// image is transferred from the head node and the bytes are accounted.
+//
+// A Cluster spreads one job stream over several Sites under a pluggable
+// scheduling Policy, capturing the paper's observation that "each
+// computing site has a different set of users and projects" and that
+// images end up "replicated across sites and to many individual
+// nodes".
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// workerImage is one locally cached image copy.
+type workerImage struct {
+	version uint64
+	size    int64
+	lastUse uint64
+}
+
+// WorkerStats counts one worker node's activity.
+type WorkerStats struct {
+	Jobs             int64
+	LocalHits        int64 // job ran on an already-present image copy
+	Transfers        int64 // image copies pulled from the head node
+	TransferredBytes int64
+	Evictions        int64
+}
+
+// Worker is a compute node with bounded local image scratch.
+type Worker struct {
+	ID       int
+	Capacity int64 // scratch bytes; 0 = unlimited
+
+	images map[uint64]*workerImage
+	used   int64
+	clock  uint64
+	stats  WorkerStats
+}
+
+// NewWorker creates a worker with the given scratch capacity.
+func NewWorker(id int, capacity int64) *Worker {
+	return &Worker{ID: id, Capacity: capacity, images: make(map[uint64]*workerImage)}
+}
+
+// Stats returns a copy of the worker's counters.
+func (w *Worker) Stats() WorkerStats { return w.stats }
+
+// CachedBytes returns the bytes currently held in local scratch.
+func (w *Worker) CachedBytes() int64 { return w.used }
+
+// CachedImages returns the number of locally held image copies.
+func (w *Worker) CachedImages() int { return len(w.images) }
+
+// Run executes one job against image (id, version, size): reuses the
+// local copy when present and current, otherwise transfers the image
+// (evicting LRU copies to fit). It returns the bytes transferred for
+// this job.
+func (w *Worker) Run(id, version uint64, size int64) int64 {
+	if img, ok := w.images[id]; ok && img.version == version {
+		w.applyTransfer(id, version, size, 0)
+		return 0
+	}
+	w.applyTransfer(id, version, size, size)
+	return size
+}
+
+// applyTransfer installs or refreshes the local copy of image (id,
+// version, size), accounting `transfer` bytes of network cost (zero
+// for a reuse; less than size when the update was delta-encoded).
+func (w *Worker) applyTransfer(id, version uint64, size, transfer int64) {
+	w.clock++
+	w.stats.Jobs++
+	if img, ok := w.images[id]; ok {
+		if img.version == version {
+			img.lastUse = w.clock
+			w.stats.LocalHits++
+			return
+		}
+		// Stale copy: drop it before installing the new version.
+		w.used -= img.size
+		delete(w.images, id)
+	}
+	w.evictFor(size)
+	w.images[id] = &workerImage{version: version, size: size, lastUse: w.clock}
+	w.used += size
+	w.stats.Transfers++
+	w.stats.TransferredBytes += transfer
+}
+
+// Invalidate drops a local copy (the head node deleted the image).
+func (w *Worker) Invalidate(id uint64) {
+	if img, ok := w.images[id]; ok {
+		w.used -= img.size
+		delete(w.images, id)
+	}
+}
+
+// evictFor makes room for an incoming image of the given size.
+func (w *Worker) evictFor(incoming int64) {
+	if w.Capacity <= 0 {
+		return
+	}
+	for w.used+incoming > w.Capacity && len(w.images) > 0 {
+		var victimID uint64
+		var victim *workerImage
+		for id, img := range w.images {
+			if victim == nil || img.lastUse < victim.lastUse ||
+				(img.lastUse == victim.lastUse && id < victimID) {
+				victim, victimID = img, id
+			}
+		}
+		w.used -= victim.size
+		delete(w.images, victimID)
+		w.stats.Evictions++
+	}
+}
+
+// SiteConfig parameterizes one computing site.
+type SiteConfig struct {
+	Name string
+	// Core configures the site's LANDLORD head-node cache.
+	Core core.Config
+	// Workers is the number of worker nodes.
+	Workers int
+	// WorkerCapacity is each worker's scratch size in bytes
+	// (0 = unlimited).
+	WorkerCapacity int64
+}
+
+// Site is one computing site: a LANDLORD head-node cache plus workers.
+// Jobs submitted to a site are prepared by the head node and dispatched
+// to the least-recently-used worker in rotation.
+type Site struct {
+	Name    string
+	Manager *core.Manager
+	Workers []*Worker
+
+	next int // round-robin dispatch cursor
+	jobs int64
+}
+
+// NewSite builds a site over repo.
+func NewSite(repo *pkggraph.Repo, cfg SiteConfig) (*Site, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: site %q needs at least one worker", cfg.Name)
+	}
+	mgr, err := core.NewManager(repo, cfg.Core)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: site %q: %w", cfg.Name, err)
+	}
+	s := &Site{Name: cfg.Name, Manager: mgr}
+	for i := 0; i < cfg.Workers; i++ {
+		s.Workers = append(s.Workers, NewWorker(i, cfg.WorkerCapacity))
+	}
+	return s, nil
+}
+
+// SiteResult describes one job execution at a site.
+type SiteResult struct {
+	Site        string
+	Worker      int
+	Request     core.Result
+	Transferred int64 // bytes shipped head node -> worker for this job
+}
+
+// Submit prepares an image for the job and runs it on the next worker.
+func (s *Site) Submit(job spec.Spec) (SiteResult, error) {
+	res, err := s.Manager.Request(job)
+	if err != nil {
+		return SiteResult{}, err
+	}
+	w := s.Workers[s.next]
+	s.next = (s.next + 1) % len(s.Workers)
+	s.jobs++
+	transferred := w.Run(res.ImageID, res.ImageVersion, res.ImageSize)
+	return SiteResult{
+		Site:        s.Name,
+		Worker:      w.ID,
+		Request:     res,
+		Transferred: transferred,
+	}, nil
+}
+
+// Jobs returns the number of jobs the site has executed.
+func (s *Site) Jobs() int64 { return s.jobs }
+
+// WorkerTransferredBytes sums image bytes shipped to this site's
+// workers.
+func (s *Site) WorkerTransferredBytes() int64 {
+	var total int64
+	for _, w := range s.Workers {
+		total += w.stats.TransferredBytes
+	}
+	return total
+}
+
+// WorkerLocalHitRate is the fraction of jobs that reused a local image
+// copy across the site's workers.
+func (s *Site) WorkerLocalHitRate() float64 {
+	var jobs, hits int64
+	for _, w := range s.Workers {
+		jobs += w.stats.Jobs
+		hits += w.stats.LocalHits
+	}
+	if jobs == 0 {
+		return 0
+	}
+	return float64(hits) / float64(jobs)
+}

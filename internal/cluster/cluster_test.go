@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func flatRepo(t testing.TB, n int, size int64) *pkggraph.Repo {
+	t.Helper()
+	pkgs := make([]pkggraph.Package, n)
+	for i := range pkgs {
+		pkgs[i] = pkggraph.Package{
+			ID: pkggraph.PkgID(i), Name: "pkg", Version: versionOf(i), Platform: "p",
+			Tier: pkggraph.TierLibrary, Size: size, FileCount: 1,
+		}
+	}
+	r, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func versionOf(i int) string {
+	return string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func sp(vs ...pkggraph.PkgID) spec.Spec { return spec.New(vs) }
+
+func genRepo(t testing.TB) *pkggraph.Repo {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	return pkggraph.MustGenerate(cfg, 42)
+}
+
+func TestWorkerRunAndReuse(t *testing.T) {
+	w := NewWorker(0, 0)
+	if got := w.Run(1, 0, 100); got != 100 {
+		t.Fatalf("first run transferred %d, want 100", got)
+	}
+	if got := w.Run(1, 0, 100); got != 0 {
+		t.Fatalf("second run transferred %d, want 0", got)
+	}
+	st := w.Stats()
+	if st.Jobs != 2 || st.LocalHits != 1 || st.Transfers != 1 || st.TransferredBytes != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestWorkerStaleVersionRetransfers(t *testing.T) {
+	w := NewWorker(0, 0)
+	w.Run(1, 0, 100)
+	if got := w.Run(1, 1, 150); got != 150 {
+		t.Fatalf("stale copy not retransferred: %d", got)
+	}
+	if w.CachedBytes() != 150 || w.CachedImages() != 1 {
+		t.Fatalf("cache state: %d bytes, %d images", w.CachedBytes(), w.CachedImages())
+	}
+}
+
+func TestWorkerLRUEviction(t *testing.T) {
+	w := NewWorker(0, 250)
+	w.Run(1, 0, 100)
+	w.Run(2, 0, 100)
+	w.Run(1, 0, 100) // touch 1
+	w.Run(3, 0, 100) // evict 2
+	if w.CachedImages() != 2 {
+		t.Fatalf("images = %d, want 2", w.CachedImages())
+	}
+	if got := w.Run(1, 0, 100); got != 0 {
+		t.Fatal("recently used copy was evicted")
+	}
+	if got := w.Run(2, 0, 100); got == 0 {
+		t.Fatal("LRU copy should have been evicted")
+	}
+	if w.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestWorkerInvalidate(t *testing.T) {
+	w := NewWorker(0, 0)
+	w.Run(1, 0, 100)
+	w.Invalidate(1)
+	if w.CachedBytes() != 0 {
+		t.Fatal("Invalidate did not drop the copy")
+	}
+	w.Invalidate(99) // absent: no-op
+}
+
+func TestNewSiteValidation(t *testing.T) {
+	repo := flatRepo(t, 10, 1)
+	if _, err := NewSite(repo, SiteConfig{Name: "x", Workers: 0, Core: core.Config{Alpha: 0.5}}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewSite(repo, SiteConfig{Name: "x", Workers: 1, Core: core.Config{Alpha: 7}}); err == nil {
+		t.Error("bad core config accepted")
+	}
+}
+
+func TestSiteSubmitRoundRobinsWorkers(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	site, err := NewSite(repo, SiteConfig{Name: "a", Workers: 2, Core: core.Config{Alpha: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := site.Submit(sp(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := site.Submit(sp(1, 2))
+	r3, _ := site.Submit(sp(1, 2))
+	if r1.Worker == r2.Worker {
+		t.Fatal("consecutive jobs on the same worker")
+	}
+	if r3.Worker != r1.Worker {
+		t.Fatal("rotation broken")
+	}
+	// Same image on each worker: first visit transfers, revisit reuses.
+	if r1.Transferred == 0 || r2.Transferred == 0 {
+		t.Fatal("first visits should transfer")
+	}
+	if r3.Transferred != 0 {
+		t.Fatal("revisit should reuse the local copy")
+	}
+	if site.Jobs() != 3 {
+		t.Fatalf("Jobs = %d", site.Jobs())
+	}
+}
+
+func TestSiteMergeInvalidatesWorkerCopies(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	site, err := NewSite(repo, SiteConfig{Name: "a", Workers: 1, Core: core.Config{Alpha: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.Submit(sp(1, 2, 3))
+	r, _ := site.Submit(sp(1, 2, 4)) // merges: image version bumps
+	if r.Request.Op != core.OpMerge {
+		t.Fatalf("expected merge, got %v", r.Request.Op)
+	}
+	if r.Transferred != r.Request.ImageSize {
+		t.Fatalf("merged image not retransferred: %d vs %d", r.Transferred, r.Request.ImageSize)
+	}
+	// A hit on the merged image now reuses the fresh copy.
+	r2, _ := site.Submit(sp(1, 2, 3))
+	if r2.Request.Op != core.OpHit || r2.Transferred != 0 {
+		t.Fatalf("hit after merge: op=%v transferred=%d", r2.Request.Op, r2.Transferred)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	repo := flatRepo(t, 20, 1)
+	mkSites := func() []*Site {
+		var sites []*Site
+		for _, name := range []string{"a", "b", "c"} {
+			s, err := NewSite(repo, SiteConfig{Name: name, Workers: 1, Core: core.Config{Alpha: 0.5}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites = append(sites, s)
+		}
+		return sites
+	}
+
+	rr := &RoundRobin{}
+	sites := mkSites()
+	if rr.Pick(sp(1), sites) != 0 || rr.Pick(sp(1), sites) != 1 || rr.Pick(sp(1), sites) != 2 || rr.Pick(sp(1), sites) != 0 {
+		t.Error("round robin order wrong")
+	}
+
+	aff := Affinity{}
+	job := sp(1, 2, 3)
+	first := aff.Pick(job, sites)
+	for i := 0; i < 5; i++ {
+		if aff.Pick(job, sites) != first {
+			t.Fatal("affinity not stable")
+		}
+	}
+
+	rnd := NewRandomPolicy(1)
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		counts[rnd.Pick(job, sites)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("random policy never picked site %d", i)
+		}
+	}
+
+	if rr.Name() == "" || aff.Name() == "" || rnd.Name() == "" {
+		t.Error("policies must have names")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := New(nil, &RoundRobin{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	repo := flatRepo(t, 5, 1)
+	s, _ := NewSite(repo, SiteConfig{Name: "a", Workers: 1, Core: core.Config{Alpha: 0.5}})
+	if _, err := New([]*Site{s}, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestClusterRunStreamReport(t *testing.T) {
+	repo := genRepo(t)
+	var sites []*Site
+	for _, name := range []string{"site-a", "site-b"} {
+		s, err := NewSite(repo, SiteConfig{
+			Name:    name,
+			Workers: 3,
+			Core: core.Config{
+				Alpha:    0.8,
+				Capacity: repo.TotalSize(),
+				MinHash:  core.DefaultMinHash(),
+			},
+			WorkerCapacity: repo.TotalSize() / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, s)
+	}
+	c, err := New(sites, Affinity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.Stream(workload.NewDepClosure(repo, 3), 30, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != int64(len(stream)) {
+		t.Fatalf("Jobs = %d, want %d", rep.Jobs, len(stream))
+	}
+	if rep.Policy != "affinity" {
+		t.Fatalf("Policy = %q", rep.Policy)
+	}
+	if len(rep.PerSite) != 2 {
+		t.Fatalf("PerSite = %d", len(rep.PerSite))
+	}
+	var siteJobs int64
+	for _, sr := range rep.PerSite {
+		siteJobs += sr.Jobs
+		if sr.Jobs > 0 && sr.Images == 0 {
+			t.Errorf("site %s ran jobs but holds no images", sr.Name)
+		}
+	}
+	if siteJobs != rep.Jobs {
+		t.Fatal("per-site jobs don't sum to total")
+	}
+	// Repeated jobs at a sticky site must produce local reuse.
+	if rep.WorkerLocalHitRate <= 0 {
+		t.Error("no worker-local reuse despite repeated jobs")
+	}
+	if rep.WorkerTransferredBytes <= 0 || rep.HeadBytesWritten <= 0 {
+		t.Error("missing byte accounting")
+	}
+}
+
+func TestAffinityBeatsRandomOnWorkerReuse(t *testing.T) {
+	repo := genRepo(t)
+	build := func(policy Policy) Report {
+		var sites []*Site
+		for i := 0; i < 3; i++ {
+			s, err := NewSite(repo, SiteConfig{
+				Name:    string(rune('a' + i)),
+				Workers: 2,
+				Core:    core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites = append(sites, s)
+		}
+		c, err := New(sites, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := workload.Stream(workload.NewDepClosure(repo, 5), 25, 6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.RunStream(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	affinity := build(Affinity{})
+	random := build(NewRandomPolicy(4))
+	// Routing repeats of a job to the same site keeps both head and
+	// worker caches warmer than scattering them.
+	if affinity.WorkerTransferredBytes >= random.WorkerTransferredBytes {
+		t.Errorf("affinity transferred %d >= random %d",
+			affinity.WorkerTransferredBytes, random.WorkerTransferredBytes)
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Delta transfers.
+//
+// When the head node merges a specification into an image, the new
+// image is a strict superset of the old one, so a worker holding the
+// previous version only needs the added packages — not a full
+// retransfer. Conversely, a split image is a subset of what the worker
+// holds, so the worker trims locally at zero transfer cost. This is
+// the composition property of Section IV paying off at the transport
+// layer: because images are unions of package sets (not opaque layer
+// stacks), deltas are computable exactly.
+//
+// DeltaSite wraps a Site with per-worker content tracking: for every
+// (worker, image) pair it remembers the package set the worker holds,
+// computes the exact difference on updates, and charges only those
+// bytes.
+
+// heldCopy records what a worker currently holds for one image.
+type heldCopy struct {
+	version uint64
+	spec    spec.Spec
+}
+
+// DeltaSite is a Site whose worker transfers are delta-encoded.
+type DeltaSite struct {
+	*Site
+	repo *pkggraph.Repo
+	held map[int]map[uint64]heldCopy // worker ID -> image ID -> copy
+
+	deltaBytes int64 // bytes actually shipped
+	fullBytes  int64 // bytes a full-retransfer scheme would ship
+}
+
+// NewDeltaSite builds a delta-transfer site over repo.
+func NewDeltaSite(repo *pkggraph.Repo, cfg SiteConfig) (*DeltaSite, error) {
+	site, err := NewSite(repo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaSite{
+		Site: site,
+		repo: repo,
+		held: make(map[int]map[uint64]heldCopy),
+	}, nil
+}
+
+// DeltaBytes returns the bytes shipped with delta encoding.
+func (s *DeltaSite) DeltaBytes() int64 { return s.deltaBytes }
+
+// FullBytes returns the bytes a version-blind full-retransfer scheme
+// would have shipped for the same job sequence.
+func (s *DeltaSite) FullBytes() int64 { return s.fullBytes }
+
+// Savings returns 1 - delta/full: the fraction of transfer volume the
+// delta encoding eliminated.
+func (s *DeltaSite) Savings() float64 {
+	if s.fullBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.deltaBytes)/float64(s.fullBytes)
+}
+
+// Submit prepares an image and ships only the worker's missing
+// packages.
+func (s *DeltaSite) Submit(job spec.Spec) (SiteResult, error) {
+	res, err := s.Manager.Request(job)
+	if err != nil {
+		return SiteResult{}, err
+	}
+
+	w := s.Workers[s.next]
+	s.next = (s.next + 1) % len(s.Workers)
+	s.jobs++
+
+	workerHeld := s.held[w.ID]
+	if workerHeld == nil {
+		workerHeld = make(map[uint64]heldCopy)
+		s.held[w.ID] = workerHeld
+	}
+	// Trust the held record only while the worker still has the copy
+	// it describes (LRU eviction may have dropped it since).
+	prev, have := workerHeld[res.ImageID]
+	if have {
+		wi, present := w.images[res.ImageID]
+		if !present || wi.version != prev.version {
+			have = false
+			delete(workerHeld, res.ImageID)
+		}
+	}
+
+	var transfer int64
+	switch {
+	case have && prev.version == res.ImageVersion:
+		transfer = 0
+	case have:
+		// The image changed under its ID. Ship only the packages the
+		// worker is missing; dropped packages (splits) cost nothing.
+		if img, ok := s.Manager.ImageByID(res.ImageID); ok {
+			transfer = img.Spec.Diff(prev.spec).Size(s.repo)
+		} else {
+			transfer = res.ImageSize // image already evicted upstream
+		}
+		s.fullBytes += res.ImageSize
+	default:
+		transfer = res.ImageSize
+		s.fullBytes += res.ImageSize
+	}
+	s.deltaBytes += transfer
+
+	w.applyTransfer(res.ImageID, res.ImageVersion, res.ImageSize, transfer)
+	if img, ok := s.Manager.ImageByID(res.ImageID); ok {
+		workerHeld[res.ImageID] = heldCopy{version: res.ImageVersion, spec: img.Spec}
+	}
+	// Forget records for copies the worker evicted to fit this one.
+	for id := range workerHeld {
+		if _, present := w.images[id]; !present {
+			delete(workerHeld, id)
+		}
+	}
+
+	return SiteResult{
+		Site:        s.Name,
+		Worker:      w.ID,
+		Request:     res,
+		Transferred: transfer,
+	}, nil
+}

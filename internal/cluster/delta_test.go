@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func newDeltaSite(t *testing.T, alpha float64, workers int) (*DeltaSite, *Site) {
+	t.Helper()
+	repo := flatRepo(t, 40, 10)
+	ds, err := NewDeltaSite(repo, SiteConfig{
+		Name: "delta", Workers: workers,
+		Core: core.Config{Alpha: alpha},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewSite(repo, SiteConfig{
+		Name: "full", Workers: workers,
+		Core: core.Config{Alpha: alpha},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, full
+}
+
+func TestDeltaFirstTransferIsFull(t *testing.T) {
+	ds, _ := newDeltaSite(t, 0.9, 1)
+	r, err := ds.Submit(sp(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transferred != 30 {
+		t.Fatalf("first transfer = %d, want 30", r.Transferred)
+	}
+	if ds.DeltaBytes() != 30 || ds.FullBytes() != 30 {
+		t.Fatalf("accounting: delta %d, full %d", ds.DeltaBytes(), ds.FullBytes())
+	}
+}
+
+func TestDeltaMergeShipsOnlyAddedPackages(t *testing.T) {
+	ds, _ := newDeltaSite(t, 0.9, 1)
+	ds.Submit(sp(1, 2, 3))
+	// Merge adds {4}: the worker already holds {1,2,3}.
+	r, err := ds.Submit(sp(1, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Request.Op != core.OpMerge {
+		t.Fatalf("op = %v", r.Request.Op)
+	}
+	if r.Transferred != 10 {
+		t.Fatalf("delta transfer = %d, want 10 (one added package)", r.Transferred)
+	}
+	// A full-retransfer scheme would have shipped the whole 40-byte
+	// merged image.
+	if ds.FullBytes() != 30+40 {
+		t.Fatalf("FullBytes = %d, want 70", ds.FullBytes())
+	}
+	if ds.Savings() <= 0 {
+		t.Fatalf("Savings = %v", ds.Savings())
+	}
+}
+
+func TestDeltaHitCostsNothing(t *testing.T) {
+	ds, _ := newDeltaSite(t, 0.9, 1)
+	ds.Submit(sp(1, 2, 3))
+	r, err := ds.Submit(sp(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Request.Op != core.OpHit || r.Transferred != 0 {
+		t.Fatalf("hit: op=%v transferred=%d", r.Request.Op, r.Transferred)
+	}
+}
+
+func TestDeltaSplitIsFree(t *testing.T) {
+	ds, _ := newDeltaSite(t, 0.9, 1)
+	ds.Submit(sp(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	ds.Manager.Prune(0.9, 100) // reset hot window
+	ds.Submit(sp(1, 2))
+	ds.Submit(sp(1, 3))
+	splits, err := ds.Manager.Prune(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	// The split image {1,2,3} is a subset of the worker's copy: the
+	// next job on it transfers nothing.
+	r, err := ds.Submit(sp(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Request.Op != core.OpHit {
+		t.Fatalf("op = %v", r.Request.Op)
+	}
+	if r.Transferred != 0 {
+		t.Fatalf("post-split transfer = %d, want 0", r.Transferred)
+	}
+}
+
+func TestDeltaWorkerEvictionForcesFullRetransfer(t *testing.T) {
+	repo := flatRepo(t, 40, 10)
+	ds, err := NewDeltaSite(repo, SiteConfig{
+		Name: "tiny", Workers: 1,
+		Core:           core.Config{Alpha: 0},
+		WorkerCapacity: 35, // fits one 30-byte image, not two
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Submit(sp(1, 2, 3))           // image A on worker
+	ds.Submit(sp(10, 11, 12))        // image B evicts A locally
+	r, err := ds.Submit(sp(1, 2, 3)) // A is a head-node hit but gone locally
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Request.Op != core.OpHit {
+		t.Fatalf("op = %v", r.Request.Op)
+	}
+	if r.Transferred != 30 {
+		t.Fatalf("transfer after local eviction = %d, want full 30", r.Transferred)
+	}
+}
+
+// TestDeltaSavesOnRealisticStream runs the same stream through a delta
+// site and a plain site: merging workloads see large transfer savings.
+func TestDeltaSavesOnRealisticStream(t *testing.T) {
+	repo := genRepo(t)
+	ds, err := NewDeltaSite(repo, SiteConfig{
+		Name: "delta", Workers: 4,
+		Core: core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewSite(repo, SiteConfig{
+		Name: "plain", Workers: 4,
+		Core: core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.Stream(workload.NewDepClosure(repo, 3), 30, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range stream {
+		if _, err := ds.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds.DeltaBytes() >= plain.WorkerTransferredBytes() {
+		t.Fatalf("delta %d >= plain %d", ds.DeltaBytes(), plain.WorkerTransferredBytes())
+	}
+	if ds.Savings() < 0.2 {
+		t.Errorf("savings = %.2f, expected substantial", ds.Savings())
+	}
+	// Identical cache decisions: same manager stats either way.
+	if ds.Manager.Stats() != plain.Manager.Stats() {
+		t.Fatal("delta site changed cache behaviour")
+	}
+}
+
+// TestDeltaNeverExceedsFull replays random streams asserting the delta
+// site's transfer for every job never exceeds what the plain site
+// ships, and that cache decisions are identical throughout.
+func TestDeltaNeverExceedsFull(t *testing.T) {
+	repo := genRepo(t)
+	for seed := int64(0); seed < 3; seed++ {
+		ds, err := NewDeltaSite(repo, SiteConfig{
+			Name: "d", Workers: 2,
+			Core:           core.Config{Alpha: 0.85, MinHash: core.DefaultMinHash()},
+			WorkerCapacity: repo.TotalSize() / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewSite(repo, SiteConfig{
+			Name: "p", Workers: 2,
+			Core:           core.Config{Alpha: 0.85, MinHash: core.DefaultMinHash()},
+			WorkerCapacity: repo.TotalSize() / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := workload.Stream(workload.NewDepClosure(repo, seed), 20, 3, seed+50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, job := range stream {
+			dr, err := ds.Submit(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := plain.Submit(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dr.Request.Op != pr.Request.Op || dr.Request.ImageID != pr.Request.ImageID {
+				t.Fatalf("seed %d job %d: cache decisions diverged", seed, i)
+			}
+			if dr.Transferred > pr.Transferred {
+				t.Fatalf("seed %d job %d: delta %d > full %d", seed, i, dr.Transferred, pr.Transferred)
+			}
+		}
+		if ds.DeltaBytes() > ds.FullBytes() {
+			t.Fatalf("seed %d: delta total %d > full total %d", seed, ds.DeltaBytes(), ds.FullBytes())
+		}
+	}
+}

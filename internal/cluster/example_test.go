@@ -1,0 +1,46 @@
+package cluster_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Example runs two jobs through a one-site deployment: the first
+// transfers the prepared image to a worker, the repeat reuses the
+// worker's local copy.
+func Example() {
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "x86", Tier: pkggraph.TierCore, Size: 100, FileCount: 1},
+		{ID: 1, Name: "app", Version: "1.0", Platform: "x86", Tier: pkggraph.TierApplication, Size: 10, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := cluster.NewSite(repo, cluster.SiteConfig{
+		Name:    "site-a",
+		Workers: 1,
+		Core:    core.Config{Alpha: 0.8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := spec.WithClosure(repo, []pkggraph.PkgID{1})
+	for i := 0; i < 2; i++ {
+		res, err := site.Submit(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on worker %d, transferred %d bytes\n",
+			res.Request.Op, res.Worker, res.Transferred)
+	}
+
+	// Output:
+	// insert on worker 0, transferred 110 bytes
+	// hit on worker 0, transferred 0 bytes
+}

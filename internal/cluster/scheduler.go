@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/spec"
+)
+
+// Policy selects the site a job is routed to. Implementations must be
+// deterministic given their construction parameters so cluster
+// simulations are reproducible.
+type Policy interface {
+	// Pick returns the index of the chosen site in sites.
+	Pick(job spec.Spec, sites []*Site) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RoundRobin rotates submissions across sites, the behaviour of a
+// simple multi-site pilot factory.
+type RoundRobin struct{ next int }
+
+// Pick returns sites in rotation.
+func (p *RoundRobin) Pick(job spec.Spec, sites []*Site) int {
+	i := p.next % len(sites)
+	p.next++
+	return i
+}
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// RandomPolicy routes jobs uniformly at random (seeded), modeling
+// opportunistic backfill across a grid.
+type RandomPolicy struct{ rng *rand.Rand }
+
+// NewRandomPolicy creates a seeded random policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick returns a uniformly random site.
+func (p *RandomPolicy) Pick(job spec.Spec, sites []*Site) int {
+	return p.rng.Intn(len(sites))
+}
+
+// Name implements Policy.
+func (p *RandomPolicy) Name() string { return "random" }
+
+// Affinity routes a job by the hash of its specification, so repeated
+// and related submissions land at the same site and its caches stay
+// warm — the "choose their execution environments strategically"
+// behaviour of Section II.
+type Affinity struct{}
+
+// Pick hashes the specification onto a site.
+func (Affinity) Pick(job spec.Spec, sites []*Site) int {
+	return int(job.Hash() % uint64(len(sites)))
+}
+
+// Name implements Policy.
+func (Affinity) Name() string { return "affinity" }
+
+// Cluster is a set of sites fed from one job stream under a policy.
+type Cluster struct {
+	Sites  []*Site
+	policy Policy
+}
+
+// New assembles a cluster. At least one site and a policy are required.
+func New(sites []*Site, policy Policy) (*Cluster, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("cluster: no sites")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	return &Cluster{Sites: sites, policy: policy}, nil
+}
+
+// Submit routes one job to a site and executes it.
+func (c *Cluster) Submit(job spec.Spec) (SiteResult, error) {
+	i := c.policy.Pick(job, c.Sites)
+	if i < 0 || i >= len(c.Sites) {
+		return SiteResult{}, fmt.Errorf("cluster: policy %q picked invalid site %d", c.policy.Name(), i)
+	}
+	return c.Sites[i].Submit(job)
+}
+
+// Report aggregates cluster-wide accounting after a stream has run.
+type Report struct {
+	Policy string
+	Jobs   int64
+	// HeadBytesWritten sums image-preparation I/O across all site head
+	// nodes.
+	HeadBytesWritten int64
+	// WorkerTransferredBytes sums head-to-worker image shipping.
+	WorkerTransferredBytes int64
+	// WorkerLocalHitRate is the job-weighted local reuse rate.
+	WorkerLocalHitRate float64
+	// PerSite holds one row per site.
+	PerSite []SiteReport
+}
+
+// SiteReport is the per-site slice of a Report.
+type SiteReport struct {
+	Name               string
+	Jobs               int64
+	Images             int
+	CachedBytes        int64
+	CacheEfficiency    float64
+	HeadBytesWritten   int64
+	WorkerTransferred  int64
+	WorkerLocalHitRate float64
+}
+
+// RunStream submits every job in the stream and returns the aggregate
+// report.
+func (c *Cluster) RunStream(stream []spec.Spec) (Report, error) {
+	for i, job := range stream {
+		if _, err := c.Submit(job); err != nil {
+			return Report{}, fmt.Errorf("cluster: job %d: %w", i, err)
+		}
+	}
+	return c.Report(), nil
+}
+
+// Report snapshots the cluster's aggregate accounting.
+func (c *Cluster) Report() Report {
+	rep := Report{Policy: c.policy.Name()}
+	var jobs, hits int64
+	for _, s := range c.Sites {
+		st := s.Manager.Stats()
+		sr := SiteReport{
+			Name:               s.Name,
+			Jobs:               s.Jobs(),
+			Images:             s.Manager.Len(),
+			CachedBytes:        s.Manager.TotalData(),
+			CacheEfficiency:    s.Manager.CacheEfficiency(),
+			HeadBytesWritten:   st.BytesWritten,
+			WorkerTransferred:  s.WorkerTransferredBytes(),
+			WorkerLocalHitRate: s.WorkerLocalHitRate(),
+		}
+		rep.PerSite = append(rep.PerSite, sr)
+		rep.Jobs += sr.Jobs
+		rep.HeadBytesWritten += sr.HeadBytesWritten
+		rep.WorkerTransferredBytes += sr.WorkerTransferred
+		for _, w := range s.Workers {
+			jobs += w.stats.Jobs
+			hits += w.stats.LocalHits
+		}
+	}
+	if jobs > 0 {
+		rep.WorkerLocalHitRate = float64(hits) / float64(jobs)
+	}
+	return rep
+}

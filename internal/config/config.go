@@ -1,0 +1,130 @@
+// Package config loads the site configuration file used by the
+// landlordd daemon: cache policy (α, capacity, conflict handling),
+// repository source, and maintenance schedule. A site operator tunes
+// exactly the knobs the paper ends on — "LANDLORD provides a good deal
+// of flexibility to match the properties of a given execution site and
+// workload(s)" — without recompiling.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Site is the daemon configuration.
+type Site struct {
+	// Addr is the listen address (default ":8080").
+	Addr string `json:"addr"`
+
+	// Alpha is the merge threshold (default 0.8, the paper's
+	// recommended starting point).
+	Alpha *float64 `json:"alpha,omitempty"`
+	// CapacityGB caps the cache in gigabytes (0 = unlimited).
+	CapacityGB float64 `json:"capacity_gb"`
+	// MinHash enables the candidate prefilter (default true).
+	MinHash *bool `json:"minhash,omitempty"`
+
+	// RepoFile loads the repository from a JSONL file; when empty, the
+	// default synthetic repository is generated from RepoSeed.
+	RepoFile string `json:"repo_file"`
+	RepoSeed int64  `json:"repo_seed"`
+
+	// SingleVersionFamilies lists package families that must not
+	// appear in two versions within one image (spec.SingleVersionPolicy).
+	// Empty means no conflict checking (the CVMFS case).
+	SingleVersionFamilies []string `json:"single_version_families"`
+
+	// PruneEveryRequests runs a split pass every N requests
+	// (0 disables).
+	PruneEveryRequests int `json:"prune_every_requests"`
+	// PruneUtilization and PruneMinServed parameterize the pass.
+	PruneUtilization float64 `json:"prune_utilization"`
+	PruneMinServed   int     `json:"prune_min_served"`
+}
+
+// Default returns the configuration the daemon uses with no file.
+func Default() Site {
+	alpha := 0.8
+	minhash := true
+	return Site{
+		Addr:     ":8080",
+		Alpha:    &alpha,
+		RepoSeed: 1,
+		MinHash:  &minhash,
+	}
+}
+
+// Load reads and validates a configuration file. Missing optional
+// fields take their defaults.
+func Load(path string) (Site, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Site{}, err
+	}
+	site := Default()
+	if err := json.Unmarshal(data, &site); err != nil {
+		return Site{}, fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	if err := site.Validate(); err != nil {
+		return Site{}, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return site, nil
+}
+
+// Validate checks field ranges.
+func (s Site) Validate() error {
+	if s.Addr == "" {
+		return fmt.Errorf("addr must not be empty")
+	}
+	if s.Alpha != nil && (*s.Alpha < 0 || *s.Alpha > 1) {
+		return fmt.Errorf("alpha %v out of range [0,1]", *s.Alpha)
+	}
+	if s.CapacityGB < 0 {
+		return fmt.Errorf("capacity_gb must be non-negative")
+	}
+	if s.PruneEveryRequests < 0 {
+		return fmt.Errorf("prune_every_requests must be non-negative")
+	}
+	if s.PruneEveryRequests > 0 {
+		if s.PruneUtilization <= 0 || s.PruneUtilization >= 1 {
+			return fmt.Errorf("prune_utilization %v out of range (0,1)", s.PruneUtilization)
+		}
+		if s.PruneMinServed < 1 {
+			return fmt.Errorf("prune_min_served must be >= 1 when pruning")
+		}
+	}
+	return nil
+}
+
+// OpenRepo loads or generates the configured repository.
+func (s Site) OpenRepo() (*pkggraph.Repo, error) {
+	if s.RepoFile != "" {
+		return pkggraph.LoadFile(s.RepoFile)
+	}
+	return pkggraph.Generate(pkggraph.DefaultGenConfig(), s.RepoSeed)
+}
+
+// CoreConfig assembles the manager configuration for the repository.
+func (s Site) CoreConfig(repo *pkggraph.Repo) core.Config {
+	cfg := core.Config{
+		Capacity: int64(s.CapacityGB * float64(stats.GB)),
+	}
+	if s.Alpha != nil {
+		cfg.Alpha = *s.Alpha
+	} else {
+		cfg.Alpha = 0.8
+	}
+	if s.MinHash == nil || *s.MinHash {
+		cfg.MinHash = core.DefaultMinHash()
+	}
+	if len(s.SingleVersionFamilies) > 0 {
+		cfg.Conflicts = spec.NewSingleVersionPolicy(repo, s.SingleVersionFamilies...)
+	}
+	return cfg
+}

@@ -1,0 +1,123 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeConfig(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "site.json")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDefault(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if s.Addr != ":8080" || *s.Alpha != 0.8 || !*s.MinHash {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+}
+
+func TestLoadOverridesAndDefaults(t *testing.T) {
+	path := writeConfig(t, `{
+		"alpha": 0.65,
+		"capacity_gb": 2048,
+		"repo_seed": 7,
+		"prune_every_requests": 100,
+		"prune_utilization": 0.6,
+		"prune_min_served": 3
+	}`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *s.Alpha != 0.65 || s.CapacityGB != 2048 || s.RepoSeed != 7 {
+		t.Fatalf("overrides lost: %+v", s)
+	}
+	if s.Addr != ":8080" {
+		t.Fatalf("default addr lost: %q", s.Addr)
+	}
+	if s.MinHash == nil || !*s.MinHash {
+		t.Fatal("default minhash lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Load(writeConfig(t, "{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"alpha": 3}`)); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"capacity_gb": -1}`)); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"addr": ""}`)); err == nil {
+		t.Error("empty addr accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"prune_every_requests": 10}`)); err == nil {
+		t.Error("pruning without utilization accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"prune_every_requests": 10, "prune_utilization": 0.5}`)); err == nil {
+		t.Error("pruning without min_served accepted")
+	}
+}
+
+func TestOpenRepoGenerated(t *testing.T) {
+	s := Default()
+	s.RepoSeed = 3
+	// Generating the full default repository takes ~100ms; acceptable.
+	repo, err := s.OpenRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 9660 {
+		t.Fatalf("repo size = %d", repo.Len())
+	}
+}
+
+func TestOpenRepoFromFile(t *testing.T) {
+	s := Default()
+	s.RepoFile = filepath.Join(t.TempDir(), "missing.jsonl")
+	if _, err := s.OpenRepo(); err == nil {
+		t.Fatal("missing repo file accepted")
+	}
+}
+
+func TestCoreConfig(t *testing.T) {
+	s := Default()
+	s.CapacityGB = 1
+	s.SingleVersionFamilies = []string{"py"}
+	repo, err := s.OpenRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.CoreConfig(repo)
+	if cfg.Alpha != 0.8 || cfg.Capacity != 1<<30 {
+		t.Fatalf("core config: %+v", cfg)
+	}
+	if cfg.MinHash == nil {
+		t.Fatal("minhash not enabled")
+	}
+	if cfg.Conflicts == nil {
+		t.Fatal("conflict policy not built")
+	}
+	// Disabled minhash and nil alpha take sensible paths.
+	off := false
+	s.MinHash = &off
+	s.Alpha = nil
+	cfg = s.CoreConfig(repo)
+	if cfg.MinHash != nil || cfg.Alpha != 0.8 {
+		t.Fatalf("fallbacks wrong: %+v", cfg)
+	}
+}

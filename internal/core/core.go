@@ -1,0 +1,491 @@
+// Package core implements LANDLORD's online container cache manager —
+// the paper's primary contribution (Section V, Algorithm 1).
+//
+// For each submitted job specification s, the Manager:
+//
+//  1. returns any cached image i with s ⊆ i (a hit: the concrete image
+//     meets the specified requirements);
+//  2. otherwise scans cached images j with Jaccard distance
+//     d_j(s, j) < α in order of increasing distance, and replaces the
+//     first non-conflicting j with merge(s, j) (a merge);
+//  3. otherwise inserts a new image for s (an insert);
+//
+// and finally evicts least-recently-used images while the cache
+// exceeds its byte capacity (deletes).
+//
+// α ∈ [0, 1] is the "globbiness": at 0 the manager degenerates to an
+// LRU cache of single-purpose images, at 1 to a single all-purpose
+// image. Every operation is fully accounted (bytes written, requested
+// bytes, unique versus total cached data) so the simulation harness can
+// regenerate the paper's figures.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pkggraph"
+	"repro/internal/similarity"
+	"repro/internal/spec"
+)
+
+// Op identifies how a request was satisfied.
+type Op uint8
+
+// Request outcomes, in the order Algorithm 1 considers them.
+const (
+	OpHit Op = iota
+	OpMerge
+	OpInsert
+)
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	switch o {
+	case OpHit:
+		return "hit"
+	case OpMerge:
+		return "merge"
+	case OpInsert:
+		return "insert"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// MinHashConfig enables the MinHash candidate prefilter. The paper
+// singles this out as important in practice: metadata listings for
+// full-repository images are gigabytes, so an O(k) first pass at
+// selecting similar images matters.
+type MinHashConfig struct {
+	// K is the signature size (hash functions). Estimator standard
+	// error is about 1/sqrt(K).
+	K int
+	// Seed derives the hash functions.
+	Seed int64
+	// Margin widens the candidate net: images whose estimated distance
+	// is below Alpha+Margin get an exact distance check. Larger margins
+	// trade speed for fidelity to the exact algorithm.
+	Margin float64
+}
+
+// DefaultMinHash returns the prefilter configuration used by the
+// simulation harness: 64 hashes and a 2σ margin.
+func DefaultMinHash() *MinHashConfig {
+	return &MinHashConfig{K: 64, Seed: 0x1a2b3c, Margin: 0.25}
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Alpha is the maximal Jaccard distance at which two
+	// specifications are "close enough" to merge. Must be in [0, 1].
+	Alpha float64
+	// Capacity is the cache limit in bytes. Zero or negative means
+	// unlimited.
+	Capacity int64
+	// Conflicts decides whether two specs may merge. Nil means
+	// spec.NoConflicts (the CVMFS case).
+	Conflicts spec.ConflictPolicy
+	// MinHash, when non-nil, enables approximate candidate selection.
+	// When nil every distance is computed exactly.
+	MinHash *MinHashConfig
+	// NoCandidateSort disables sorting merge candidates by distance
+	// (ablation A2 in DESIGN.md). Candidates are then considered in
+	// image insertion order, which Algorithm 1's comment ("Selection
+	// can be sorted by dj()") marks as optional.
+	NoCandidateSort bool
+}
+
+// Image is a cached container image: the union of every specification
+// merged into it.
+type Image struct {
+	ID   uint64
+	Spec spec.Spec
+	Size int64
+	// Version increments whenever the image's contents change (merge
+	// or split); distribution layers use it to detect that a worker's
+	// local copy went stale.
+	Version uint64
+	Merges  int    // how many specs have been merged in
+	lastUse uint64 // logical clock of last hit/merge/insert
+	sig     similarity.Signature
+
+	// hot tracks the union of specifications this image served since
+	// the last Prune pass, and hotCount how many; see split.go.
+	hot      spec.Spec
+	hotCount int
+}
+
+// Result reports how one request was satisfied.
+type Result struct {
+	Op      Op
+	ImageID uint64
+	// ImageVersion is the content version of the image served; a
+	// worker holding (ImageID, ImageVersion) can reuse its local copy.
+	ImageVersion uint64
+	ImageSize    int64 // size of the image the job runs in
+	RequestBytes int64 // size of the requested specification
+	BytesWritten int64 // image bytes written by this request
+	Evicted      int   // images deleted to make room
+	EvictedBytes int64
+}
+
+// ContainerEfficiency is the per-request efficiency: requested bytes
+// over the size of the container actually used (Section VI).
+func (r Result) ContainerEfficiency() float64 {
+	if r.ImageSize == 0 {
+		return 1
+	}
+	return float64(r.RequestBytes) / float64(r.ImageSize)
+}
+
+// Stats accumulates operation counts and I/O totals over a Manager's
+// lifetime.
+type Stats struct {
+	Requests int64
+	Hits     int64
+	Inserts  int64
+	Merges   int64
+	Deletes  int64
+	// Splits counts images trimmed by Prune (see split.go).
+	Splits int64
+
+	// BytesWritten is the cumulative data written into the cache
+	// ("Actual Writes" in Figure 4c): each insert writes the new image,
+	// each merge rewrites the merged image in its entirety.
+	BytesWritten int64
+	// RequestedBytes is the cumulative size of every requested
+	// specification ("Requested Writes"): what a system creating each
+	// requested image directly would write.
+	RequestedBytes int64
+	// ContainerEffSum accumulates per-request container efficiency;
+	// divide by Requests for the mean.
+	ContainerEffSum float64
+}
+
+// MeanContainerEfficiency returns the mean per-request container
+// efficiency, or 1 when no requests have been made.
+func (s Stats) MeanContainerEfficiency() float64 {
+	if s.Requests == 0 {
+		return 1
+	}
+	return s.ContainerEffSum / float64(s.Requests)
+}
+
+// Manager is the LANDLORD cache manager. It is not safe for concurrent
+// use; the simulator runs one Manager per goroutine.
+type Manager struct {
+	repo   *pkggraph.Repo
+	cfg    Config
+	hasher *similarity.Hasher
+
+	images []*Image // insertion order; nil entries are compacted lazily
+	byID   map[uint64]*Image
+	total  int64 // sum of image sizes
+	clock  uint64
+	nextID uint64
+	stats  Stats
+}
+
+// NewManager validates cfg and creates an empty Manager over repo.
+func NewManager(repo *pkggraph.Repo, cfg Config) (*Manager, error) {
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %v out of range [0,1]", cfg.Alpha)
+	}
+	if cfg.Conflicts == nil {
+		cfg.Conflicts = spec.NoConflicts{}
+	}
+	m := &Manager{
+		repo: repo,
+		cfg:  cfg,
+		byID: make(map[uint64]*Image),
+	}
+	if cfg.MinHash != nil {
+		h, err := similarity.NewHasher(cfg.MinHash.K, cfg.MinHash.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MinHash.Margin < 0 {
+			return nil, fmt.Errorf("core: MinHash margin %v must be non-negative", cfg.MinHash.Margin)
+		}
+		m.hasher = h
+	}
+	return m, nil
+}
+
+// MustNewManager is NewManager that panics on error.
+func MustNewManager(repo *pkggraph.Repo, cfg Config) *Manager {
+	m, err := NewManager(repo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Len returns the number of cached images.
+func (m *Manager) Len() int { return len(m.byID) }
+
+// TotalData returns the summed size of all cached images ("Total Data"
+// in Figure 4b).
+func (m *Manager) TotalData() int64 { return m.total }
+
+// UniqueData returns the size of the union of all cached images'
+// package sets ("Unique Data" in Figure 4b): what a perfectly
+// deduplicated cache would store.
+func (m *Manager) UniqueData() int64 {
+	var u spec.Spec
+	for _, img := range m.images {
+		if img != nil {
+			u = u.Union(img.Spec)
+		}
+	}
+	return u.Size(m.repo)
+}
+
+// CacheEfficiency returns UniqueData/TotalData, the paper's cache
+// efficiency metric. An empty cache is perfectly efficient (1).
+func (m *Manager) CacheEfficiency() float64 {
+	if m.total == 0 {
+		return 1
+	}
+	return float64(m.UniqueData()) / float64(m.total)
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Images returns the cached images in insertion order. The returned
+// slice is fresh; the *Image values are live and must not be modified.
+func (m *Manager) Images() []*Image {
+	out := make([]*Image, 0, len(m.byID))
+	for _, img := range m.images {
+		if img != nil {
+			out = append(out, img)
+		}
+	}
+	return out
+}
+
+// Alpha returns the configured merge threshold.
+func (m *Manager) Alpha() float64 { return m.cfg.Alpha }
+
+// sign computes the MinHash signature of s, or nil when the prefilter
+// is disabled.
+func (m *Manager) sign(s spec.Spec) similarity.Signature {
+	if m.hasher == nil {
+		return nil
+	}
+	return m.hasher.Sign(s)
+}
+
+// Request runs Algorithm 1 for specification s and returns how it was
+// satisfied. Empty specifications are rejected: they indicate an
+// unresolved job and must not silently hit every image.
+func (m *Manager) Request(s spec.Spec) (Result, error) {
+	if s.Empty() {
+		return Result{}, fmt.Errorf("core: empty specification")
+	}
+	m.clock++
+	m.stats.Requests++
+	reqBytes := s.Size(m.repo)
+	m.stats.RequestedBytes += reqBytes
+
+	sig := m.sign(s)
+
+	// Phase 1: an existing image satisfies s.
+	if img := m.findSuperset(s, sig); img != nil {
+		img.lastUse = m.clock
+		img.served(s)
+		m.stats.Hits++
+		res := Result{Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
+		m.stats.ContainerEffSum += res.ContainerEfficiency()
+		return res, nil
+	}
+
+	// Phase 2: merge into a close-enough image.
+	if img := m.findMergeTarget(s, sig); img != nil {
+		merged := img.Spec.Union(s)
+		m.total -= img.Size
+		img.Spec = merged
+		img.Size = merged.Size(m.repo)
+		img.Merges++
+		img.Version++
+		img.lastUse = m.clock
+		img.served(s)
+		if m.hasher != nil {
+			img.sig = similarity.MergeSignatures(img.sig, sig)
+		}
+		m.total += img.Size
+		m.stats.Merges++
+		m.stats.BytesWritten += img.Size // the merged image is rewritten whole
+		res := Result{
+			Op:           OpMerge,
+			ImageID:      img.ID,
+			ImageVersion: img.Version,
+			ImageSize:    img.Size,
+			RequestBytes: reqBytes,
+			BytesWritten: img.Size,
+		}
+		res.Evicted, res.EvictedBytes = m.evict(img.ID)
+		m.stats.ContainerEffSum += res.ContainerEfficiency()
+		return res, nil
+	}
+
+	// Phase 3: insert a new image.
+	img := &Image{
+		ID:      m.nextID,
+		Spec:    s,
+		Size:    reqBytes,
+		lastUse: m.clock,
+		sig:     sig,
+		hot:     s,
+	}
+	m.nextID++
+	m.images = append(m.images, img)
+	m.byID[img.ID] = img
+	m.total += img.Size
+	m.stats.Inserts++
+	m.stats.BytesWritten += img.Size
+	res := Result{
+		Op:           OpInsert,
+		ImageID:      img.ID,
+		ImageVersion: img.Version,
+		ImageSize:    img.Size,
+		RequestBytes: reqBytes,
+		BytesWritten: img.Size,
+	}
+	res.Evicted, res.EvictedBytes = m.evict(img.ID)
+	m.stats.ContainerEffSum += res.ContainerEfficiency()
+	return res, nil
+}
+
+// findSuperset returns the image with s ⊆ i, preferring the smallest
+// satisfying image (least bloat for the job), or nil.
+func (m *Manager) findSuperset(s spec.Spec, sig similarity.Signature) *Image {
+	var best *Image
+	for _, img := range m.images {
+		if img == nil || img.Spec.Len() < s.Len() {
+			continue
+		}
+		if best != nil && img.Size >= best.Size {
+			continue
+		}
+		if sig != nil && !signatureSubset(sig, img.sig) {
+			continue
+		}
+		if s.SubsetOf(img.Spec) {
+			best = img
+		}
+	}
+	return best
+}
+
+// signatureSubset is a necessary condition for subset containment: if
+// A ⊆ B then min-hash(A ∪ B) = min-hash(B) positionwise. It never
+// rejects a true superset, so using it as a prefilter preserves
+// Algorithm 1's hits exactly.
+func signatureSubset(sub, super similarity.Signature) bool {
+	for i := range sub {
+		if sub[i] < super[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate pairs an image with its (exact) distance from the request.
+type candidate struct {
+	img *Image
+	d   float64
+}
+
+// findMergeTarget returns the closest non-conflicting image with
+// d_j(s, j) < alpha, or nil. With MinHash enabled, exact distances are
+// only computed for images whose estimated distance is below
+// alpha+margin.
+func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature) *Image {
+	var cands []candidate
+	for _, img := range m.images {
+		if img == nil {
+			continue
+		}
+		if sig != nil {
+			est := similarity.EstimateDistance(sig, img.sig)
+			if est >= m.cfg.Alpha+m.cfg.MinHash.Margin {
+				continue
+			}
+		}
+		d := similarity.JaccardDistance(s, img.Spec)
+		if d < m.cfg.Alpha {
+			cands = append(cands, candidate{img, d})
+		}
+	}
+	if !m.cfg.NoCandidateSort {
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	}
+	for _, c := range cands {
+		if !m.cfg.Conflicts.Conflicts(s, c.img.Spec) {
+			return c.img
+		}
+	}
+	return nil
+}
+
+// evict removes least-recently-used images until the cache fits its
+// capacity, never evicting the image just used (keep). It returns the
+// number of images and bytes evicted.
+func (m *Manager) evict(keep uint64) (int, int64) {
+	if m.cfg.Capacity <= 0 {
+		return 0, 0
+	}
+	var n int
+	var bytes int64
+	for m.total > m.cfg.Capacity {
+		var victim *Image
+		vi := -1
+		for i, img := range m.images {
+			if img == nil || img.ID == keep {
+				continue
+			}
+			if victim == nil || img.lastUse < victim.lastUse {
+				victim = img
+				vi = i
+			}
+		}
+		if victim == nil {
+			break // only the in-use image remains; allow overflow
+		}
+		m.images[vi] = nil
+		delete(m.byID, victim.ID)
+		m.total -= victim.Size
+		m.stats.Deletes++
+		n++
+		bytes += victim.Size
+	}
+	if n > 0 {
+		m.compact()
+	}
+	return n, bytes
+}
+
+// compact removes nil entries from the insertion-ordered slice once
+// they outnumber the live images.
+func (m *Manager) compact() {
+	if len(m.images) < 2*len(m.byID)+8 {
+		return
+	}
+	live := m.images[:0]
+	for _, img := range m.images {
+		if img != nil {
+			live = append(live, img)
+		}
+	}
+	m.images = live
+}
+
+// ImageByID returns the live cached image with the given ID, or false
+// if it has been evicted. The returned Image must not be modified.
+func (m *Manager) ImageByID(id uint64) (*Image, bool) {
+	img, ok := m.byID[id]
+	return img, ok
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Example walks the full Algorithm 1 lifecycle: a job inserts an
+// image, an overlapping job merges into it, and a repeat run hits.
+func Example() {
+	// A minimal repository: two applications sharing a base.
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "x86", Tier: pkggraph.TierCore, Size: 100, FileCount: 1},
+		{ID: 1, Name: "gen", Version: "1.0", Platform: "x86", Tier: pkggraph.TierApplication, Size: 10, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+		{ID: 2, Name: "sim", Version: "1.0", Platform: "x86", Tier: pkggraph.TierApplication, Size: 20, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mgr, err := core.NewManager(repo, core.Config{Alpha: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs := []spec.Spec{
+		spec.WithClosure(repo, []pkggraph.PkgID{1}), // gen: {base, gen}
+		spec.WithClosure(repo, []pkggraph.PkgID{2}), // sim: {base, sim} -> merge (d=0.5)
+		spec.WithClosure(repo, []pkggraph.PkgID{1}), // gen again -> hit
+	}
+	for _, job := range jobs {
+		res, err := mgr.Request(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s image=%d size=%d\n", res.Op, res.ImageID, res.ImageSize)
+	}
+	fmt.Printf("images=%d cache-efficiency=%.0f%%\n", mgr.Len(), mgr.CacheEfficiency()*100)
+
+	// Output:
+	// insert image=0 size=110
+	// merge image=0 size=130
+	// hit image=0 size=130
+	// images=1 cache-efficiency=100%
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// checkInvariants validates the Manager's internal consistency; it is
+// compiled only into tests. Any violation is a bug regardless of the
+// workload that produced it.
+func (m *Manager) checkInvariants() error {
+	var total int64
+	live := 0
+	seen := make(map[uint64]bool)
+	for _, img := range m.images {
+		if img == nil {
+			continue
+		}
+		live++
+		if seen[img.ID] {
+			return fmt.Errorf("duplicate image ID %d in slice", img.ID)
+		}
+		seen[img.ID] = true
+		if m.byID[img.ID] != img {
+			return fmt.Errorf("byID[%d] does not point at the slice entry", img.ID)
+		}
+		if img.Spec.Empty() {
+			return fmt.Errorf("image %d has an empty spec", img.ID)
+		}
+		if got := img.Spec.Size(m.repo); got != img.Size {
+			return fmt.Errorf("image %d cached size %d != recomputed %d", img.ID, img.Size, got)
+		}
+		ids := img.Spec.IDs()
+		if !sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+			return fmt.Errorf("image %d spec not sorted", img.ID)
+		}
+		if img.lastUse > m.clock {
+			return fmt.Errorf("image %d lastUse %d beyond clock %d", img.ID, img.lastUse, m.clock)
+		}
+		if m.hasher != nil {
+			want := m.hasher.Sign(img.Spec)
+			for i := range want {
+				if img.sig[i] != want[i] {
+					return fmt.Errorf("image %d signature stale at position %d", img.ID, i)
+				}
+			}
+		}
+		total += img.Size
+	}
+	if live != len(m.byID) {
+		return fmt.Errorf("live images %d != byID size %d", live, len(m.byID))
+	}
+	if total != m.total {
+		return fmt.Errorf("cached total %d != recomputed %d", m.total, total)
+	}
+	st := m.stats
+	if st.Hits+st.Inserts+st.Merges != st.Requests {
+		return fmt.Errorf("ops %d+%d+%d do not partition %d requests", st.Hits, st.Inserts, st.Merges, st.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/similarity"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// refManager is a deliberately naive reimplementation of Algorithm 1
+// used as a test oracle: straight scans, no signatures, no candidate
+// caching, no lazy compaction. Any divergence between it and Manager
+// on the same request stream is a bug in one of them.
+type refManager struct {
+	repo     *pkggraph.Repo
+	alpha    float64
+	capacity int64
+
+	images  []refImage
+	clock   uint64
+	nextID  uint64
+	total   int64
+	deletes int
+}
+
+type refImage struct {
+	id      uint64
+	spec    spec.Spec
+	size    int64
+	lastUse uint64
+	order   int // insertion order for stable candidate ties
+}
+
+type refOutcome struct {
+	op      Op
+	imageID uint64
+	size    int64
+	evicted int
+}
+
+func (r *refManager) request(s spec.Spec) refOutcome {
+	r.clock++
+	// Phase 1: smallest superset.
+	best := -1
+	for i := range r.images {
+		if s.SubsetOf(r.images[i].spec) {
+			if best < 0 || r.images[i].size < r.images[best].size {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		r.images[best].lastUse = r.clock
+		return refOutcome{op: OpHit, imageID: r.images[best].id, size: r.images[best].size}
+	}
+	// Phase 2: closest candidate under alpha (stable by insertion).
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var cands []cand
+	for i := range r.images {
+		d := similarity.JaccardDistance(s, r.images[i].spec)
+		if d < r.alpha {
+			cands = append(cands, cand{i, d})
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	if len(cands) > 0 {
+		i := cands[0].idx
+		r.total -= r.images[i].size
+		r.images[i].spec = r.images[i].spec.Union(s)
+		r.images[i].size = r.images[i].spec.Size(r.repo)
+		r.images[i].lastUse = r.clock
+		r.total += r.images[i].size
+		out := refOutcome{op: OpMerge, imageID: r.images[i].id, size: r.images[i].size}
+		out.evicted = r.evict(r.images[i].id)
+		return out
+	}
+	// Phase 3: insert.
+	img := refImage{
+		id: r.nextID, spec: s, size: s.Size(r.repo),
+		lastUse: r.clock, order: int(r.nextID),
+	}
+	r.nextID++
+	r.images = append(r.images, img)
+	r.total += img.size
+	out := refOutcome{op: OpInsert, imageID: img.id, size: img.size}
+	out.evicted = r.evict(img.id)
+	return out
+}
+
+func (r *refManager) evict(keep uint64) int {
+	if r.capacity <= 0 {
+		return 0
+	}
+	n := 0
+	for r.total > r.capacity {
+		victim := -1
+		for i := range r.images {
+			if r.images[i].id == keep {
+				continue
+			}
+			if victim < 0 || r.images[i].lastUse < r.images[victim].lastUse {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		r.total -= r.images[victim].size
+		r.images = append(r.images[:victim], r.images[victim+1:]...)
+		r.deletes++
+		n++
+	}
+	return n
+}
+
+// TestManagerMatchesReference replays random dependency-closed streams
+// through the optimized Manager (exact mode) and the oracle, requiring
+// identical operations, image identities, sizes, and eviction counts
+// at every step, across several alphas and capacities.
+func TestManagerMatchesReference(t *testing.T) {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo := pkggraph.MustGenerate(cfg, 77)
+
+	for _, alpha := range []float64{0, 0.4, 0.75, 0.95, 1.0} {
+		for _, capMult := range []int64{0, 2, 8} {
+			capacity := int64(0)
+			if capMult > 0 {
+				capacity = repo.TotalSize() / capMult
+			}
+			m := mgr(t, repo, Config{Alpha: alpha, Capacity: capacity})
+			ref := &refManager{repo: repo, alpha: alpha, capacity: capacity}
+
+			gen := workload.NewDepClosure(repo, int64(alpha*100)+capMult)
+			gen.MaxInitial = 6
+			rng := rand.New(rand.NewSource(5))
+			var history []spec.Spec
+			for i := 0; i < 250; i++ {
+				var s spec.Spec
+				if len(history) > 0 && rng.Float64() < 0.4 {
+					s = history[rng.Intn(len(history))] // repeats drive hits
+				} else {
+					s = gen.Next()
+					history = append(history, s)
+				}
+				got, err := m.Request(s)
+				if err != nil {
+					t.Fatalf("alpha=%v cap=%d step %d: %v", alpha, capacity, i, err)
+				}
+				want := ref.request(s)
+				if got.Op != want.op || got.ImageID != want.imageID ||
+					got.ImageSize != want.size || got.Evicted != want.evicted {
+					t.Fatalf("alpha=%v cap=%d step %d diverged:\n manager: op=%v id=%d size=%d evicted=%d\n oracle:  op=%v id=%d size=%d evicted=%d",
+						alpha, capacity, i,
+						got.Op, got.ImageID, got.ImageSize, got.Evicted,
+						want.op, want.imageID, want.size, want.evicted)
+				}
+				if m.TotalData() != ref.total || m.Len() != len(ref.images) {
+					t.Fatalf("alpha=%v cap=%d step %d state diverged: total %d vs %d, images %d vs %d",
+						alpha, capacity, i, m.TotalData(), ref.total, m.Len(), len(ref.images))
+				}
+			}
+			if int(m.Stats().Deletes) != ref.deletes {
+				t.Fatalf("alpha=%v cap=%d delete totals diverged: %d vs %d",
+					alpha, capacity, m.Stats().Deletes, ref.deletes)
+			}
+		}
+	}
+}
+
+// TestManagerMinHashNearReference replays a stream through the MinHash
+// manager and the oracle, tolerating no divergence: the subset
+// prefilter is exact-safe and the generous margin keeps candidate sets
+// identical on this workload. A systematic mismatch would indicate the
+// prefilter cutting true candidates.
+func TestManagerMinHashNearReference(t *testing.T) {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo := pkggraph.MustGenerate(cfg, 78)
+
+	m := mgr(t, repo, Config{
+		Alpha:   0.75,
+		MinHash: &MinHashConfig{K: 128, Seed: 3, Margin: 0.3},
+	})
+	ref := &refManager{repo: repo, alpha: 0.75}
+	gen := workload.NewDepClosure(repo, 9)
+	gen.MaxInitial = 6
+	for i := 0; i < 200; i++ {
+		s := gen.Next()
+		got, err := m.Request(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.request(s)
+		if got.Op != want.op || got.ImageID != want.imageID {
+			t.Fatalf("step %d diverged: manager %v/%d vs oracle %v/%d",
+				i, got.Op, got.ImageID, want.op, want.imageID)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// ImageSnapshot is the serializable state of one cached image, used by
+// the job-wrapper deployment (cmd/landlord) to persist the cache
+// between invocations.
+type ImageSnapshot struct {
+	// Packages are the image's package keys (name/version/platform),
+	// portable across repository reloads.
+	Packages []string `json:"packages"`
+	// LastUse is the logical-clock timestamp of the image's last use;
+	// relative order is what matters for LRU.
+	LastUse uint64 `json:"last_use"`
+	// Merges counts specifications merged into the image.
+	Merges int `json:"merges"`
+}
+
+// Snapshot captures every cached image in insertion order.
+func (m *Manager) Snapshot() []ImageSnapshot {
+	snaps := make([]ImageSnapshot, 0, len(m.byID))
+	for _, img := range m.images {
+		if img == nil {
+			continue
+		}
+		keys := make([]string, 0, img.Spec.Len())
+		for _, id := range img.Spec.IDs() {
+			keys = append(keys, m.repo.Package(id).Key())
+		}
+		snaps = append(snaps, ImageSnapshot{
+			Packages: keys,
+			LastUse:  img.lastUse,
+			Merges:   img.Merges,
+		})
+	}
+	return snaps
+}
+
+// Restore loads a snapshot into an empty Manager, reconstructing
+// images, sizes, signatures and the LRU clock. Restoring into a
+// non-empty Manager is an error (it would silently interleave two
+// cache histories).
+func (m *Manager) Restore(snaps []ImageSnapshot) error {
+	if len(m.byID) != 0 {
+		return fmt.Errorf("core: Restore into non-empty manager (%d images)", len(m.byID))
+	}
+	var maxClock uint64
+	for i, snap := range snaps {
+		ids := make([]pkggraph.PkgID, 0, len(snap.Packages))
+		for _, key := range snap.Packages {
+			id, ok := m.repo.Lookup(key)
+			if !ok {
+				return fmt.Errorf("core: snapshot image %d references unknown package %q", i, key)
+			}
+			ids = append(ids, id)
+		}
+		s := spec.New(ids)
+		if s.Empty() {
+			return fmt.Errorf("core: snapshot image %d is empty", i)
+		}
+		img := &Image{
+			ID:      m.nextID,
+			Spec:    s,
+			Size:    s.Size(m.repo),
+			Merges:  snap.Merges,
+			lastUse: snap.LastUse,
+			sig:     m.sign(s),
+		}
+		m.nextID++
+		m.images = append(m.images, img)
+		m.byID[img.ID] = img
+		m.total += img.Size
+		if snap.LastUse > maxClock {
+			maxClock = snap.LastUse
+		}
+	}
+	// Keep insertion order stable by last use so LRU ties resolve the
+	// same way across save/load cycles.
+	sort.SliceStable(m.images, func(a, b int) bool { return m.images[a].lastUse < m.images[b].lastUse })
+	m.clock = maxClock
+	return nil
+}

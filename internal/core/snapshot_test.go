@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	m := mgr(t, repo, Config{Alpha: 0.6})
+	request(t, m, sp(1, 2, 3))
+	request(t, m, sp(1, 2, 4)) // merge
+	request(t, m, sp(10, 11))  // insert
+	snaps := m.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot has %d images, want 2", len(snaps))
+	}
+
+	m2 := mgr(t, repo, Config{Alpha: 0.6})
+	if err := m2.Restore(snaps); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if m2.Len() != m.Len() || m2.TotalData() != m.TotalData() || m2.UniqueData() != m.UniqueData() {
+		t.Fatalf("restored state differs: %d/%d vs %d/%d",
+			m2.Len(), m2.TotalData(), m.Len(), m.TotalData())
+	}
+	// Behaviour equivalence: a subset request hits in both.
+	r1 := request(t, m, sp(1, 2))
+	r2 := request(t, m2, sp(1, 2))
+	if r1.Op != OpHit || r2.Op != OpHit || r1.ImageSize != r2.ImageSize {
+		t.Fatalf("restored manager behaves differently: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRestorePreservesLRUOrder(t *testing.T) {
+	repo := flatRepo(t, 20, 100)
+	m := mgr(t, repo, Config{Alpha: 0, Capacity: 250})
+	request(t, m, sp(1))
+	request(t, m, sp(2))
+	request(t, m, sp(1)) // 2 is now LRU
+
+	m2 := mgr(t, repo, Config{Alpha: 0, Capacity: 250})
+	if err := m2.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a third image must evict {2}, as it would in m.
+	request(t, m2, sp(3))
+	if r := request(t, m2, sp(1)); r.Op != OpHit {
+		t.Fatal("restored LRU evicted the recently used image")
+	}
+	if r := request(t, m2, sp(2)); r.Op != OpInsert {
+		t.Fatal("restored LRU kept the stale image")
+	}
+}
+
+func TestRestoreIntoNonEmptyFails(t *testing.T) {
+	repo := flatRepo(t, 5, 1)
+	m := mgr(t, repo, Config{Alpha: 0})
+	request(t, m, sp(1))
+	if err := m.Restore(nil); err == nil {
+		t.Fatal("Restore into non-empty manager accepted")
+	}
+}
+
+func TestRestoreRejectsUnknownPackage(t *testing.T) {
+	repo := flatRepo(t, 5, 1)
+	m := mgr(t, repo, Config{Alpha: 0})
+	err := m.Restore([]ImageSnapshot{{Packages: []string{"ghost/1/p"}, LastUse: 1}})
+	if err == nil {
+		t.Fatal("unknown package accepted")
+	}
+}
+
+func TestRestoreRejectsEmptyImage(t *testing.T) {
+	repo := flatRepo(t, 5, 1)
+	m := mgr(t, repo, Config{Alpha: 0})
+	if err := m.Restore([]ImageSnapshot{{LastUse: 1}}); err == nil {
+		t.Fatal("empty snapshot image accepted")
+	}
+}
+
+func TestSnapshotWithMinHashRestores(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	cfg := Config{Alpha: 0.6, MinHash: DefaultMinHash()}
+	m := mgr(t, repo, cfg)
+	request(t, m, sp(1, 2, 3))
+	m2 := mgr(t, repo, cfg)
+	if err := m2.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Signature-dependent paths must still work after restore.
+	if r := request(t, m2, sp(1, 2)); r.Op != OpHit {
+		t.Fatalf("subset hit failed after minhash restore: %v", r.Op)
+	}
+	if r := request(t, m2, sp(1, 2, 4)); r.Op != OpMerge {
+		t.Fatalf("merge failed after minhash restore: %v", r.Op)
+	}
+}

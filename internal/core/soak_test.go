@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// TestSoakInvariants drives a Manager through a long mixed sequence of
+// requests, prunes, and snapshot/restore cycles, checking internal
+// invariants after every operation. Configurations cover exact and
+// MinHash candidate search, bounded and unbounded caches.
+func TestSoakInvariants(t *testing.T) {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo := pkggraph.MustGenerate(cfg, 55)
+
+	configs := []Config{
+		{Alpha: 0.75},
+		{Alpha: 0.75, MinHash: DefaultMinHash()},
+		{Alpha: 0.9, Capacity: repo.TotalSize() / 2, MinHash: DefaultMinHash()},
+		{Alpha: 0.5, Capacity: repo.TotalSize() / 4},
+	}
+	for ci, cfg := range configs {
+		m := mgr(t, repo, cfg)
+		gen := workload.NewDepClosure(repo, int64(ci))
+		gen.MaxInitial = 6
+		rng := rand.New(rand.NewSource(int64(ci) + 100))
+		var history []spec.Spec
+
+		for step := 0; step < 400; step++ {
+			switch {
+			case step%97 == 96:
+				// Periodic split pass.
+				if _, err := m.Prune(0.7, 2); err != nil {
+					t.Fatalf("config %d step %d: Prune: %v", ci, step, err)
+				}
+			case step%151 == 150:
+				// Snapshot/restore round trip mid-run.
+				snaps := m.Snapshot()
+				m2 := mgr(t, repo, cfg)
+				if err := m2.Restore(snaps); err != nil {
+					t.Fatalf("config %d step %d: Restore: %v", ci, step, err)
+				}
+				if err := m2.checkInvariants(); err != nil {
+					t.Fatalf("config %d step %d: restored manager: %v", ci, step, err)
+				}
+				if m2.TotalData() != m.TotalData() || m2.Len() != m.Len() {
+					t.Fatalf("config %d step %d: restore changed state", ci, step)
+				}
+			default:
+				var s spec.Spec
+				if len(history) > 0 && rng.Float64() < 0.35 {
+					s = history[rng.Intn(len(history))]
+				} else {
+					s = gen.Next()
+					history = append(history, s)
+				}
+				if _, err := m.Request(s); err != nil {
+					t.Fatalf("config %d step %d: Request: %v", ci, step, err)
+				}
+			}
+			if err := m.checkInvariants(); err != nil {
+				t.Fatalf("config %d step %d: %v", ci, step, err)
+			}
+		}
+		// Capacity respected (modulo the single in-use overflow).
+		if cfg.Capacity > 0 && m.Len() > 1 && m.TotalData() > cfg.Capacity {
+			t.Errorf("config %d: %d images exceed capacity %d (total %d)",
+				ci, m.Len(), cfg.Capacity, m.TotalData())
+		}
+	}
+}

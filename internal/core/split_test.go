@@ -1,0 +1,147 @@
+package core
+
+import "testing"
+
+func TestPruneValidation(t *testing.T) {
+	m := mgr(t, flatRepo(t, 10, 1), Config{Alpha: 0.9})
+	if _, err := m.Prune(0, 1); err == nil {
+		t.Error("utilization 0 accepted")
+	}
+	if _, err := m.Prune(1, 1); err == nil {
+		t.Error("utilization 1 accepted")
+	}
+	if _, err := m.Prune(1.5, 1); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}
+
+func TestPruneSplitsBloatedImage(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.9})
+	// Build a bloated image: merge several overlapping specs.
+	request(t, m, sp(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	request(t, m, sp(1, 2, 11, 12, 13, 14, 15, 16, 17, 18)) // merge -> 18 pkgs
+	if m.Len() != 1 {
+		t.Fatalf("setup: want one merged image, got %d", m.Len())
+	}
+	// Start a fresh hot window, then serve only a small corner.
+	if _, err := m.Prune(0.5, 100); err != nil { // high minServed: no split, just reset
+		t.Fatal(err)
+	}
+	request(t, m, sp(1, 2))
+	request(t, m, sp(1, 3))
+	// Hot set {1,2,3} = 30 bytes of a 180-byte image: well under 50%.
+	splits, err := m.Prune(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 {
+		t.Fatalf("splits = %d, want 1", len(splits))
+	}
+	s := splits[0]
+	if s.OldSize != 180 || s.NewSize != 30 || s.BytesWritten != 30 {
+		t.Fatalf("split accounting: %+v", s)
+	}
+	if m.TotalData() != 30 {
+		t.Fatalf("TotalData = %d, want 30", m.TotalData())
+	}
+	if m.Stats().Splits != 1 {
+		t.Fatalf("Splits counter = %d", m.Stats().Splits)
+	}
+	// The trimmed image still serves its hot subset...
+	if r := request(t, m, sp(1, 2, 3)); r.Op != OpHit {
+		t.Fatalf("hot subset no longer served: %v", r.Op)
+	}
+	// ...while the shed packages are gone (insert or merge, not hit).
+	if r := request(t, m, sp(9, 10)); r.Op == OpHit {
+		t.Fatal("shed packages still hit")
+	}
+}
+
+func TestPruneRespectsMinServed(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.9})
+	request(t, m, sp(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	m.Prune(0.5, 100) // reset window
+	request(t, m, sp(1, 2))
+	splits, err := m.Prune(0.5, 2) // only one request served
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 0 {
+		t.Fatalf("split despite minServed: %+v", splits)
+	}
+}
+
+func TestPruneKeepsWellUtilizedImage(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.9})
+	request(t, m, sp(1, 2, 3, 4))
+	m.Prune(0.5, 100)          // reset
+	request(t, m, sp(1, 2, 3)) // 75% utilized
+	request(t, m, sp(2, 3, 4))
+	splits, err := m.Prune(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 0 {
+		t.Fatalf("well-utilized image split: %+v", splits)
+	}
+	if m.TotalData() != 40 {
+		t.Fatalf("TotalData changed: %d", m.TotalData())
+	}
+}
+
+func TestPruneResetsWindow(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.9})
+	request(t, m, sp(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	m.Prune(0.5, 100)
+	request(t, m, sp(1, 2))
+	request(t, m, sp(1, 2))
+	if _, err := m.Prune(0.5, 5); err != nil { // below minServed: reset only
+		t.Fatal(err)
+	}
+	// Window was reset: two more requests are again below minServed 5.
+	request(t, m, sp(1, 2))
+	request(t, m, sp(1, 2))
+	splits, _ := m.Prune(0.5, 3)
+	if len(splits) != 0 {
+		t.Fatal("window not reset by previous Prune")
+	}
+}
+
+func TestPruneWithMinHashKeepsSignaturesConsistent(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.6, MinHash: DefaultMinHash()})
+	request(t, m, sp(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	m.Prune(0.5, 100)
+	request(t, m, sp(1, 2))
+	request(t, m, sp(2, 3))
+	if splits, _ := m.Prune(0.5, 2); len(splits) != 1 {
+		t.Fatal("expected a split")
+	}
+	// Post-split, signature-based paths must agree with the new spec:
+	// {1,2,3} is a subset (hit); {1,2,4} merges (d=0.5 < 0.6).
+	if r := request(t, m, sp(1, 2, 3)); r.Op != OpHit {
+		t.Fatalf("subset after split: %v", r.Op)
+	}
+	if r := request(t, m, sp(1, 2, 4)); r.Op != OpMerge {
+		t.Fatalf("merge after split: %v", r.Op)
+	}
+}
+
+func TestInsertSeedsHotWindow(t *testing.T) {
+	repo := flatRepo(t, 30, 10)
+	m := mgr(t, repo, Config{Alpha: 0.9})
+	request(t, m, sp(1, 2, 3))
+	// A fresh image's hot set is its own spec: fully utilized, so a
+	// prune pass must not split it even with minServed 1.
+	splits, err := m.Prune(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 0 {
+		t.Fatalf("fresh image split: %+v", splits)
+	}
+}

@@ -1,0 +1,111 @@
+package cvmfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pkggraph"
+)
+
+// Namespace operations.
+//
+// Real CVMFS exposes a POSIX namespace; Shrinkwrap resolves paths
+// against it when building images. The synthetic namespace here is
+// fully determined by the catalog layout
+// (/cvmfs/sft.cern.ch/<name>/<version>/<platform>/fNNNNNN), so path
+// resolution needs no index: the path is parsed back to its package
+// and file index and served from the (lazily published) catalog.
+
+// namespacePrefix is the mount point of the synthetic repository.
+const namespacePrefix = "/cvmfs/sft.cern.ch/"
+
+// ParsePath splits a repository path into its package key and file
+// index.
+func ParsePath(path string) (pkgKey string, fileIdx int, err error) {
+	rest, ok := strings.CutPrefix(path, namespacePrefix)
+	if !ok {
+		return "", 0, fmt.Errorf("cvmfs: path %q outside the repository namespace", path)
+	}
+	parts := strings.Split(rest, "/")
+	if len(parts) != 4 {
+		return "", 0, fmt.Errorf("cvmfs: path %q is not <name>/<version>/<platform>/<file>", path)
+	}
+	file := parts[3]
+	if !strings.HasPrefix(file, "f") {
+		return "", 0, fmt.Errorf("cvmfs: %q is not a file entry", file)
+	}
+	idx, err := strconv.Atoi(file[1:])
+	if err != nil || idx < 0 {
+		return "", 0, fmt.Errorf("cvmfs: bad file index in %q", path)
+	}
+	return parts[0] + "/" + parts[1] + "/" + parts[2], idx, nil
+}
+
+// Stat resolves a path to its file entry, publishing the owning
+// package if needed.
+func (s *Store) Stat(path string) (FileEntry, error) {
+	key, idx, err := ParsePath(path)
+	if err != nil {
+		return FileEntry{}, err
+	}
+	id, ok := s.repo.Lookup(key)
+	if !ok {
+		return FileEntry{}, fmt.Errorf("cvmfs: no such package %q", key)
+	}
+	cat := s.Publish(id)
+	if idx >= len(cat.Files) {
+		return FileEntry{}, fmt.Errorf("cvmfs: %q has no file index %d (package has %d files)", key, idx, len(cat.Files))
+	}
+	return cat.Files[idx], nil
+}
+
+// ListDir returns the file entries under a package directory
+// (/cvmfs/sft.cern.ch/<name>/<version>/<platform>), publishing the
+// package if needed.
+func (s *Store) ListDir(dir string) ([]FileEntry, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSuffix(dir, "/"), namespacePrefix)
+	if !ok {
+		return nil, fmt.Errorf("cvmfs: path %q outside the repository namespace", dir)
+	}
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("cvmfs: %q is not a package directory", dir)
+	}
+	key := strings.Join(parts, "/")
+	id, ok := s.repo.Lookup(key)
+	if !ok {
+		return nil, fmt.Errorf("cvmfs: no such package %q", key)
+	}
+	cat := s.Publish(id)
+	out := make([]FileEntry, len(cat.Files))
+	copy(out, cat.Files)
+	return out, nil
+}
+
+// WalkPublished visits every published catalog in package-ID order,
+// calling fn for each. It snapshots the published set first, so fn may
+// publish further packages without deadlocking or invalidating the
+// walk.
+func (s *Store) WalkPublished(fn func(*Catalog) error) error {
+	s.mu.RLock()
+	ids := make([]int, 0, len(s.catalogs))
+	for id := range s.catalogs {
+		ids = append(ids, int(id))
+	}
+	s.mu.RUnlock()
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.mu.RLock()
+		cat := s.catalogs[pkggraph.PkgID(id)]
+		s.mu.RUnlock()
+		if cat == nil {
+			continue
+		}
+		if err := fn(cat); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package cvmfs
+
+import (
+	"testing"
+)
+
+func TestParsePath(t *testing.T) {
+	key, idx, err := ParsePath("/cvmfs/sft.cern.ch/tool/1.0/p/f000003")
+	if err != nil || key != "tool/1.0/p" || idx != 3 {
+		t.Fatalf("ParsePath = %q, %d, %v", key, idx, err)
+	}
+	bad := []string{
+		"/other/mount/tool/1.0/p/f000001",
+		"/cvmfs/sft.cern.ch/tool/1.0/f000001",    // missing platform
+		"/cvmfs/sft.cern.ch/tool/1.0/p/extra/f0", // too deep
+		"/cvmfs/sft.cern.ch/tool/1.0/p/notafile", // no f prefix
+		"/cvmfs/sft.cern.ch/tool/1.0/p/fxyz",     // bad index
+	}
+	for _, p := range bad {
+		if _, _, err := ParsePath(p); err == nil {
+			t.Errorf("ParsePath(%q) accepted", p)
+		}
+	}
+}
+
+func TestStat(t *testing.T) {
+	repo := famRepo(t)
+	s := NewStore(repo)
+	cat := s.Publish(0)
+	want := cat.Files[2]
+	got, err := s.Stat(want.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Stat = %+v, want %+v", got, want)
+	}
+	if _, err := s.Stat("/cvmfs/sft.cern.ch/ghost/1.0/p/f000000"); err == nil {
+		t.Error("unknown package accepted")
+	}
+	if _, err := s.Stat("/cvmfs/sft.cern.ch/tool/1.0/p/f000099"); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestStatPublishesLazily(t *testing.T) {
+	repo := famRepo(t)
+	s := NewStore(repo)
+	// No explicit Publish: Stat must publish on demand.
+	if _, err := s.Stat("/cvmfs/sft.cern.ch/other/1.0/p/f000000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Catalog(3); !ok {
+		t.Fatal("Stat did not publish the catalog")
+	}
+}
+
+func TestListDir(t *testing.T) {
+	repo := famRepo(t)
+	s := NewStore(repo)
+	files, err := s.ListDir("/cvmfs/sft.cern.ch/tool/1.0/p/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 10 {
+		t.Fatalf("ListDir = %d files, want 10", len(files))
+	}
+	if _, err := s.ListDir("/cvmfs/sft.cern.ch/ghost/1.0/p"); err == nil {
+		t.Error("unknown package dir accepted")
+	}
+	if _, err := s.ListDir("/elsewhere"); err == nil {
+		t.Error("foreign path accepted")
+	}
+	if _, err := s.ListDir("/cvmfs/sft.cern.ch/tool"); err == nil {
+		t.Error("non-package dir accepted")
+	}
+}
+
+func TestWalkPublished(t *testing.T) {
+	repo := famRepo(t)
+	s := NewStore(repo)
+	s.Publish(2)
+	s.Publish(0)
+	var order []int
+	err := s.WalkPublished(func(c *Catalog) error {
+		order = append(order, int(c.Pkg))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("walk order = %v, want [0 2]", order)
+	}
+	// Errors propagate.
+	wantErr := s.WalkPublished(func(c *Catalog) error {
+		return errStop
+	})
+	if wantErr != errStop {
+		t.Fatalf("walk error = %v", wantErr)
+	}
+}
+
+type stopError struct{}
+
+func (stopError) Error() string { return "stop" }
+
+var errStop = stopError{}

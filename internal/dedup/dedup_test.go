@@ -1,0 +1,140 @@
+package dedup
+
+import (
+	"testing"
+
+	"repro/internal/cvmfs"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func testStore(t *testing.T) (*cvmfs.Store, *pkggraph.Repo) {
+	t.Helper()
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "p", Tier: pkggraph.TierCore, Size: 4 << 20, FileCount: 4},
+		{ID: 1, Name: "libA", Version: "1.0", Platform: "p", Tier: pkggraph.TierLibrary, Size: 2 << 20, FileCount: 2, Deps: []pkggraph.PkgID{0}},
+		{ID: 2, Name: "libB", Version: "1.0", Platform: "p", Tier: pkggraph.TierLibrary, Size: 2 << 20, FileCount: 2, Deps: []pkggraph.PkgID{0}},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cvmfs.NewStore(repo), repo
+}
+
+func TestNewAnalyzerValidation(t *testing.T) {
+	store, _ := testStore(t)
+	if _, err := NewAnalyzer(store, Granularity(9), 0); err == nil {
+		t.Fatal("bad granularity accepted")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if ByFile.String() != "file" || ByBlock.String() != "block" {
+		t.Fatal("granularity names wrong")
+	}
+	if Granularity(7).String() == "" {
+		t.Fatal("unknown granularity should render")
+	}
+}
+
+func TestSingleImageNoDuplication(t *testing.T) {
+	store, repo := testStore(t)
+	img := spec.WithClosure(repo, []pkggraph.PkgID{1})
+	rep, err := Analyze(store, []spec.Spec{img}, ByFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Images != 1 {
+		t.Fatalf("Images = %d", rep.Images)
+	}
+	if rep.DuplicateBytes != 0 || rep.DuplicationRatio() != 1 {
+		t.Fatalf("single image should have no duplication: %+v", rep)
+	}
+	if rep.LogicalBytes != 6<<20 {
+		t.Fatalf("LogicalBytes = %d, want 6MiB", rep.LogicalBytes)
+	}
+}
+
+func TestOverlappingImagesDuplicate(t *testing.T) {
+	store, repo := testStore(t)
+	images := []spec.Spec{
+		spec.WithClosure(repo, []pkggraph.PkgID{1}), // base+libA
+		spec.WithClosure(repo, []pkggraph.PkgID{2}), // base+libB
+	}
+	rep, err := Analyze(store, images, ByFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base (4 MiB) appears in both images.
+	if rep.DuplicateBytes != 4<<20 {
+		t.Fatalf("DuplicateBytes = %d, want 4MiB", rep.DuplicateBytes)
+	}
+	if rep.UniqueBytes != 8<<20 {
+		t.Fatalf("UniqueBytes = %d, want 8MiB", rep.UniqueBytes)
+	}
+	if rep.DuplicationRatio() <= 1 {
+		t.Fatal("ratio should exceed 1")
+	}
+}
+
+func TestBlockAndFileAgreeOnTotals(t *testing.T) {
+	store, repo := testStore(t)
+	images := []spec.Spec{
+		spec.WithClosure(repo, []pkggraph.PkgID{1}),
+		spec.WithClosure(repo, []pkggraph.PkgID{2}),
+	}
+	fileRep, err := Analyze(store, images, ByFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockRep, err := Analyze(store, images, ByBlock, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileRep.LogicalBytes != blockRep.LogicalBytes {
+		t.Fatal("granularities disagree on logical bytes")
+	}
+	// Whole-file duplicates are found at both granularities; block
+	// dedup can only find at least as much.
+	if blockRep.UniqueBytes > fileRep.UniqueBytes {
+		t.Fatalf("block unique %d > file unique %d", blockRep.UniqueBytes, fileRep.UniqueBytes)
+	}
+	// Block granularity tracks more, smaller units.
+	if blockRep.Units <= fileRep.Units {
+		t.Fatalf("block units %d <= file units %d", blockRep.Units, fileRep.Units)
+	}
+}
+
+func TestAddImageRejectsEmpty(t *testing.T) {
+	store, _ := testStore(t)
+	a, err := NewAnalyzer(store, ByFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddImage(spec.Spec{}); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestAnalyzeEmptySetIsClean(t *testing.T) {
+	store, _ := testStore(t)
+	rep, err := Analyze(store, nil, ByFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Images != 0 || rep.LogicalBytes != 0 || rep.DuplicationRatio() != 1 {
+		t.Fatalf("empty analysis: %+v", rep)
+	}
+}
+
+func TestBlockDigestDistinct(t *testing.T) {
+	var f1, f2 cvmfs.Digest
+	f2[0] = 1
+	if blockDigest(f1, 0) == blockDigest(f1, 1) {
+		t.Fatal("same file, different blocks collide")
+	}
+	if blockDigest(f1, 0) == blockDigest(f2, 0) {
+		t.Fatal("different files, same block collide")
+	}
+}

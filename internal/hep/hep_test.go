@@ -1,0 +1,117 @@
+package hep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cvmfs"
+	"repro/internal/pkggraph"
+	"repro/internal/shrinkwrap"
+	"repro/internal/similarity"
+	"repro/internal/stats"
+)
+
+func testRepo(t testing.TB) *pkggraph.Repo {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 4
+	cfg.FrameworkFamilies = 12
+	cfg.LibraryFamilies = 60
+	cfg.ApplicationFamilies = 120
+	return pkggraph.MustGenerate(cfg, 42)
+}
+
+func TestBenchmarksTableMatchesPaper(t *testing.T) {
+	if len(Benchmarks) != 7 {
+		t.Fatalf("Benchmarks has %d rows, want 7", len(Benchmarks))
+	}
+	a, ok := ByName("atlas-sim")
+	if !ok {
+		t.Fatal("atlas-sim missing")
+	}
+	if a.PaperRunTime != 5340*time.Second || a.PaperPrepTime != 115*time.Second {
+		t.Fatalf("atlas-sim times wrong: %+v", a)
+	}
+	if a.PaperMinimalImage != 7600*stats.MB || a.PaperFullRepo != 4800*stats.GB {
+		t.Fatalf("atlas-sim sizes wrong: %+v", a)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName found a nonexistent app")
+	}
+}
+
+func TestSpecDeterministicAndSized(t *testing.T) {
+	repo := testRepo(t)
+	for _, a := range Benchmarks {
+		s1 := a.Spec(repo)
+		s2 := a.Spec(repo)
+		if !s1.Equal(s2) {
+			t.Fatalf("%s spec not deterministic", a.Name)
+		}
+		if s1.Empty() {
+			t.Fatalf("%s spec empty", a.Name)
+		}
+		size := s1.Size(repo)
+		if size < a.PaperMinimalImage {
+			t.Errorf("%s spec size %s below target %s", a.Name,
+				stats.FormatBytes(size), stats.FormatBytes(a.PaperMinimalImage))
+		}
+		// The greedy growth overshoots by at most one closure step; a
+		// spec several times the target would distort the table.
+		if size > a.PaperMinimalImage*4 {
+			t.Errorf("%s spec size %s far above target %s", a.Name,
+				stats.FormatBytes(size), stats.FormatBytes(a.PaperMinimalImage))
+		}
+	}
+}
+
+func TestSpecsShareExperimentCore(t *testing.T) {
+	repo := testRepo(t)
+	atlasGen, _ := ByName("atlas-gen")
+	atlasSim, _ := ByName("atlas-sim")
+	d := similarity.JaccardDistance(atlasGen.Spec(repo), atlasSim.Spec(repo))
+	if d >= 1 {
+		t.Fatalf("same-experiment apps share nothing (d=%v)", d)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	repo := testRepo(t)
+	builder := shrinkwrap.NewBuilder(cvmfs.NewStore(repo), shrinkwrap.DefaultCostModel())
+	a, _ := ByName("lhcb-gen-sim")
+	row, err := Measure(a, builder, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MeasuredImage < a.PaperMinimalImage {
+		t.Errorf("measured image %s below target", stats.FormatBytes(row.MeasuredImage))
+	}
+	if row.MeasuredPrep <= 0 {
+		t.Error("no prep time measured")
+	}
+	if row.MeasuredWarmPrep >= row.MeasuredPrep {
+		t.Errorf("warm build (%v) not faster than cold (%v)", row.MeasuredWarmPrep, row.MeasuredPrep)
+	}
+	if row.MeasuredPackages < 1 || row.RepoSize != repo.TotalSize() {
+		t.Errorf("bad row: %+v", row)
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	repo := testRepo(t)
+	builder := shrinkwrap.NewBuilder(cvmfs.NewStore(repo), shrinkwrap.DefaultCostModel())
+	rows, err := MeasureAll(builder, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Benchmarks) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Prep times should land in the tens-of-seconds range the paper
+	// reports (37-115s), given the calibrated cost model.
+	for _, r := range rows {
+		if r.MeasuredPrep < 5*time.Second || r.MeasuredPrep > 20*time.Minute {
+			t.Errorf("%s prep time %v implausible", r.App.Name, r.MeasuredPrep)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package image
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// TestFigure1Scenario reproduces the paper's Figure 1 ("Refining via
+// layers vs. Composition") literally: three jobs requiring {A,B},
+// {B,C} and {A,B} again.
+//
+//   - Layering: the second job appends a layer with C; the first and
+//     third jobs have identical requirements yet the chain retains and
+//     transfers everything, and "old content can be masked but not
+//     removed".
+//   - Composition: it is "immediately clear when images are equivalent
+//     and can be reused" — the third job hits.
+func TestFigure1Scenario(t *testing.T) {
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "A", Version: "1", Platform: "p", Tier: pkggraph.TierLibrary, Size: 10, FileCount: 1},
+		{ID: 1, Name: "B", Version: "1", Platform: "p", Tier: pkggraph.TierLibrary, Size: 10, FileCount: 1},
+		{ID: 2, Name: "C", Version: "1", Platform: "p", Tier: pkggraph.TierLibrary, Size: 10, FileCount: 1},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []spec.Spec{
+		spec.New([]pkggraph.PkgID{0, 1}), // {A,B}
+		spec.New([]pkggraph.PkgID{1, 2}), // {B,C}
+		spec.New([]pkggraph.PkgID{0, 1}), // {A,B} again
+	}
+
+	// Layering.
+	layered := NewLayeredStore(repo)
+	for _, j := range jobs {
+		if _, err := layered.Request(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The chain holds A, B and C: C is hidden from the third job but
+	// "still exists in a previous layer and must be transferred and
+	// stored".
+	if layered.TotalData() != 30 {
+		t.Fatalf("layered stored %d, want 30 (A+B+C, nothing removable)", layered.TotalData())
+	}
+	// Every job pulls the whole chain: 20 + 30 + 30.
+	if got := layered.Stats().TransferredBytes; got != 80 {
+		t.Fatalf("layered transferred %d, want 80", got)
+	}
+
+	// Composition (LANDLORD at alpha 0: reuse only, to mirror the
+	// figure's right panel).
+	mgr, err := core.NewManager(repo, core.Config{Alpha: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []core.Op
+	for _, j := range jobs {
+		res, err := mgr.Request(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, res.Op)
+	}
+	if ops[0] != core.OpInsert || ops[1] != core.OpInsert {
+		t.Fatalf("composition ops: %v", ops)
+	}
+	if ops[2] != core.OpHit {
+		t.Fatalf("identical requirements must be recognized: third op = %v", ops[2])
+	}
+}

@@ -1,0 +1,326 @@
+// Package image implements the baseline container-image stores that the
+// paper's Section III analyzes as "imperfect solutions" to the
+// container explosion problem, plus the comparison of Figure 1:
+//
+//   - NaiveStore: one container per distinct specification, exact-match
+//     reuse only, LRU eviction — the behaviour the paper attributes to
+//     conventional image caches ("only jobs with identical requirements
+//     can reuse existing containers").
+//   - LayeredStore: Docker-style additive layering. Content can be
+//     masked but never removed, every job transfers the full chain, and
+//     functionally equivalent layers are not recognized.
+//   - FullRepoStore: a single image holding the entire repository.
+//
+// The LANDLORD composition store itself lives in internal/core; the
+// simulator runs these side by side for the baseline benchmarks.
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// NaiveStats counts naive-store activity.
+type NaiveStats struct {
+	Requests         int64
+	Hits             int64
+	Inserts          int64
+	Deletes          int64
+	BytesWritten     int64
+	TransferredBytes int64 // bytes shipped to the worker per request
+}
+
+// NaiveStore caches one image per distinct specification with LRU
+// eviction. No subset reuse, no merging.
+type NaiveStore struct {
+	repo     *pkggraph.Repo
+	capacity int64
+
+	entries map[uint64][]*naiveEntry // spec hash -> entries (collision chain)
+	total   int64
+	clock   uint64
+	stats   NaiveStats
+}
+
+type naiveEntry struct {
+	spec    spec.Spec
+	size    int64
+	lastUse uint64
+}
+
+// NewNaiveStore creates a naive store with the given byte capacity
+// (zero or negative = unlimited).
+func NewNaiveStore(repo *pkggraph.Repo, capacity int64) *NaiveStore {
+	return &NaiveStore{
+		repo:     repo,
+		capacity: capacity,
+		entries:  make(map[uint64][]*naiveEntry),
+	}
+}
+
+// Len returns the number of cached images.
+func (n *NaiveStore) Len() int {
+	c := 0
+	for _, chain := range n.entries {
+		c += len(chain)
+	}
+	return c
+}
+
+// TotalData returns the bytes stored.
+func (n *NaiveStore) TotalData() int64 { return n.total }
+
+// UniqueData returns the size of the union of all cached images.
+func (n *NaiveStore) UniqueData() int64 {
+	var u spec.Spec
+	for _, chain := range n.entries {
+		for _, e := range chain {
+			u = u.Union(e.spec)
+		}
+	}
+	return u.Size(n.repo)
+}
+
+// Stats returns a copy of the counters.
+func (n *NaiveStore) Stats() NaiveStats { return n.stats }
+
+// Request satisfies s with an exact-match image, creating one if
+// needed. It returns whether the request hit.
+func (n *NaiveStore) Request(s spec.Spec) (hit bool, err error) {
+	if s.Empty() {
+		return false, fmt.Errorf("image: empty specification")
+	}
+	n.clock++
+	n.stats.Requests++
+	h := s.Hash()
+	for _, e := range n.entries[h] {
+		if e.spec.Equal(s) {
+			e.lastUse = n.clock
+			n.stats.Hits++
+			n.stats.TransferredBytes += e.size
+			return true, nil
+		}
+	}
+	size := s.Size(n.repo)
+	e := &naiveEntry{spec: s, size: size, lastUse: n.clock}
+	n.entries[h] = append(n.entries[h], e)
+	n.total += size
+	n.stats.Inserts++
+	n.stats.BytesWritten += size
+	n.stats.TransferredBytes += size
+	n.evict(e)
+	return false, nil
+}
+
+func (n *NaiveStore) evict(keep *naiveEntry) {
+	if n.capacity <= 0 {
+		return
+	}
+	for n.total > n.capacity {
+		var victim *naiveEntry
+		var victimHash uint64
+		var victimIdx int
+		for h, chain := range n.entries {
+			for i, e := range chain {
+				if e == keep {
+					continue
+				}
+				if victim == nil || e.lastUse < victim.lastUse {
+					victim, victimHash, victimIdx = e, h, i
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		chain := n.entries[victimHash]
+		n.entries[victimHash] = append(chain[:victimIdx], chain[victimIdx+1:]...)
+		if len(n.entries[victimHash]) == 0 {
+			delete(n.entries, victimHash)
+		}
+		n.total -= victim.size
+		n.stats.Deletes++
+	}
+}
+
+// Layer is one additive step of a layered image chain.
+type Layer struct {
+	Added spec.Spec // packages introduced by this layer
+	Size  int64
+}
+
+// LayeredStats counts layered-store activity.
+type LayeredStats struct {
+	Requests         int64
+	LayersCreated    int64
+	BytesWritten     int64 // layer bytes written (additive only)
+	TransferredBytes int64 // full chain shipped per request
+}
+
+// LayeredStore models the Figure 1 "refining via layers" approach: a
+// single image lineage extended by appending a layer with whatever the
+// next job needs. Old content can be masked but never removed, and the
+// whole chain must be stored and transferred.
+type LayeredStore struct {
+	repo   *pkggraph.Repo
+	layers []Layer
+	union  spec.Spec // packages present anywhere in the chain
+	total  int64
+	stats  LayeredStats
+}
+
+// NewLayeredStore creates an empty lineage over repo.
+func NewLayeredStore(repo *pkggraph.Repo) *LayeredStore {
+	return &LayeredStore{repo: repo}
+}
+
+// Layers returns the chain depth.
+func (l *LayeredStore) Layers() int { return len(l.layers) }
+
+// TotalData returns the stored chain size: the sum of all layer sizes,
+// including masked or stale content ("changes to layered images are
+// strictly additive").
+func (l *LayeredStore) TotalData() int64 { return l.total }
+
+// UniqueData returns the size of the distinct packages in the chain.
+func (l *LayeredStore) UniqueData() int64 { return l.union.Size(l.repo) }
+
+// Stats returns a copy of the counters.
+func (l *LayeredStore) Stats() LayeredStats { return l.stats }
+
+// Request satisfies s by appending a layer with any missing packages.
+// It returns the number of bytes the new layer added (zero when the
+// chain already contains everything requested).
+func (l *LayeredStore) Request(s spec.Spec) (added int64, err error) {
+	if s.Empty() {
+		return 0, fmt.Errorf("image: empty specification")
+	}
+	l.stats.Requests++
+	missing := s.Diff(l.union)
+	if !missing.Empty() {
+		size := missing.Size(l.repo)
+		l.layers = append(l.layers, Layer{Added: missing, Size: size})
+		l.union = l.union.Union(missing)
+		l.total += size
+		added = size
+		l.stats.LayersCreated++
+		l.stats.BytesWritten += size
+	}
+	// Each job must pull the entire chain: even hidden lower-layer
+	// content "still exists in a previous layer and must be
+	// transferred and stored".
+	l.stats.TransferredBytes += l.total
+	return added, nil
+}
+
+// FullRepoStats counts full-repo store activity.
+type FullRepoStats struct {
+	Requests         int64
+	BytesWritten     int64 // one-time image build
+	TransferredBytes int64
+}
+
+// FullRepoStore models the single all-purpose image: the entire
+// software repository packed into one container.
+type FullRepoStore struct {
+	repo        *pkggraph.Repo
+	built       bool
+	transferred bool // whether the worker already holds the image
+	stats       FullRepoStats
+}
+
+// NewFullRepoStore creates the store; the image is built lazily on the
+// first request.
+func NewFullRepoStore(repo *pkggraph.Repo) *FullRepoStore {
+	return &FullRepoStore{repo: repo}
+}
+
+// ImageSize returns the size of the all-purpose image.
+func (f *FullRepoStore) ImageSize() int64 { return f.repo.TotalSize() }
+
+// Stats returns a copy of the counters.
+func (f *FullRepoStore) Stats() FullRepoStats { return f.stats }
+
+// Request satisfies s from the full image. The first request pays the
+// build and transfer of the whole repository; later requests are free.
+// It returns the per-request container efficiency (requested size over
+// repository size).
+func (f *FullRepoStore) Request(s spec.Spec) (containerEff float64, err error) {
+	if s.Empty() {
+		return 0, fmt.Errorf("image: empty specification")
+	}
+	f.stats.Requests++
+	if !f.built {
+		f.built = true
+		f.stats.BytesWritten += f.repo.TotalSize()
+	}
+	if !f.transferred {
+		f.transferred = true
+		f.stats.TransferredBytes += f.repo.TotalSize()
+	}
+	total := f.repo.TotalSize()
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(s.Size(f.repo)) / float64(total), nil
+}
+
+// Invalidate marks the image stale (a repository update), forcing the
+// next request to rebuild and retransfer — the cost the paper cites for
+// keeping full-repo images current ("the process took around 24
+// hours").
+func (f *FullRepoStore) Invalidate() {
+	f.built = false
+	f.transferred = false
+}
+
+// IdealCoWStats counts ideal copy-on-write store activity.
+type IdealCoWStats struct {
+	Requests         int64
+	BytesWritten     int64 // only never-before-seen packages
+	TransferredBytes int64 // exactly the requested bytes per job
+}
+
+// IdealCoWStore models the unreachable upper bound of Section III's
+// deduplication discussion: a store with perfect copy-on-write sharing
+// where every package is kept exactly once and every job pays only for
+// its own requirements. Local installations and CVMFS itself behave
+// this way; container images "by design contain complete copies of all
+// data", so no container store can reach it. It exists to bound the
+// baseline comparisons from above.
+type IdealCoWStore struct {
+	repo  *pkggraph.Repo
+	union spec.Spec
+	stats IdealCoWStats
+}
+
+// NewIdealCoWStore creates the store.
+func NewIdealCoWStore(repo *pkggraph.Repo) *IdealCoWStore {
+	return &IdealCoWStore{repo: repo}
+}
+
+// TotalData returns the stored bytes: the union of everything ever
+// requested, held once.
+func (s *IdealCoWStore) TotalData() int64 { return s.union.Size(s.repo) }
+
+// Stats returns a copy of the counters.
+func (s *IdealCoWStore) Stats() IdealCoWStats { return s.stats }
+
+// Request satisfies the job, storing only packages never seen before.
+// It returns the bytes newly written.
+func (s *IdealCoWStore) Request(sp spec.Spec) (added int64, err error) {
+	if sp.Empty() {
+		return 0, fmt.Errorf("image: empty specification")
+	}
+	s.stats.Requests++
+	missing := sp.Diff(s.union)
+	if !missing.Empty() {
+		added = missing.Size(s.repo)
+		s.union = s.union.Union(missing)
+		s.stats.BytesWritten += added
+	}
+	s.stats.TransferredBytes += sp.Size(s.repo)
+	return added, nil
+}

@@ -1,0 +1,232 @@
+package image
+
+import (
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func flatRepo(t *testing.T, n int, size int64) *pkggraph.Repo {
+	t.Helper()
+	pkgs := make([]pkggraph.Package, n)
+	for i := range pkgs {
+		pkgs[i] = pkggraph.Package{
+			ID: pkggraph.PkgID(i), Name: "pkg", Version: string(rune('a' + i)), Platform: "p",
+			Tier: pkggraph.TierLibrary, Size: size, FileCount: 1,
+		}
+	}
+	r, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func sp(vs ...pkggraph.PkgID) spec.Spec { return spec.New(vs) }
+
+func TestNaiveExactMatchOnly(t *testing.T) {
+	repo := flatRepo(t, 10, 100)
+	n := NewNaiveStore(repo, 0)
+	hit, err := n.Request(sp(1, 2, 3))
+	if err != nil || hit {
+		t.Fatalf("first request: hit=%v err=%v", hit, err)
+	}
+	hit, _ = n.Request(sp(1, 2, 3))
+	if !hit {
+		t.Fatal("identical request should hit")
+	}
+	// Subset does NOT hit in the naive store.
+	hit, _ = n.Request(sp(1, 2))
+	if hit {
+		t.Fatal("naive store must not serve subsets")
+	}
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", n.Len())
+	}
+}
+
+func TestNaiveEmptySpec(t *testing.T) {
+	n := NewNaiveStore(flatRepo(t, 2, 1), 0)
+	if _, err := n.Request(spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestNaiveDuplicationGrows(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	n := NewNaiveStore(repo, 0)
+	n.Request(sp(1, 2, 3))
+	n.Request(sp(1, 2, 4))
+	n.Request(sp(1, 2, 5))
+	if n.TotalData() != 90 {
+		t.Fatalf("TotalData = %d, want 90", n.TotalData())
+	}
+	if n.UniqueData() != 50 {
+		t.Fatalf("UniqueData = %d, want 50", n.UniqueData())
+	}
+}
+
+func TestNaiveLRUEviction(t *testing.T) {
+	repo := flatRepo(t, 10, 100)
+	n := NewNaiveStore(repo, 250)
+	n.Request(sp(1))
+	n.Request(sp(2))
+	n.Request(sp(1)) // touch
+	n.Request(sp(3)) // evict {2}
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", n.Len())
+	}
+	if hit, _ := n.Request(sp(1)); !hit {
+		t.Fatal("recently used image evicted")
+	}
+	if hit, _ := n.Request(sp(2)); hit {
+		t.Fatal("LRU image should have been evicted")
+	}
+	st := n.Stats()
+	if st.Deletes == 0 {
+		t.Fatal("no deletes recorded")
+	}
+}
+
+func TestNaiveStatsAccounting(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	n := NewNaiveStore(repo, 0)
+	n.Request(sp(1, 2)) // insert: 20 written, 20 transferred
+	n.Request(sp(1, 2)) // hit: 20 transferred
+	st := n.Stats()
+	if st.Requests != 2 || st.Hits != 1 || st.Inserts != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.BytesWritten != 20 || st.TransferredBytes != 40 {
+		t.Fatalf("bytes: %+v", st)
+	}
+}
+
+func TestLayeredAdditiveOnly(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	l := NewLayeredStore(repo)
+	added, err := l.Request(sp(1, 2, 3))
+	if err != nil || added != 30 {
+		t.Fatalf("first layer: added=%d err=%v", added, err)
+	}
+	added, _ = l.Request(sp(1, 2, 4)) // only {4} is new
+	if added != 10 {
+		t.Fatalf("second layer added = %d, want 10", added)
+	}
+	if l.Layers() != 2 {
+		t.Fatalf("Layers = %d, want 2", l.Layers())
+	}
+	// Nothing is ever removed: total only grows.
+	if l.TotalData() != 40 {
+		t.Fatalf("TotalData = %d, want 40", l.TotalData())
+	}
+	if l.UniqueData() != 40 {
+		t.Fatalf("UniqueData = %d, want 40", l.UniqueData())
+	}
+}
+
+func TestLayeredSatisfiedRequestAddsNothing(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	l := NewLayeredStore(repo)
+	l.Request(sp(1, 2, 3))
+	added, _ := l.Request(sp(2, 3))
+	if added != 0 {
+		t.Fatalf("satisfied request added %d bytes", added)
+	}
+	if l.Layers() != 1 {
+		t.Fatalf("Layers = %d, want 1", l.Layers())
+	}
+}
+
+func TestLayeredTransfersWholeChain(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	l := NewLayeredStore(repo)
+	l.Request(sp(1))    // chain 10, transfer 10
+	l.Request(sp(2))    // chain 20, transfer 20
+	l.Request(sp(1, 2)) // chain 20, transfer 20
+	st := l.Stats()
+	if st.TransferredBytes != 50 {
+		t.Fatalf("TransferredBytes = %d, want 50", st.TransferredBytes)
+	}
+	if st.BytesWritten != 20 {
+		t.Fatalf("BytesWritten = %d, want 20", st.BytesWritten)
+	}
+}
+
+func TestLayeredEmptySpec(t *testing.T) {
+	l := NewLayeredStore(flatRepo(t, 2, 1))
+	if _, err := l.Request(spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestFullRepoFirstRequestPaysEverything(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	f := NewFullRepoStore(repo)
+	if f.ImageSize() != 100 {
+		t.Fatalf("ImageSize = %d", f.ImageSize())
+	}
+	eff, err := f.Request(sp(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 0.2 {
+		t.Fatalf("container efficiency = %v, want 0.2", eff)
+	}
+	st := f.Stats()
+	if st.BytesWritten != 100 || st.TransferredBytes != 100 {
+		t.Fatalf("first request stats: %+v", st)
+	}
+	f.Request(sp(3))
+	st = f.Stats()
+	if st.BytesWritten != 100 || st.TransferredBytes != 100 {
+		t.Fatalf("later requests must be free: %+v", st)
+	}
+}
+
+func TestFullRepoInvalidate(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	f := NewFullRepoStore(repo)
+	f.Request(sp(1))
+	f.Invalidate()
+	f.Request(sp(1))
+	st := f.Stats()
+	if st.BytesWritten != 200 || st.TransferredBytes != 200 {
+		t.Fatalf("invalidate should force rebuild: %+v", st)
+	}
+}
+
+func TestFullRepoEmptySpec(t *testing.T) {
+	f := NewFullRepoStore(flatRepo(t, 2, 1))
+	if _, err := f.Request(spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestIdealCoWStore(t *testing.T) {
+	repo := flatRepo(t, 10, 10)
+	s := NewIdealCoWStore(repo)
+	added, err := s.Request(sp(1, 2, 3))
+	if err != nil || added != 30 {
+		t.Fatalf("first request: added=%d err=%v", added, err)
+	}
+	added, _ = s.Request(sp(2, 3, 4)) // only {4} new
+	if added != 10 {
+		t.Fatalf("second request added %d, want 10", added)
+	}
+	if s.TotalData() != 40 {
+		t.Fatalf("TotalData = %d, want 40 (each package once)", s.TotalData())
+	}
+	st := s.Stats()
+	if st.BytesWritten != 40 {
+		t.Fatalf("BytesWritten = %d, want 40", st.BytesWritten)
+	}
+	// Transfers are exactly the requested bytes: 30 + 30.
+	if st.TransferredBytes != 60 {
+		t.Fatalf("TransferredBytes = %d, want 60", st.TransferredBytes)
+	}
+	if _, err := s.Request(spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

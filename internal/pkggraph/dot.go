@@ -1,0 +1,43 @@
+package pkggraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders (a bounded prefix of) the dependency graph in
+// Graphviz DOT form, for visualizing the hierarchical structure the
+// merging strategy depends on. Packages are colored by tier; at most
+// maxNodes packages are emitted (0 means all — avoid for the full
+// 9,660-package repository, which Graphviz will not enjoy).
+func (r *Repo) WriteDOT(w io.Writer, maxNodes int) error {
+	if maxNodes <= 0 || maxNodes > r.Len() {
+		maxNodes = r.Len()
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph repo {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [shape=box, style=filled, fontsize=9];")
+	colors := map[Tier]string{
+		TierCore:        "#d95f52",
+		TierFramework:   "#e8a33d",
+		TierLibrary:     "#7aa5d2",
+		TierApplication: "#9ac079",
+	}
+	included := make([]bool, r.Len())
+	for i := 0; i < maxNodes; i++ {
+		p := &r.pkgs[i]
+		included[i] = true
+		fmt.Fprintf(bw, "  n%d [label=%q, fillcolor=%q];\n", i, p.Name+"\n"+p.Version, colors[p.Tier])
+	}
+	for i := 0; i < maxNodes; i++ {
+		for _, d := range r.pkgs[i].Deps {
+			if included[d] {
+				fmt.Fprintf(bw, "  n%d -> n%d;\n", i, d)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

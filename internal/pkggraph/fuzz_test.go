@@ -1,0 +1,38 @@
+package pkggraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the repository loader: it must
+// reject or accept without panicking, and accepted repositories must
+// round-trip through Save.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	MustGenerate(smallGenConfig(), 1).Save(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"name":"x","version":"1","platform":"p","tier":"core","size":1,"files":1}`))
+	f.Add([]byte(`{"name":"x","version":"1","platform":"p","tier":"bogus","size":1,"files":1}`))
+	f.Add([]byte(`{"name":"a","version":"1","platform":"p","tier":"core","size":-5,"files":1}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		repo, err := Load(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := repo.Save(&out); err != nil {
+			t.Fatalf("Save failed on accepted repo: %v", err)
+		}
+		back, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip load failed: %v", err)
+		}
+		if back.Len() != repo.Len() || back.TotalSize() != repo.TotalSize() {
+			t.Fatalf("round trip changed repo: %d/%d vs %d/%d",
+				back.Len(), back.TotalSize(), repo.Len(), repo.TotalSize())
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package pkggraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// smallGenConfig is a scaled-down repository for fast tests: same tier
+// proportions as the default, ~480 packages.
+func smallGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallGenConfig()
+	a := MustGenerate(cfg, 42)
+	b := MustGenerate(cfg, 42)
+	if a.Len() != b.Len() || a.TotalSize() != b.TotalSize() {
+		t.Fatalf("same seed produced different repos: %d/%d vs %d/%d",
+			a.Len(), a.TotalSize(), b.Len(), b.TotalSize())
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, pb := a.Package(PkgID(i)), b.Package(PkgID(i))
+		if pa.Key() != pb.Key() || pa.Size != pb.Size || len(pa.Deps) != len(pb.Deps) {
+			t.Fatalf("package %d differs: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallGenConfig()
+	a := MustGenerate(cfg, 1)
+	b := MustGenerate(cfg, 2)
+	if a.TotalSize() == b.TotalSize() {
+		t.Fatal("different seeds produced identical total sizes (suspicious)")
+	}
+}
+
+func TestGeneratePackageCount(t *testing.T) {
+	cfg := smallGenConfig()
+	r := MustGenerate(cfg, 7)
+	if r.Len() != cfg.TotalPackages() {
+		t.Fatalf("Len = %d, want %d", r.Len(), cfg.TotalPackages())
+	}
+}
+
+func TestGenerateDefaultMatchesSFTScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	cfg := DefaultGenConfig()
+	if got := cfg.TotalPackages(); got != 9660 {
+		t.Fatalf("default config generates %d packages, want 9660 (paper, Section VI)", got)
+	}
+	r := MustGenerate(cfg, 1)
+	// Total repo size should land in the hundreds-of-GB range the SFT
+	// calibration targets (see DESIGN.md §3).
+	gb := float64(r.TotalSize()) / float64(1<<30)
+	if gb < 200 || gb > 900 {
+		t.Errorf("total repo size = %.0f GB, want 200-900 GB", gb)
+	}
+}
+
+func TestGenerateTiersAcyclicAndLayered(t *testing.T) {
+	r := MustGenerate(smallGenConfig(), 3)
+	for i := 0; i < r.Len(); i++ {
+		p := r.Package(PkgID(i))
+		for _, d := range p.Deps {
+			dp := r.Package(d)
+			if dp.Tier > p.Tier {
+				t.Fatalf("%s (%v) depends on lower-tier %s (%v)", p.Key(), p.Tier, dp.Key(), dp.Tier)
+			}
+			if dp.Tier == p.Tier && dp.Tier != TierLibrary {
+				t.Fatalf("intra-tier dep outside library tier: %s -> %s", p.Key(), dp.Key())
+			}
+		}
+	}
+}
+
+func TestGenerateCoreHasNoDeps(t *testing.T) {
+	r := MustGenerate(smallGenConfig(), 4)
+	for i := 0; i < r.Len(); i++ {
+		p := r.Package(PkgID(i))
+		if p.Tier == TierCore && len(p.Deps) != 0 {
+			t.Fatalf("core package %s has deps %v", p.Key(), p.Deps)
+		}
+	}
+}
+
+func TestGenerateSharedCore(t *testing.T) {
+	r := MustGenerate(smallGenConfig(), 5)
+	// The generator must produce the paper's hierarchical property:
+	// nearly all packages transitively depend on core components.
+	if frac := r.SharedCoreFraction(); frac < 0.9 {
+		t.Fatalf("SharedCoreFraction = %v, want >= 0.9", frac)
+	}
+}
+
+// TestClosureExpansionMatchesFig3 verifies the paper's Figure 3 shape:
+// for small selections (~100 packages) the dependency closure contains
+// roughly 5x as many packages, and the expansion factor falls as the
+// selection grows.
+func TestClosureExpansionMatchesFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	repo := MustGenerate(DefaultGenConfig(), 1)
+	rng := rand.New(rand.NewSource(99))
+	expand := func(n int) float64 {
+		var total float64
+		const reps = 20
+		for rep := 0; rep < reps; rep++ {
+			ids := make([]PkgID, 0, n)
+			seen := make(map[PkgID]bool, n)
+			for len(ids) < n {
+				id := PkgID(rng.Intn(repo.Len()))
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+			total += float64(len(repo.Closure(ids))) / float64(n)
+		}
+		return total / reps
+	}
+	at100 := expand(100)
+	at1000 := expand(1000)
+	if at100 < 3.0 || at100 > 8.0 {
+		t.Errorf("expansion at 100 packages = %.2fx, want ~5x (3-8)", at100)
+	}
+	if at1000 >= at100 {
+		t.Errorf("expansion should fall with selection size: at100=%.2f at1000=%.2f", at100, at1000)
+	}
+	if at1000 < 1.5 || at1000 > 5.0 {
+		t.Errorf("expansion at 1000 packages = %.2fx, want 1.5-5x", at1000)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := DefaultGenConfig()
+	bad.VersionsPerFamily = 0
+	if _, err := Generate(bad, 1); err == nil {
+		t.Error("expected error for zero versions")
+	}
+	bad = DefaultGenConfig()
+	bad.CoreFamilies = 0
+	if _, err := Generate(bad, 1); err == nil {
+		t.Error("expected error for zero core families")
+	}
+	bad = DefaultGenConfig()
+	bad.MedianPkgBytes = 0
+	if _, err := Generate(bad, 1); err == nil {
+		t.Error("expected error for zero median size")
+	}
+	bad = DefaultGenConfig()
+	bad.AppLibDeps = [2]int{5, 2}
+	if _, err := Generate(bad, 1); err == nil {
+		t.Error("expected error for inverted dep range")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate should panic on invalid config")
+		}
+	}()
+	bad := DefaultGenConfig()
+	bad.VersionsPerFamily = -1
+	MustGenerate(bad, 1)
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	z := newZipfSampler(100, 1.1)
+	r := rand.New(rand.NewSource(8))
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.sample(r)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// sampleBelow must respect the limit.
+	for i := 0; i < 1000; i++ {
+		if idx := z.sampleBelow(r, 10); idx < 0 || idx >= 10 {
+			t.Fatalf("sampleBelow out of range: %d", idx)
+		}
+	}
+	if z.sampleBelow(r, 0) != -1 {
+		t.Fatal("sampleBelow(0) should return -1")
+	}
+}
+
+func TestPickVersionSkewsLatest(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	fam := family{name: "x", versions: []PkgID{0, 1, 2, 3}}
+	counts := make(map[PkgID]int)
+	for i := 0; i < 10000; i++ {
+		counts[pickVersion(r, fam)]++
+	}
+	if counts[3] <= counts[0] {
+		t.Fatalf("latest version not favored: %v", counts)
+	}
+	single := family{name: "y", versions: []PkgID{7}}
+	if pickVersion(r, single) != 7 {
+		t.Fatal("single-version family must return its only version")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := MustGenerate(smallGenConfig(), 21)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != orig.Len() || loaded.TotalSize() != orig.TotalSize() {
+		t.Fatalf("round trip size mismatch")
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.Package(PkgID(i)), loaded.Package(PkgID(i))
+		if a.Key() != b.Key() || a.Size != b.Size || a.Tier != b.Tier || a.FileCount != b.FileCount {
+			t.Fatalf("package %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if !idsEqual(a.Deps, b.Deps) {
+			t.Fatalf("package %d deps mismatch: %v vs %v", i, a.Deps, b.Deps)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownTier(t *testing.T) {
+	_, err := Load(bytes.NewBufferString(`{"name":"x","version":"1","platform":"p","tier":"bogus","size":1,"files":1}`))
+	if err == nil {
+		t.Fatal("expected error for unknown tier")
+	}
+}
+
+func TestLoadRejectsUnknownDep(t *testing.T) {
+	_, err := Load(bytes.NewBufferString(`{"name":"x","version":"1","platform":"p","tier":"core","size":1,"files":1,"deps":["gone/1/p"]}`))
+	if err == nil {
+		t.Fatal("expected error for unknown dep key")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/repo.jsonl"
+	orig := MustGenerate(smallGenConfig(), 22)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFile(dir + "/missing.jsonl"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	r := MustGenerate(smallGenConfig(), 31)
+	var buf bytes.Buffer
+	if err := r.WriteDOT(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph repo {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT document:\n%.80s", out)
+	}
+	if strings.Count(out, "[label=") != 50 {
+		t.Fatalf("node count = %d, want 50", strings.Count(out, "[label="))
+	}
+	// Edges must only reference included nodes.
+	if strings.Contains(out, "-> n500") {
+		t.Fatal("edge to excluded node")
+	}
+	// maxNodes 0 means everything.
+	buf.Reset()
+	if err := r.WriteDOT(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "[label="); got != r.Len() {
+		t.Fatalf("full graph nodes = %d, want %d", got, r.Len())
+	}
+}

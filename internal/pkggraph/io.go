@@ -1,0 +1,130 @@
+package pkggraph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonPackage is the on-disk form of a Package. Dependencies are stored
+// as keys rather than IDs so the file remains meaningful if packages
+// are reordered.
+type jsonPackage struct {
+	Name      string   `json:"name"`
+	Version   string   `json:"version"`
+	Platform  string   `json:"platform"`
+	Tier      string   `json:"tier"`
+	Size      int64    `json:"size"`
+	FileCount int      `json:"files"`
+	Deps      []string `json:"deps,omitempty"`
+}
+
+func tierFromString(s string) (Tier, error) {
+	switch s {
+	case "core":
+		return TierCore, nil
+	case "framework":
+		return TierFramework, nil
+	case "library":
+		return TierLibrary, nil
+	case "application":
+		return TierApplication, nil
+	}
+	return 0, fmt.Errorf("pkggraph: unknown tier %q", s)
+}
+
+// Save writes the repository as JSON lines (one package per line) to w.
+// Packages appear in ID order, so Load reconstructs identical IDs.
+func (r *Repo) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.pkgs {
+		p := &r.pkgs[i]
+		jp := jsonPackage{
+			Name:      p.Name,
+			Version:   p.Version,
+			Platform:  p.Platform,
+			Tier:      p.Tier.String(),
+			Size:      p.Size,
+			FileCount: p.FileCount,
+		}
+		for _, d := range p.Deps {
+			jp.Deps = append(jp.Deps, r.pkgs[d].Key())
+		}
+		if err := enc.Encode(&jp); err != nil {
+			return fmt.Errorf("pkggraph: encoding %q: %w", p.Key(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the repository to the named file.
+func (r *Repo) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a repository previously written by Save. Dependency keys
+// must refer to packages that appear earlier in the stream (Save always
+// satisfies this only when the repo was topologically ID-ordered; Load
+// therefore resolves keys in a second pass and accepts any order).
+func Load(rd io.Reader) (*Repo, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	var raw []jsonPackage
+	for {
+		var jp jsonPackage
+		if err := dec.Decode(&jp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("pkggraph: decoding package %d: %w", len(raw), err)
+		}
+		raw = append(raw, jp)
+	}
+	pkgs := make([]Package, len(raw))
+	keyToID := make(map[string]PkgID, len(raw))
+	for i, jp := range raw {
+		tier, err := tierFromString(jp.Tier)
+		if err != nil {
+			return nil, err
+		}
+		pkgs[i] = Package{
+			ID:        PkgID(i),
+			Name:      jp.Name,
+			Version:   jp.Version,
+			Platform:  jp.Platform,
+			Tier:      tier,
+			Size:      jp.Size,
+			FileCount: jp.FileCount,
+		}
+		keyToID[pkgs[i].Key()] = PkgID(i)
+	}
+	for i, jp := range raw {
+		for _, dk := range jp.Deps {
+			id, ok := keyToID[dk]
+			if !ok {
+				return nil, fmt.Errorf("pkggraph: package %q depends on unknown key %q", pkgs[i].Key(), dk)
+			}
+			pkgs[i].Deps = append(pkgs[i].Deps, id)
+		}
+	}
+	return New(pkgs)
+}
+
+// LoadFile reads a repository from the named file.
+func LoadFile(path string) (*Repo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

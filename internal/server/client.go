@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Client talks to a LANDLORD site service. It is safe for concurrent
+// use (http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the service at base (e.g.
+// "http://headnode:8080"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// do issues a request and decodes the JSON response into out,
+// converting service error payloads into Go errors.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("server client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("server client: %s %s: %s (status %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Request submits a job specification (package keys) and returns the
+// image decision. close adds the dependency closure server-side.
+func (c *Client) Request(packages []string, close bool) (RequestResponse, error) {
+	var out RequestResponse
+	err := c.do(http.MethodPost, "/v1/request", RequestBody{Packages: packages, Close: close}, &out)
+	return out, err
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Images lists the cached images.
+func (c *Client) Images() ([]ImageInfo, error) {
+	var out []ImageInfo
+	err := c.do(http.MethodGet, "/v1/images", nil, &out)
+	return out, err
+}
+
+// Prune triggers a split pass.
+func (c *Client) Prune(maxUtilization float64, minServed int) ([]SplitInfo, error) {
+	var out []SplitInfo
+	err := c.do(http.MethodPost, "/v1/prune", PruneBody{MaxUtilization: maxUtilization, MinServed: minServed}, &out)
+	return out, err
+}
+
+// Snapshot fetches the cache state for persistence.
+func (c *Client) Snapshot() ([]core.ImageSnapshot, error) {
+	var out []core.ImageSnapshot
+	err := c.do(http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// Restore loads a snapshot into an empty service cache.
+func (c *Client) Restore(snaps []core.ImageSnapshot) error {
+	return c.do(http.MethodPost, "/v1/restore", snaps, nil)
+}
+
+// Healthz checks service liveness.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+}

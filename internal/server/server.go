@@ -1,0 +1,347 @@
+// Package server exposes a LANDLORD cache manager as a JSON-over-HTTP
+// site service — the paper's site-wide deployment path: "the same core
+// functionality of LANDLORD could easily be adapted into a plugin for
+// a site's batch system" (Section V). A batch system or pilot-job
+// factory POSTs each job's specification and receives the image to run
+// in; administrators read stats and trigger maintenance (prune)
+// passes.
+//
+// The service serializes access to the underlying Manager with a
+// mutex, so one head-node process can serve many submitters.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Server wraps a Manager behind an HTTP API. Create with New, mount
+// via Handler.
+type Server struct {
+	repo *pkggraph.Repo
+
+	mu  sync.Mutex
+	mgr *core.Manager
+}
+
+// New creates a Server with a fresh Manager.
+func New(repo *pkggraph.Repo, cfg core.Config) (*Server, error) {
+	mgr, err := core.NewManager(repo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{repo: repo, mgr: mgr}, nil
+}
+
+// RequestBody is the POST /v1/request payload.
+type RequestBody struct {
+	// Packages are the required package keys.
+	Packages []string `json:"packages"`
+	// Close adds the dependency closure before submission (the common
+	// case; disable only for pre-closed specifications).
+	Close bool `json:"close"`
+}
+
+// RequestResponse reports how the job's request was satisfied.
+type RequestResponse struct {
+	Op           string `json:"op"`
+	ImageID      uint64 `json:"image_id"`
+	ImageVersion uint64 `json:"image_version"`
+	ImageSize    int64  `json:"image_size"`
+	RequestBytes int64  `json:"request_bytes"`
+	BytesWritten int64  `json:"bytes_written"`
+	Evicted      int    `json:"evicted"`
+	// Packages is the number of packages in the (possibly closed)
+	// submitted specification.
+	Packages int `json:"packages"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Requests            int64   `json:"requests"`
+	Hits                int64   `json:"hits"`
+	Merges              int64   `json:"merges"`
+	Inserts             int64   `json:"inserts"`
+	Deletes             int64   `json:"deletes"`
+	Splits              int64   `json:"splits"`
+	BytesWritten        int64   `json:"bytes_written"`
+	RequestedBytes      int64   `json:"requested_bytes"`
+	Images              int     `json:"images"`
+	TotalData           int64   `json:"total_data"`
+	UniqueData          int64   `json:"unique_data"`
+	CacheEfficiency     float64 `json:"cache_efficiency"`
+	ContainerEfficiency float64 `json:"container_efficiency"`
+}
+
+// ImageInfo is one row of GET /v1/images.
+type ImageInfo struct {
+	ID       uint64 `json:"id"`
+	Version  uint64 `json:"version"`
+	Size     int64  `json:"size"`
+	Packages int    `json:"packages"`
+	Merges   int    `json:"merges"`
+}
+
+// PruneBody is the POST /v1/prune payload.
+type PruneBody struct {
+	MaxUtilization float64 `json:"max_utilization"`
+	MinServed      int     `json:"min_served"`
+}
+
+// SplitInfo is one split performed by a prune pass.
+type SplitInfo struct {
+	ImageID      uint64 `json:"image_id"`
+	OldSize      int64  `json:"old_size"`
+	NewSize      int64  `json:"new_size"`
+	BytesWritten int64  `json:"bytes_written"`
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/request", s.handleRequest)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/images", s.handleImages)
+	mux.HandleFunc("/v1/prune", s.handlePrune)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/restore", s.handleRestore)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// handleSnapshot returns the cache state for external persistence, so
+// a site can survive daemon restarts (the HTTP face of
+// core.Snapshot/Restore used by the cmd/landlord wrapper).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	snaps := s.mgr.Snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+// handleRestore loads a previously saved snapshot. Like core.Restore
+// it only applies to an empty cache: restoring over live images would
+// interleave two cache histories.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var snaps []core.ImageSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snaps); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
+	err := s.mgr.Restore(snaps)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "restore: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"images": len(snaps)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body RequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(body.Packages) == 0 {
+		writeError(w, http.StatusBadRequest, "no packages in specification")
+		return
+	}
+	ids := make([]pkggraph.PkgID, 0, len(body.Packages))
+	for _, key := range body.Packages {
+		id, ok := s.repo.Lookup(key)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown package %q", key)
+			return
+		}
+		ids = append(ids, id)
+	}
+	var sp spec.Spec
+	if body.Close {
+		sp = spec.WithClosure(s.repo, ids)
+	} else {
+		sp = spec.New(ids)
+	}
+
+	s.mu.Lock()
+	res, err := s.mgr.Request(sp)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "request failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RequestResponse{
+		Op:           res.Op.String(),
+		ImageID:      res.ImageID,
+		ImageVersion: res.ImageVersion,
+		ImageSize:    res.ImageSize,
+		RequestBytes: res.RequestBytes,
+		BytesWritten: res.BytesWritten,
+		Evicted:      res.Evicted,
+		Packages:     sp.Len(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	st := s.mgr.Stats()
+	resp := StatsResponse{
+		Requests:            st.Requests,
+		Hits:                st.Hits,
+		Merges:              st.Merges,
+		Inserts:             st.Inserts,
+		Deletes:             st.Deletes,
+		Splits:              st.Splits,
+		BytesWritten:        st.BytesWritten,
+		RequestedBytes:      st.RequestedBytes,
+		Images:              s.mgr.Len(),
+		TotalData:           s.mgr.TotalData(),
+		UniqueData:          s.mgr.UniqueData(),
+		CacheEfficiency:     s.mgr.CacheEfficiency(),
+		ContainerEfficiency: st.MeanContainerEfficiency(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	imgs := s.mgr.Images()
+	out := make([]ImageInfo, 0, len(imgs))
+	for _, img := range imgs {
+		out = append(out, ImageInfo{
+			ID:       img.ID,
+			Version:  img.Version,
+			Size:     img.Size,
+			Packages: img.Spec.Len(),
+			Merges:   img.Merges,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body PruneBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	splits, err := s.mgr.Prune(body.MaxUtilization, body.MinServed)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "prune: %v", err)
+		return
+	}
+	out := make([]SplitInfo, 0, len(splits))
+	for _, sp := range splits {
+		out = append(out, SplitInfo{
+			ImageID:      sp.ImageID,
+			OldSize:      sp.OldSize,
+			NewSize:      sp.NewSize,
+			BytesWritten: sp.BytesWritten,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics exposes counters in the Prometheus text exposition
+// format, so site monitoring can scrape the cache without bespoke
+// integration.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	st := s.mgr.Stats()
+	images := s.mgr.Len()
+	total := s.mgr.TotalData()
+	unique := s.mgr.UniqueData()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"landlord_requests_total", "Job requests processed", st.Requests},
+		{"landlord_hits_total", "Requests served by an existing image", st.Hits},
+		{"landlord_merges_total", "Requests merged into an image", st.Merges},
+		{"landlord_inserts_total", "Requests creating a new image", st.Inserts},
+		{"landlord_deletes_total", "Images evicted", st.Deletes},
+		{"landlord_splits_total", "Images trimmed by prune passes", st.Splits},
+		{"landlord_bytes_written_total", "Image bytes written to the cache", st.BytesWritten},
+		{"landlord_requested_bytes_total", "Bytes directly requested by jobs", st.RequestedBytes},
+		{"landlord_images", "Images currently cached", int64(images)},
+		{"landlord_cached_bytes", "Bytes currently cached", total},
+		{"landlord_unique_bytes", "Deduplicated bytes currently cached", unique},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+}
+
+// PruneNow runs one maintenance split pass, for the daemon's
+// background scheduler. Invalid parameters are treated as a no-op pass
+// (the daemon validated its configuration at startup).
+func (s *Server) PruneNow(maxUtilization float64, minServed int) int {
+	s.mu.Lock()
+	splits, err := s.mgr.Prune(maxUtilization, minServed)
+	s.mu.Unlock()
+	if err != nil {
+		return 0
+	}
+	return len(splits)
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+)
+
+func testRepo(t testing.TB) *pkggraph.Repo {
+	t.Helper()
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "p", Tier: pkggraph.TierCore, Size: 100, FileCount: 1},
+		{ID: 1, Name: "fw", Version: "1.0", Platform: "p", Tier: pkggraph.TierFramework, Size: 50, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+		{ID: 2, Name: "libA", Version: "1.0", Platform: "p", Tier: pkggraph.TierLibrary, Size: 20, FileCount: 1, Deps: []pkggraph.PkgID{1}},
+		{ID: 3, Name: "libB", Version: "1.0", Platform: "p", Tier: pkggraph.TierLibrary, Size: 30, FileCount: 1, Deps: []pkggraph.PkgID{1}},
+	}
+	r, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testService(t testing.TB, cfg core.Config) (*httptest.Server, *Client) {
+	t.Helper()
+	repo := testRepo(t)
+	srv, err := New(repo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, ts.Client())
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(testRepo(t), core.Config{Alpha: 3}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0.6})
+	if err := client.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0.6})
+
+	// Insert with closure: libA -> fw -> base.
+	res, err := client.Request([]string{"libA/1.0/p"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != "insert" || res.Packages != 3 || res.ImageSize != 170 {
+		t.Fatalf("insert: %+v", res)
+	}
+
+	// Exact repeat hits.
+	res, err = client.Request([]string{"libA/1.0/p"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != "hit" || res.BytesWritten != 0 {
+		t.Fatalf("hit: %+v", res)
+	}
+
+	// Close sibling request merges (d = 2/4 = 0.5 < 0.6).
+	res, err = client.Request([]string{"libB/1.0/p"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != "merge" || res.ImageSize != 200 {
+		t.Fatalf("merge: %+v", res)
+	}
+	if res.ImageVersion == 0 {
+		t.Fatal("merge should bump the image version")
+	}
+}
+
+func TestRequestWithoutClosure(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0})
+	res, err := client.Request([]string{"base/1.0/p"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packages != 1 || res.ImageSize != 100 {
+		t.Fatalf("unclosed request: %+v", res)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	ts, client := testService(t, core.Config{Alpha: 0.5})
+
+	if _, err := client.Request(nil, true); err == nil {
+		t.Error("empty package list accepted")
+	}
+	if _, err := client.Request([]string{"ghost/1/p"}, true); err == nil {
+		t.Error("unknown package accepted")
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/request status = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/v1/request", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAndImages(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0})
+	client.Request([]string{"libA/1.0/p"}, true)
+	client.Request([]string{"libB/1.0/p"}, true)
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Inserts != 2 || st.Images != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// libA image: base+fw+libA = 170; libB image: base+fw+libB = 180.
+	if st.TotalData != 350 || st.UniqueData != 200 {
+		t.Fatalf("data accounting: %+v", st)
+	}
+	if st.CacheEfficiency <= 0 || st.CacheEfficiency > 1 {
+		t.Fatalf("cache efficiency: %v", st.CacheEfficiency)
+	}
+
+	imgs, err := client.Images()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 2 {
+		t.Fatalf("images: %d", len(imgs))
+	}
+	for _, img := range imgs {
+		if img.Packages != 3 {
+			t.Fatalf("image packages = %d", img.Packages)
+		}
+	}
+}
+
+func TestPruneEndpoint(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0.9})
+	// Build a merged image, then serve a narrow corner of it.
+	client.Request([]string{"libA/1.0/p"}, true)
+	client.Request([]string{"libB/1.0/p"}, true)      // merged: base+fw+libA+libB = 200
+	if _, err := client.Prune(0.9, 100); err != nil { // reset window
+		t.Fatal(err)
+	}
+	client.Request([]string{"base/1.0/p"}, false)
+	client.Request([]string{"base/1.0/p"}, false)
+	splits, err := client.Prune(0.75, 2) // hot {base}=100 of 200 = 0.5 <= 0.75
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 || splits[0].NewSize != 100 {
+		t.Fatalf("splits: %+v", splits)
+	}
+	// Invalid parameters surface as errors.
+	if _, err := client.Prune(2.0, 1); err == nil {
+		t.Error("bad prune params accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0.8, MinHash: core.DefaultMinHash()})
+	keys := [][]string{
+		{"libA/1.0/p"}, {"libB/1.0/p"}, {"fw/1.0/p"}, {"base/1.0/p"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := client.Request(keys[(w+i)%len(keys)], true); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 64 {
+		t.Fatalf("requests = %d, want 64", st.Requests)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1", nil)
+	if err := client.Healthz(); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestSnapshotRestoreOverHTTP(t *testing.T) {
+	_, client := testService(t, core.Config{Alpha: 0.6})
+	client.Request([]string{"libA/1.0/p"}, true)
+	client.Request([]string{"libB/1.0/p"}, true)
+	snaps, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 { // libB merged into libA's image at alpha 0.6
+		t.Fatalf("snapshot images = %d, want 1", len(snaps))
+	}
+	// Restore into a fresh service.
+	_, fresh := testService(t, core.Config{Alpha: 0.6})
+	if err := fresh.Restore(snaps); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.Request([]string{"libA/1.0/p"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != "hit" {
+		t.Fatalf("restored service op = %s, want hit", res.Op)
+	}
+	// Restoring over a non-empty cache is rejected.
+	if err := fresh.Restore(snaps); err == nil {
+		t.Fatal("restore over live cache accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, client := testService(t, core.Config{Alpha: 0.6})
+	client.Request([]string{"libA/1.0/p"}, true)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"landlord_requests_total 1",
+		"landlord_inserts_total 1",
+		"landlord_images 1",
+		"# TYPE landlord_cached_bytes gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPruneNow(t *testing.T) {
+	repo := testRepo(t)
+	srv, err := New(repo, core.Config{Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	client.Request([]string{"libA/1.0/p"}, true)
+	client.Request([]string{"libB/1.0/p"}, true)
+	srv.PruneNow(0.9, 100) // reset window
+	client.Request([]string{"base/1.0/p"}, false)
+	client.Request([]string{"base/1.0/p"}, false)
+	if got := srv.PruneNow(0.75, 2); got != 1 {
+		t.Fatalf("PruneNow = %d, want 1", got)
+	}
+	// Invalid params are a no-op, not a panic.
+	if got := srv.PruneNow(5, 1); got != 0 {
+		t.Fatalf("invalid PruneNow = %d", got)
+	}
+}

@@ -1,0 +1,216 @@
+package shrinkwrap
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cvmfs"
+	"repro/internal/spec"
+)
+
+// Image bundles.
+//
+// Pack serializes a built image to a single flat file — the stand-in
+// for the paper's Singularity image files ("compressing the resulting
+// data into an image file"). The format is:
+//
+//	magic "LLIMG1\n"
+//	uvarint manifest length, then the JSON manifest
+//	file contents back to back, in manifest order
+//
+// File contents are synthetic (deterministic streams derived from each
+// file's content address), but the integrity machinery is real: the
+// manifest records a SHA-256 checksum per file, and Unpack re-hashes
+// every byte it reads, so truncated or corrupted bundles are detected
+// exactly as they would be for real content.
+
+const bundleMagic = "LLIMG1\n"
+
+// BundleFile is one file entry of a bundle manifest.
+type BundleFile struct {
+	Path     string `json:"path"`
+	Size     int64  `json:"size"`
+	Checksum string `json:"sha256"` // hex of the packed content
+}
+
+// Manifest describes a packed image.
+type Manifest struct {
+	Packages []string     `json:"packages"` // package keys, sorted
+	Files    []BundleFile `json:"files"`
+	Bytes    int64        `json:"bytes"` // total content bytes
+}
+
+// contentStream fills buf with the deterministic pseudo-content of a
+// file, a xorshift64 stream seeded from the file's content address.
+func contentStream(d cvmfs.Digest, w io.Writer, size int64) (sum [32]byte, err error) {
+	h := sha256.New()
+	out := io.MultiWriter(w, h)
+	seed := binary.LittleEndian.Uint64(d[:8]) | 1
+	var block [8192]byte
+	x := seed
+	for size > 0 {
+		n := int64(len(block))
+		if n > size {
+			n = size
+		}
+		for i := int64(0); i+8 <= n; i += 8 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			binary.LittleEndian.PutUint64(block[i:], x)
+		}
+		for i := n - n%8; i < n; i++ {
+			block[i] = byte(x >> (8 * (i % 8)))
+		}
+		if _, err := out.Write(block[:n]); err != nil {
+			return sum, err
+		}
+		size -= n
+	}
+	h.Sum(sum[:0])
+	return sum, nil
+}
+
+// Pack writes the image for s as a bundle to w and returns its
+// manifest. The specification must be non-empty and dependency-closed
+// (Pack packs exactly the listed packages).
+func (b *Builder) Pack(w io.Writer, s spec.Spec) (Manifest, error) {
+	if s.Empty() {
+		return Manifest{}, fmt.Errorf("shrinkwrap: refusing to pack an empty specification")
+	}
+	// Gather catalogs and pre-compute checksums (a first pass over the
+	// synthetic content) so the manifest can be written up front.
+	var man Manifest
+	type pending struct {
+		digest cvmfs.Digest
+		size   int64
+	}
+	var contents []pending
+	for _, id := range s.IDs() {
+		cat := b.store.Publish(id)
+		man.Packages = append(man.Packages, b.store.Repo().Package(id).Key())
+		for i := range cat.Files {
+			f := &cat.Files[i]
+			sum, err := contentStream(f.Digest, io.Discard, f.Size)
+			if err != nil {
+				return Manifest{}, err
+			}
+			man.Files = append(man.Files, BundleFile{
+				Path:     f.Path,
+				Size:     f.Size,
+				Checksum: fmt.Sprintf("%x", sum),
+			})
+			man.Bytes += f.Size
+			contents = append(contents, pending{f.Digest, f.Size})
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(bundleMagic); err != nil {
+		return Manifest{}, err
+	}
+	manJSON, err := json.Marshal(&man)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("shrinkwrap: encoding manifest: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(manJSON)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return Manifest{}, err
+	}
+	if _, err := bw.Write(manJSON); err != nil {
+		return Manifest{}, err
+	}
+	for _, p := range contents {
+		if _, err := contentStream(p.digest, bw, p.size); err != nil {
+			return Manifest{}, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// PackFile packs the image to the named file.
+func (b *Builder) PackFile(path string, s spec.Spec) (Manifest, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	man, err := b.Pack(f, s)
+	if err != nil {
+		f.Close()
+		return Manifest{}, err
+	}
+	return man, f.Close()
+}
+
+// Unpack reads a bundle, verifying the magic, manifest framing, and
+// every file's checksum and length. It returns the manifest; contents
+// are validated and discarded (a real consumer would extract them).
+func Unpack(r io.Reader) (Manifest, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(bundleMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Manifest{}, fmt.Errorf("shrinkwrap: reading magic: %w", err)
+	}
+	if string(magic) != bundleMagic {
+		return Manifest{}, fmt.Errorf("shrinkwrap: bad magic %q", magic)
+	}
+	manLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("shrinkwrap: reading manifest length: %w", err)
+	}
+	if manLen > 1<<30 {
+		return Manifest{}, fmt.Errorf("shrinkwrap: implausible manifest length %d", manLen)
+	}
+	manJSON := make([]byte, manLen)
+	if _, err := io.ReadFull(br, manJSON); err != nil {
+		return Manifest{}, fmt.Errorf("shrinkwrap: reading manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manJSON, &man); err != nil {
+		return Manifest{}, fmt.Errorf("shrinkwrap: decoding manifest: %w", err)
+	}
+	var declared int64
+	for i := range man.Files {
+		if man.Files[i].Size < 0 {
+			return Manifest{}, fmt.Errorf("shrinkwrap: negative size for %s", man.Files[i].Path)
+		}
+		declared += man.Files[i].Size
+	}
+	if declared != man.Bytes {
+		return Manifest{}, fmt.Errorf("shrinkwrap: manifest inconsistent: files sum to %d, header says %d", declared, man.Bytes)
+	}
+	for i := range man.Files {
+		f := &man.Files[i]
+		h := sha256.New()
+		if _, err := io.CopyN(h, br, f.Size); err != nil {
+			return Manifest{}, fmt.Errorf("shrinkwrap: reading %s: %w", f.Path, err)
+		}
+		if got := fmt.Sprintf("%x", h.Sum(nil)); got != f.Checksum {
+			return Manifest{}, fmt.Errorf("shrinkwrap: checksum mismatch for %s", f.Path)
+		}
+	}
+	// The bundle must end exactly after the last file.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return Manifest{}, fmt.Errorf("shrinkwrap: trailing garbage after bundle")
+	}
+	return man, nil
+}
+
+// UnpackFile reads and verifies the named bundle.
+func UnpackFile(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	return Unpack(f)
+}

@@ -1,0 +1,153 @@
+package shrinkwrap
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cvmfs"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	var buf bytes.Buffer
+	man, err := b.Pack(&buf, s)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	if man.Bytes != 4096+2048 {
+		t.Fatalf("manifest bytes = %d, want 6144", man.Bytes)
+	}
+	if len(man.Packages) != 2 || len(man.Files) != 6 {
+		t.Fatalf("manifest: %d packages, %d files", len(man.Packages), len(man.Files))
+	}
+	got, err := Unpack(&buf)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if got.Bytes != man.Bytes || len(got.Files) != len(man.Files) {
+		t.Fatal("unpacked manifest differs")
+	}
+}
+
+func TestPackEmptySpecFails(t *testing.T) {
+	b, _ := newBuilder(t)
+	var buf bytes.Buffer
+	if _, err := b.Pack(&buf, spec.Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestPackDeterministic(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	var a, c bytes.Buffer
+	if _, err := b.Pack(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Pack(&c, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("identical specs packed to different bundles")
+	}
+}
+
+func TestUnpackDetectsCorruption(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	var buf bytes.Buffer
+	if _, err := b.Pack(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte deep inside the content section.
+	data[len(data)-100] ^= 0xff
+	if _, err := Unpack(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted bundle accepted")
+	}
+}
+
+func TestUnpackDetectsTruncation(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	var buf bytes.Buffer
+	if _, err := b.Pack(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Unpack(bytes.NewReader(data[:len(data)-10])); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}
+
+func TestUnpackDetectsTrailingGarbage(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	var buf bytes.Buffer
+	if _, err := b.Pack(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("extra")
+	if _, err := Unpack(&buf); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage accepted: %v", err)
+	}
+}
+
+func TestUnpackRejectsBadMagic(t *testing.T) {
+	if _, err := Unpack(strings.NewReader("NOTMAG\nxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Unpack(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestPackUnpackFile(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{0})
+	path := t.TempDir() + "/img.llimg"
+	man, err := b.PackFile(path, s)
+	if err != nil {
+		t.Fatalf("PackFile: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() <= man.Bytes {
+		t.Fatalf("bundle file %d bytes should exceed content %d (framing)", info.Size(), man.Bytes)
+	}
+	if _, err := UnpackFile(path); err != nil {
+		t.Fatalf("UnpackFile: %v", err)
+	}
+	if _, err := UnpackFile(t.TempDir() + "/missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBundleMatchesBuildAccounting(t *testing.T) {
+	repo := testRepo(t)
+	store := cvmfs.NewStore(repo)
+	b := NewBuilder(store, DefaultCostModel())
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	rep, err := b.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	man, err := b.Pack(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Bytes != rep.Image.Bytes {
+		t.Fatalf("bundle content %d != build accounting %d", man.Bytes, rep.Image.Bytes)
+	}
+	if len(man.Files) != rep.Image.Files {
+		t.Fatalf("bundle files %d != build accounting %d", len(man.Files), rep.Image.Files)
+	}
+}

@@ -1,0 +1,54 @@
+package shrinkwrap
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cvmfs"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// FuzzUnpack feeds arbitrary bytes to the bundle reader: malformed
+// input must produce errors, never panics, and a valid bundle prefix
+// with mutations must not be accepted unless content checksums still
+// hold.
+func FuzzUnpack(f *testing.F) {
+	// Seed with a genuine bundle.
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "x", Version: "1", Platform: "p", Tier: pkggraph.TierCore, Size: 512, FileCount: 2},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b := NewBuilder(cvmfs.NewStore(repo), DefaultCostModel())
+	var buf bytes.Buffer
+	if _, err := b.Pack(&buf, spec.New([]pkggraph.PkgID{0})); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("LLIMG1\n"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage everywhere"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		man, err := Unpack(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be the valid bundle (or an equally
+		// self-consistent one): byte totals must match the manifest.
+		var total int64
+		for _, file := range man.Files {
+			if file.Size < 0 {
+				t.Fatal("accepted manifest with negative file size")
+			}
+			total += file.Size
+		}
+		if total != man.Bytes {
+			t.Fatalf("accepted inconsistent manifest: %d vs %d", total, man.Bytes)
+		}
+	})
+}

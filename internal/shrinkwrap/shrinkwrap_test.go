@@ -1,0 +1,253 @@
+package shrinkwrap
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cvmfs"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func testRepo(t *testing.T) *pkggraph.Repo {
+	t.Helper()
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "p", Tier: pkggraph.TierCore, Size: 4096, FileCount: 4},
+		{ID: 1, Name: "base", Version: "2.0", Platform: "p", Tier: pkggraph.TierCore, Size: 4096, FileCount: 4},
+		{ID: 2, Name: "app", Version: "1.0", Platform: "p", Tier: pkggraph.TierApplication, Size: 2048, FileCount: 2, Deps: []pkggraph.PkgID{0}},
+	}
+	r, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func newBuilder(t *testing.T) (*Builder, *pkggraph.Repo) {
+	t.Helper()
+	repo := testRepo(t)
+	store := cvmfs.NewStore(repo)
+	return NewBuilder(store, DefaultCostModel()), repo
+}
+
+func TestBuildEmptySpecFails(t *testing.T) {
+	b, _ := newBuilder(t)
+	if _, err := b.Build(spec.Spec{}); err == nil {
+		t.Fatal("expected error for empty spec")
+	}
+}
+
+func TestBuildAccountsBytes(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	rep, err := b.Build(s)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if rep.Image.Bytes != 4096+2048 {
+		t.Errorf("Bytes = %d, want 6144", rep.Image.Bytes)
+	}
+	if rep.WrittenBytes != rep.Image.Bytes {
+		t.Errorf("WrittenBytes = %d, want %d", rep.WrittenBytes, rep.Image.Bytes)
+	}
+	if rep.Image.Files != 6 {
+		t.Errorf("Files = %d, want 6", rep.Image.Files)
+	}
+	if rep.FetchedBytes != rep.Image.UniqueBytes {
+		t.Errorf("cold build should fetch all unique bytes: fetched %d unique %d",
+			rep.FetchedBytes, rep.Image.UniqueBytes)
+	}
+	if rep.ReusedBytes != 0 {
+		t.Errorf("cold build reused %d bytes", rep.ReusedBytes)
+	}
+	if rep.PrepTime <= 0 {
+		t.Error("PrepTime should be positive")
+	}
+}
+
+func TestSecondBuildReusesCache(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	if _, err := b.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FetchedBytes != 0 {
+		t.Errorf("warm build fetched %d bytes, want 0", rep.FetchedBytes)
+	}
+	if rep.ReusedBytes != rep.Image.UniqueBytes {
+		t.Errorf("warm build reused %d, want %d", rep.ReusedBytes, rep.Image.UniqueBytes)
+	}
+}
+
+func TestCrossVersionFetchSavings(t *testing.T) {
+	b, _ := newBuilder(t)
+	v1 := spec.New([]pkggraph.PkgID{0})
+	v2 := spec.New([]pkggraph.PkgID{1})
+	if _, err := b.Build(v1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReusedBytes == 0 {
+		t.Error("carried-over files should be reused across versions")
+	}
+	if rep.FetchedBytes >= rep.Image.Bytes {
+		t.Errorf("fetched %d, want less than full image %d", rep.FetchedBytes, rep.Image.Bytes)
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	b, repo := newBuilder(t)
+	s := spec.WithClosure(repo, []pkggraph.PkgID{2})
+	if _, err := b.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if b.CachedBytes() == 0 {
+		t.Fatal("cache empty after build")
+	}
+	b.DropCache()
+	if b.CachedBytes() != 0 {
+		t.Fatal("cache not empty after DropCache")
+	}
+	rep, err := b.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FetchedBytes == 0 {
+		t.Error("post-drop build should fetch again")
+	}
+}
+
+func TestCostModelDuration(t *testing.T) {
+	c := CostModel{FetchBandwidth: 100, WriteBandwidth: 200, PerFileOverhead: time.Millisecond}
+	d := c.duration(100, 200, 3)
+	want := time.Second + time.Second + 3*time.Millisecond
+	if d != want {
+		t.Fatalf("duration = %v, want %v", d, want)
+	}
+	zero := CostModel{}
+	if zero.duration(100, 100, 0) != 0 {
+		t.Fatal("zero bandwidths should cost nothing")
+	}
+}
+
+func TestDefaultCostModelScale(t *testing.T) {
+	// A 6 GB image with ~50k files should prepare in tens of seconds,
+	// matching Figure 2's preparation times.
+	c := DefaultCostModel()
+	d := c.duration(6<<30, 6<<30, 50000)
+	if d < 10*time.Second || d > 300*time.Second {
+		t.Fatalf("6GB prep time = %v, want tens of seconds", d)
+	}
+}
+
+func TestConcurrentBuilds(t *testing.T) {
+	repo := pkggraph.MustGenerate(smallCfg(), 4)
+	store := cvmfs.NewStore(repo)
+	b := NewBuilder(store, DefaultCostModel())
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := pkggraph.PkgID((w*31 + i*7) % repo.Len())
+				s := spec.WithClosure(repo, []pkggraph.PkgID{id})
+				if _, err := b.Build(s); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func smallCfg() pkggraph.GenConfig {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 5
+	cfg.LibraryFamilies = 20
+	cfg.ApplicationFamilies = 33
+	return cfg
+}
+
+func TestBuildFilesPartial(t *testing.T) {
+	b, repo := newBuilder(t)
+	// Pack two of base/1.0's four files plus a duplicate path.
+	cat, err := listCatalog(b, repo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{cat[0].Path, cat[1].Path, cat[0].Path}
+	rep, err := b.BuildFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 2 {
+		t.Fatalf("Files = %d, want 2 (duplicate collapsed)", rep.Files)
+	}
+	if rep.Bytes != cat[0].Size+cat[1].Size {
+		t.Fatalf("Bytes = %d", rep.Bytes)
+	}
+	if rep.PartialPackages != 1 {
+		t.Fatalf("PartialPackages = %d, want 1", rep.PartialPackages)
+	}
+	if rep.FetchedBytes == 0 || rep.PrepTime <= 0 {
+		t.Fatalf("missing accounting: %+v", rep)
+	}
+	// Second build reuses the local cache.
+	rep2, err := b.BuildFiles(paths[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FetchedBytes != 0 || rep2.ReusedBytes == 0 {
+		t.Fatalf("warm partial build fetched: %+v", rep2)
+	}
+}
+
+func TestBuildFilesWholePackageNotPartial(t *testing.T) {
+	b, repo := newBuilder(t)
+	cat, err := listCatalog(b, repo, 2) // app has 2 files
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.BuildFiles([]string{cat[0].Path, cat[1].Path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PartialPackages != 0 {
+		t.Fatalf("whole package flagged partial: %+v", rep)
+	}
+}
+
+func TestBuildFilesErrors(t *testing.T) {
+	b, _ := newBuilder(t)
+	if _, err := b.BuildFiles(nil); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if _, err := b.BuildFiles([]string{"/not/a/repo/path"}); err == nil {
+		t.Error("foreign path accepted")
+	}
+	if _, err := b.BuildFiles([]string{"/cvmfs/sft.cern.ch/ghost/1.0/p/f000000"}); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+// listCatalog fetches a package's file entries through the store.
+func listCatalog(b *Builder, repo *pkggraph.Repo, id pkggraph.PkgID) ([]cvmfs.FileEntry, error) {
+	p := repo.Package(id)
+	return b.storeForTest().ListDir("/cvmfs/sft.cern.ch/" + p.Name + "/" + p.Version + "/" + p.Platform)
+}

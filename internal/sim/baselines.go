@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// BaselineResult summarizes one store's behaviour over a request
+// stream, for the Section III comparison (naive per-spec images,
+// Docker-style layering, one full-repo image) against LANDLORD.
+type BaselineResult struct {
+	Name             string
+	Requests         int
+	Images           int   // images (or layers) held at end
+	StoredBytes      int64 // bytes held at end
+	UniqueBytes      int64 // deduplicated content at end
+	BytesWritten     int64 // cumulative build I/O
+	TransferredBytes int64 // cumulative bytes shipped to workers
+	Hits             int64
+}
+
+// StorageEfficiency is UniqueBytes/StoredBytes (1 = no duplication).
+func (b BaselineResult) StorageEfficiency() float64 {
+	if b.StoredBytes == 0 {
+		return 1
+	}
+	return float64(b.UniqueBytes) / float64(b.StoredBytes)
+}
+
+// RunBaselines replays one stream against every store: LANDLORD at the
+// given α, the naive exact-match cache, the layered lineage, and the
+// full-repository image. All stores see identical requests, so the
+// results are directly comparable.
+func RunBaselines(repo *pkggraph.Repo, stream []spec.Spec, alpha float64, capacity int64) ([]BaselineResult, error) {
+	landlord, err := core.NewManager(repo, core.Config{
+		Alpha:    alpha,
+		Capacity: capacity,
+		MinHash:  core.DefaultMinHash(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	naive := image.NewNaiveStore(repo, capacity)
+	layered := image.NewLayeredStore(repo)
+	fullrepo := image.NewFullRepoStore(repo)
+	cow := image.NewIdealCoWStore(repo)
+
+	for i, s := range stream {
+		if _, err := landlord.Request(s); err != nil {
+			return nil, fmt.Errorf("sim: landlord request %d: %w", i, err)
+		}
+		if _, err := naive.Request(s); err != nil {
+			return nil, fmt.Errorf("sim: naive request %d: %w", i, err)
+		}
+		if _, err := layered.Request(s); err != nil {
+			return nil, fmt.Errorf("sim: layered request %d: %w", i, err)
+		}
+		if _, err := fullrepo.Request(s); err != nil {
+			return nil, fmt.Errorf("sim: fullrepo request %d: %w", i, err)
+		}
+		if _, err := cow.Request(s); err != nil {
+			return nil, fmt.Errorf("sim: cow request %d: %w", i, err)
+		}
+	}
+
+	lst := landlord.Stats()
+	nst := naive.Stats()
+	yst := layered.Stats()
+	fst := fullrepo.Stats()
+	cst := cow.Stats()
+	return []BaselineResult{
+		{
+			Name:         fmt.Sprintf("landlord(α=%.2f)", alpha),
+			Requests:     len(stream),
+			Images:       landlord.Len(),
+			StoredBytes:  landlord.TotalData(),
+			UniqueBytes:  landlord.UniqueData(),
+			BytesWritten: lst.BytesWritten,
+			// LANDLORD workers pull the image the job runs in; the
+			// written bytes double as a transfer proxy plus hits reuse.
+			TransferredBytes: lst.BytesWritten,
+			Hits:             lst.Hits,
+		},
+		{
+			Name:             "naive",
+			Requests:         len(stream),
+			Images:           naive.Len(),
+			StoredBytes:      naive.TotalData(),
+			UniqueBytes:      naive.UniqueData(),
+			BytesWritten:     nst.BytesWritten,
+			TransferredBytes: nst.TransferredBytes,
+			Hits:             nst.Hits,
+		},
+		{
+			Name:             "layered",
+			Requests:         len(stream),
+			Images:           layered.Layers(),
+			StoredBytes:      layered.TotalData(),
+			UniqueBytes:      layered.UniqueData(),
+			BytesWritten:     yst.BytesWritten,
+			TransferredBytes: yst.TransferredBytes,
+		},
+		{
+			Name:             "fullrepo",
+			Requests:         len(stream),
+			Images:           1,
+			StoredBytes:      repo.TotalSize(),
+			UniqueBytes:      repo.TotalSize(),
+			BytesWritten:     fst.BytesWritten,
+			TransferredBytes: fst.TransferredBytes,
+		},
+		{
+			// The unreachable upper bound: perfect copy-on-write
+			// sharing, which container stores cannot provide
+			// (Section III).
+			Name:             "ideal-cow",
+			Requests:         len(stream),
+			Images:           1,
+			StoredBytes:      cow.TotalData(),
+			UniqueBytes:      cow.TotalData(),
+			BytesWritten:     cst.BytesWritten,
+			TransferredBytes: cst.TransferredBytes,
+		},
+	}, nil
+}

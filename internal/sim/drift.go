@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/workload"
+)
+
+// DriftParams configures an evolving-workload simulation: a fixed user
+// population whose specifications drift over time (see
+// workload.Evolving), optionally with periodic image-split passes.
+// This exercises the bloat dynamics of Section V — merged images
+// accumulate packages no current job requests — and measures what
+// pruning buys back.
+type DriftParams struct {
+	Repo       *pkggraph.Repo
+	Alpha      float64
+	CacheBytes int64
+	Users      int
+	Requests   int
+	MaxInitial int
+	Seed       int64
+	// MutateProb overrides the population's drift rate when positive.
+	MutateProb float64
+
+	// PruneEvery runs a split pass every N requests (0 disables).
+	PruneEvery int
+	// PruneUtilization and PruneMinServed parameterize core.Prune.
+	PruneUtilization float64
+	PruneMinServed   int
+}
+
+func (p DriftParams) validate() error {
+	if p.Repo == nil {
+		return fmt.Errorf("sim: DriftParams.Repo is nil")
+	}
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("sim: alpha %v out of range", p.Alpha)
+	}
+	if p.Users < 1 || p.Requests < 1 || p.MaxInitial < 1 {
+		return fmt.Errorf("sim: need users, requests and maxInitial >= 1")
+	}
+	if p.PruneEvery > 0 && (p.PruneUtilization <= 0 || p.PruneUtilization >= 1) {
+		return fmt.Errorf("sim: PruneUtilization %v out of range (0,1)", p.PruneUtilization)
+	}
+	return nil
+}
+
+// DriftResult extends the run summary with split accounting.
+type DriftResult struct {
+	Result
+	Splits      int64
+	SplitsBytes int64 // bytes shed from images by splitting
+}
+
+// RunDrift simulates the drifting population against one manager.
+func RunDrift(p DriftParams) (DriftResult, error) {
+	if err := p.validate(); err != nil {
+		return DriftResult{}, err
+	}
+	gen, err := workload.NewEvolving(p.Repo, p.Users, p.MaxInitial, p.Seed)
+	if err != nil {
+		return DriftResult{}, err
+	}
+	if p.MutateProb > 0 {
+		gen.MutateProb = p.MutateProb
+	}
+	mgr, err := core.NewManager(p.Repo, core.Config{
+		Alpha:    p.Alpha,
+		Capacity: p.CacheBytes,
+		MinHash:  core.DefaultMinHash(),
+	})
+	if err != nil {
+		return DriftResult{}, err
+	}
+	var out DriftResult
+	for i := 0; i < p.Requests; i++ {
+		if _, err := mgr.Request(gen.Next()); err != nil {
+			return DriftResult{}, fmt.Errorf("sim: drift request %d: %w", i, err)
+		}
+		if p.PruneEvery > 0 && (i+1)%p.PruneEvery == 0 {
+			splits, err := mgr.Prune(p.PruneUtilization, p.PruneMinServed)
+			if err != nil {
+				return DriftResult{}, err
+			}
+			for _, s := range splits {
+				out.SplitsBytes += s.OldSize - s.NewSize
+			}
+		}
+	}
+	st := mgr.Stats()
+	out.Result = Result{
+		Alpha:               p.Alpha,
+		Requests:            p.Requests,
+		Stats:               st,
+		Images:              mgr.Len(),
+		TotalData:           mgr.TotalData(),
+		UniqueData:          mgr.UniqueData(),
+		CacheEfficiency:     mgr.CacheEfficiency(),
+		ContainerEfficiency: st.MeanContainerEfficiency(),
+	}
+	out.Splits = st.Splits
+	return out, nil
+}

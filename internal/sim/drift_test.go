@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+func driftParams(t *testing.T) DriftParams {
+	repo := testRepo(t)
+	return DriftParams{
+		Repo:       repo,
+		Alpha:      0.9,
+		CacheBytes: repo.TotalSize() * 2,
+		Users:      6,
+		Requests:   150,
+		MaxInitial: 8,
+		Seed:       1,
+		MutateProb: 0.5,
+	}
+}
+
+func TestRunDriftValidation(t *testing.T) {
+	p := driftParams(t)
+	p.Repo = nil
+	if _, err := RunDrift(p); err == nil {
+		t.Error("nil repo accepted")
+	}
+	p = driftParams(t)
+	p.Alpha = 2
+	if _, err := RunDrift(p); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	p = driftParams(t)
+	p.Users = 0
+	if _, err := RunDrift(p); err == nil {
+		t.Error("zero users accepted")
+	}
+	p = driftParams(t)
+	p.PruneEvery = 10
+	p.PruneUtilization = 0
+	if _, err := RunDrift(p); err == nil {
+		t.Error("prune without utilization accepted")
+	}
+}
+
+func TestRunDriftDeterministic(t *testing.T) {
+	p := driftParams(t)
+	a, err := RunDrift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDrift(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || a.TotalData != b.TotalData {
+		t.Fatal("same params, different drift results")
+	}
+}
+
+func TestRunDriftBasic(t *testing.T) {
+	res, err := RunDrift(driftParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Requests != 150 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	// A small drifting population mostly repeats itself: plenty of
+	// hits, some merges as specs drift.
+	if st.Hits == 0 || st.Merges == 0 {
+		t.Fatalf("drift should produce hits and merges: %+v", st)
+	}
+	if res.Splits != 0 {
+		t.Fatalf("splits without pruning: %d", res.Splits)
+	}
+}
+
+func TestRunDriftPruningShedsBloat(t *testing.T) {
+	base := driftParams(t)
+	base.Requests = 400
+	noPrune, err := RunDrift(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := base
+	pruned.PruneEvery = 50
+	pruned.PruneUtilization = 0.6
+	pruned.PruneMinServed = 3
+	withPrune, err := RunDrift(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPrune.Splits == 0 {
+		t.Fatal("no splits under a drifting workload")
+	}
+	if withPrune.SplitsBytes <= 0 {
+		t.Fatal("splits shed no bytes")
+	}
+	// Shedding cold bloat keeps the cache footprint below the
+	// unpruned run's.
+	if withPrune.TotalData >= noPrune.TotalData {
+		t.Errorf("pruned cache %d >= unpruned %d", withPrune.TotalData, noPrune.TotalData)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pkggraph"
+	"repro/internal/stats"
+)
+
+// Fig3Point is one x position of the paper's Figure 3: for a fixed
+// specification size, the median (over samples) of the selection-only
+// storage, the closed image's package count, and the closed image's
+// storage size.
+type Fig3Point struct {
+	SpecSize      int     // packages selected (x axis)
+	SpecOnlyGB    float64 // "Spec. Size": storage of the bare selection
+	ImagePackages float64 // "Image Count": packages after closure
+	ImageGB       float64 // "Image Size": storage after closure
+}
+
+// ClosureCurve reproduces Figure 3: for each specification size from
+// step to maxSpec, draw `samples` uniform random selections, close them
+// over the dependency graph, and report medians. The paper uses sizes
+// up to 1,000 with 100 samples each.
+func ClosureCurve(repo *pkggraph.Repo, maxSpec, step, samples int, seed int64) ([]Fig3Point, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("sim: nil repo")
+	}
+	if maxSpec < 1 || step < 1 || samples < 1 {
+		return nil, fmt.Errorf("sim: invalid curve parameters maxSpec=%d step=%d samples=%d", maxSpec, step, samples)
+	}
+	if maxSpec > repo.Len() {
+		maxSpec = repo.Len()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var points []Fig3Point
+	for size := step; size <= maxSpec; size += step {
+		specGB := make([]float64, samples)
+		imgPkgs := make([]float64, samples)
+		imgGB := make([]float64, samples)
+		for s := 0; s < samples; s++ {
+			ids := sampleDistinct(rng, repo.Len(), size)
+			specGB[s] = stats.BytesToGB(repo.SetSize(ids))
+			closure := repo.Closure(ids)
+			imgPkgs[s] = float64(len(closure))
+			imgGB[s] = stats.BytesToGB(repo.SetSize(closure))
+		}
+		points = append(points, Fig3Point{
+			SpecSize:      size,
+			SpecOnlyGB:    stats.Median(specGB),
+			ImagePackages: stats.Median(imgPkgs),
+			ImageGB:       stats.Median(imgGB),
+		})
+	}
+	return points, nil
+}
+
+// sampleDistinct draws n distinct IDs from [0, limit), sorted.
+func sampleDistinct(rng *rand.Rand, limit, n int) []pkggraph.PkgID {
+	if n >= limit {
+		out := make([]pkggraph.PkgID, limit)
+		for i := range out {
+			out[i] = pkggraph.PkgID(i)
+		}
+		return out
+	}
+	seen := make(map[pkggraph.PkgID]bool, n)
+	out := make([]pkggraph.PkgID, 0, n)
+	for len(out) < n {
+		id := pkggraph.PkgID(rng.Intn(limit))
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// TestPaperShapesFullScale replays the paper's main configuration —
+// the full 9,660-package repository, 500 unique jobs x5 repeats, cache
+// at the paper's 1.4x cache:repo ratio — and asserts the qualitative
+// shapes of Figures 4 and 8. Each α point runs in well under a second;
+// the dominating cost is generating the repository once.
+func TestPaperShapesFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation in -short mode")
+	}
+	repo := pkggraph.MustGenerate(pkggraph.DefaultGenConfig(), 1)
+	base := Params{
+		Repo:       repo,
+		CacheBytes: repo.TotalSize() * 14 / 10,
+		UniqueJobs: 500,
+		Repeats:    5,
+		MaxInitial: 100,
+		Seed:       1,
+		UseMinHash: true,
+	}
+	run := func(alpha float64) Result {
+		p := base
+		p.Alpha = alpha
+		r, err := Run(p)
+		if err != nil {
+			t.Fatalf("alpha %v: %v", alpha, err)
+		}
+		return r
+	}
+
+	low := run(0.40)
+	mid := run(0.75)
+	high := run(0.95)
+	one := run(1.00)
+
+	// Figure 4a: inserts and deletes dominate at low α and collapse at
+	// high α; merges take over through the upper range; at α=1 hits
+	// jump and merges recede.
+	if low.Stats.Merges > low.Stats.Inserts/10 {
+		t.Errorf("low alpha should be insert-dominated: merges=%d inserts=%d", low.Stats.Merges, low.Stats.Inserts)
+	}
+	if mid.Stats.Merges <= mid.Stats.Inserts {
+		t.Errorf("mid alpha should be merge-dominated: merges=%d inserts=%d", mid.Stats.Merges, mid.Stats.Inserts)
+	}
+	if one.Stats.Hits <= high.Stats.Hits {
+		t.Errorf("alpha=1 hit jump missing: %d <= %d", one.Stats.Hits, high.Stats.Hits)
+	}
+	if one.Stats.Merges >= high.Stats.Merges {
+		t.Errorf("alpha=1 merge drop missing: %d >= %d", one.Stats.Merges, high.Stats.Merges)
+	}
+	if one.Images != 1 {
+		t.Errorf("alpha=1 should converge to a single image, got %d", one.Images)
+	}
+
+	// Figure 4c: at low α actual writes track (slightly under)
+	// requested; at high α merging amplifies I/O well past requested.
+	ampLow := float64(low.Stats.BytesWritten) / float64(low.Stats.RequestedBytes)
+	ampHigh := float64(high.Stats.BytesWritten) / float64(high.Stats.RequestedBytes)
+	if ampLow > 1.02 {
+		t.Errorf("low alpha write amplification = %.2f, want <= ~1", ampLow)
+	}
+	if ampHigh < 1.3 {
+		t.Errorf("high alpha write amplification = %.2f, want well above 1", ampHigh)
+	}
+
+	// Figure 4b: unique data grows with α; at α=1 unique equals total.
+	if !(low.UniqueData < mid.UniqueData && mid.UniqueData < high.UniqueData) {
+		t.Errorf("unique data not increasing: %d, %d, %d", low.UniqueData, mid.UniqueData, high.UniqueData)
+	}
+	if one.UniqueData != one.TotalData {
+		t.Errorf("alpha=1 unique %d != total %d", one.UniqueData, one.TotalData)
+	}
+
+	// Figure 8: cache efficiency increases with α while container
+	// efficiency decreases; the curves cross somewhere in the sweep.
+	if !(low.CacheEfficiency < mid.CacheEfficiency && mid.CacheEfficiency < high.CacheEfficiency) {
+		t.Errorf("cache efficiency not increasing: %.2f, %.2f, %.2f",
+			low.CacheEfficiency, mid.CacheEfficiency, high.CacheEfficiency)
+	}
+	if !(low.ContainerEfficiency > mid.ContainerEfficiency && mid.ContainerEfficiency > high.ContainerEfficiency) {
+		t.Errorf("container efficiency not decreasing: %.2f, %.2f, %.2f",
+			low.ContainerEfficiency, mid.ContainerEfficiency, high.ContainerEfficiency)
+	}
+	// The operational zone's flavor: a moderate α keeps both
+	// efficiencies workable.
+	if mid.CacheEfficiency < 0.15 {
+		t.Errorf("mid alpha cache efficiency %.2f too low", mid.CacheEfficiency)
+	}
+	if mid.ContainerEfficiency < 0.5 {
+		t.Errorf("mid alpha container efficiency %.2f too low", mid.ContainerEfficiency)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Latency modeling.
+//
+// The paper treats cumulative write volume as its hardware-independent
+// overhead metric ("we thus use cumulative write size as a metric for
+// overhead/latency") and frames the operational zone's upper bound as
+// a cap on preparation cost — "e.g. allowing at most a twofold
+// increase in the compute and I/O time compared to directly creating
+// the requested images". LatencyModel converts the simulator's byte
+// accounting into those time terms.
+
+// LatencyModel converts bytes written into simulated preparation time.
+type LatencyModel struct {
+	// WriteBandwidth is the cache area's sustained write rate in
+	// bytes/second.
+	WriteBandwidth int64
+}
+
+// DefaultLatencyModel matches the Shrinkwrap cost model's write rate
+// (500 MB/s of head-node scratch).
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{WriteBandwidth: 500 << 20}
+}
+
+// PrepTime converts a byte volume into preparation time.
+func (m LatencyModel) PrepTime(bytes int64) time.Duration {
+	if m.WriteBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(m.WriteBandwidth) * float64(time.Second))
+}
+
+// LatencyPoint summarizes preparation overhead at one α.
+type LatencyPoint struct {
+	Alpha float64
+	// MeanPrep is the average simulated preparation time per job
+	// (hits cost nothing; merges pay the full image rewrite).
+	MeanPrep time.Duration
+	// DirectPrep is the average time to directly create each job's
+	// requested image — the paper's baseline for the "twofold" limit.
+	DirectPrep time.Duration
+	// Overhead is MeanPrep/DirectPrep.
+	Overhead float64
+}
+
+// LatencyFromSweep derives per-job preparation latency for every point
+// of an α sweep.
+func LatencyFromSweep(points []SweepPoint, requests int, m LatencyModel) ([]LatencyPoint, error) {
+	if requests < 1 {
+		return nil, fmt.Errorf("sim: requests must be >= 1, got %d", requests)
+	}
+	out := make([]LatencyPoint, 0, len(points))
+	for _, p := range points {
+		actual := m.PrepTime(int64(p.ActualWriteGB * float64(1<<30)))
+		direct := m.PrepTime(int64(p.RequestedWriteGB * float64(1<<30)))
+		lp := LatencyPoint{
+			Alpha:      p.Alpha,
+			MeanPrep:   actual / time.Duration(requests),
+			DirectPrep: direct / time.Duration(requests),
+		}
+		if direct > 0 {
+			lp.Overhead = float64(actual) / float64(direct)
+		} else {
+			lp.Overhead = 1
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPrepTime(t *testing.T) {
+	m := LatencyModel{WriteBandwidth: 100}
+	if got := m.PrepTime(200); got != 2*time.Second {
+		t.Fatalf("PrepTime = %v, want 2s", got)
+	}
+	if (LatencyModel{}).PrepTime(1000) != 0 {
+		t.Fatal("zero bandwidth should cost nothing")
+	}
+}
+
+func TestDefaultLatencyModelScale(t *testing.T) {
+	// A 60 GB image at 500 MB/s: about two minutes.
+	d := DefaultLatencyModel().PrepTime(60 << 30)
+	if d < 30*time.Second || d > 10*time.Minute {
+		t.Fatalf("60GB prep = %v, want minutes", d)
+	}
+}
+
+func TestLatencyFromSweep(t *testing.T) {
+	points := []SweepPoint{
+		{Alpha: 0.4, ActualWriteGB: 1000, RequestedWriteGB: 1000},
+		{Alpha: 0.95, ActualWriteGB: 1900, RequestedWriteGB: 1000},
+	}
+	lat, err := LatencyFromSweep(points, 2500, DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 2 {
+		t.Fatalf("points = %d", len(lat))
+	}
+	if lat[0].Overhead < 0.99 || lat[0].Overhead > 1.01 {
+		t.Fatalf("low alpha overhead = %v, want ~1", lat[0].Overhead)
+	}
+	if lat[1].Overhead < 1.89 || lat[1].Overhead > 1.91 {
+		t.Fatalf("high alpha overhead = %v, want ~1.9", lat[1].Overhead)
+	}
+	if lat[1].MeanPrep <= lat[0].MeanPrep {
+		t.Fatal("high alpha should cost more prep time per job")
+	}
+	// Per-job times are plausible: 1000 GB over 2500 jobs at 500 MB/s
+	// is ~0.8s per job.
+	if lat[0].MeanPrep < 100*time.Millisecond || lat[0].MeanPrep > 10*time.Second {
+		t.Fatalf("mean prep = %v, implausible", lat[0].MeanPrep)
+	}
+}
+
+func TestLatencyFromSweepValidation(t *testing.T) {
+	if _, err := LatencyFromSweep(nil, 0, DefaultLatencyModel()); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+func TestLatencyZeroDirect(t *testing.T) {
+	lat, err := LatencyFromSweep([]SweepPoint{{Alpha: 0.5}}, 10, DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat[0].Overhead != 1 {
+		t.Fatalf("zero-direct overhead = %v, want 1", lat[0].Overhead)
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// SweepPoint is the median behaviour at one α across repeated
+// simulations: the quantities plotted in Figures 4, 6, 7 and 8.
+type SweepPoint struct {
+	Alpha float64
+
+	// Median operation counts (Figure 4a).
+	Hits    float64
+	Inserts float64
+	Deletes float64
+	Merges  float64
+
+	// Median cache contents at end of run (Figure 4b).
+	UniqueGB float64
+	TotalGB  float64
+
+	// Median cumulative I/O (Figure 4c).
+	ActualWriteGB    float64
+	RequestedWriteGB float64
+
+	// Median efficiencies (Figures 6, 7, 8), in [0, 1].
+	CacheEfficiency     float64
+	ContainerEfficiency float64
+
+	// Interquartile spread of the efficiencies across repetitions —
+	// the run-to-run variability the paper reports medians to tame.
+	CacheEffP25, CacheEffP75         float64
+	ContainerEffP25, ContainerEffP75 float64
+}
+
+// WriteAmplification is ActualWriteGB / RequestedWriteGB: how much
+// extra I/O merging costs relative to directly creating each requested
+// image. The paper suggests capping this (e.g. at 2x) as the upper
+// bound of the operational zone.
+func (p SweepPoint) WriteAmplification() float64 {
+	if p.RequestedWriteGB == 0 {
+		return 1
+	}
+	return p.ActualWriteGB / p.RequestedWriteGB
+}
+
+// DefaultAlphas returns the sweep grid the paper plots: 0.40 to 1.00
+// in steps of 0.05.
+func DefaultAlphas() []float64 {
+	var out []float64
+	for a := 0.40; a < 1.0001; a += 0.05 {
+		// Round to the grid to avoid float drift (0.7000000000000002).
+		out = append(out, float64(int(a*100+0.5))/100)
+	}
+	return out
+}
+
+// SweepAlpha runs `reps` independent simulations at every α in alphas
+// and reduces each metric to its per-α median, the paper's reporting
+// method ("we repeated the simulation 20 times and reported the median
+// behavior"). Repetition i uses workload seed base.Seed+i at every α,
+// pairing the trials across α values.
+//
+// Runs execute on a worker pool of `parallelism` goroutines
+// (<=0 means GOMAXPROCS).
+func SweepAlpha(base Params, alphas []float64, reps, parallelism int) ([]SweepPoint, error) {
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("sim: no alphas to sweep")
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: reps must be >= 1, got %d", reps)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ ai, rep int }
+	type outcome struct {
+		ai, rep int
+		res     Result
+		err     error
+	}
+
+	jobs := make(chan job)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := base
+				p.Alpha = alphas[j.ai]
+				p.Seed = base.Seed + int64(j.rep)
+				p.TimelineEvery = 0
+				res, err := Run(p)
+				results <- outcome{j.ai, j.rep, res, err}
+			}
+		}()
+	}
+	go func() {
+		for ai := range alphas {
+			for rep := 0; rep < reps; rep++ {
+				jobs <- job{ai, rep}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// metric matrices: [metric][rep][alpha]
+	const nMetrics = 10
+	mats := make([][][]float64, nMetrics)
+	for m := range mats {
+		mats[m] = make([][]float64, reps)
+		for r := range mats[m] {
+			mats[m][r] = make([]float64, len(alphas))
+		}
+	}
+	var firstErr error
+	for out := range results {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		r, a := out.rep, out.ai
+		st := out.res.Stats
+		mats[0][r][a] = float64(st.Hits)
+		mats[1][r][a] = float64(st.Inserts)
+		mats[2][r][a] = float64(st.Deletes)
+		mats[3][r][a] = float64(st.Merges)
+		mats[4][r][a] = stats.BytesToGB(out.res.UniqueData)
+		mats[5][r][a] = stats.BytesToGB(out.res.TotalData)
+		mats[6][r][a] = stats.BytesToGB(st.BytesWritten)
+		mats[7][r][a] = stats.BytesToGB(st.RequestedBytes)
+		mats[8][r][a] = out.res.CacheEfficiency
+		mats[9][r][a] = out.res.ContainerEfficiency
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	med := make([][]float64, nMetrics)
+	for m := range mats {
+		med[m] = stats.MedianOfColumns(mats[m])
+	}
+	quantileOfColumns := func(rows [][]float64, q float64) []float64 {
+		out := make([]float64, len(alphas))
+		col := make([]float64, reps)
+		for a := range out {
+			for r := 0; r < reps; r++ {
+				col[r] = rows[r][a]
+			}
+			out[a] = stats.Quantile(col, q)
+		}
+		return out
+	}
+	cacheP25 := quantileOfColumns(mats[8], 0.25)
+	cacheP75 := quantileOfColumns(mats[8], 0.75)
+	contP25 := quantileOfColumns(mats[9], 0.25)
+	contP75 := quantileOfColumns(mats[9], 0.75)
+	points := make([]SweepPoint, len(alphas))
+	for a := range alphas {
+		points[a] = SweepPoint{
+			Alpha:               alphas[a],
+			Hits:                med[0][a],
+			Inserts:             med[1][a],
+			Deletes:             med[2][a],
+			Merges:              med[3][a],
+			UniqueGB:            med[4][a],
+			TotalGB:             med[5][a],
+			ActualWriteGB:       med[6][a],
+			RequestedWriteGB:    med[7][a],
+			CacheEfficiency:     med[8][a],
+			ContainerEfficiency: med[9][a],
+			CacheEffP25:         cacheP25[a],
+			CacheEffP75:         cacheP75[a],
+			ContainerEffP25:     contP25[a],
+			ContainerEffP75:     contP75[a],
+		}
+	}
+	return points, nil
+}
+
+// OperationalZone locates the paper's Figure 8 bounds on the swept
+// curve: the lowest α whose cache efficiency reaches minCacheEff
+// (default 0.30, the "thrashing zone" boundary) and the highest α
+// whose write amplification stays at or below maxWriteAmp (default
+// 2.0, the "excessive image size" boundary). ok is false when no α
+// satisfies both.
+func OperationalZone(points []SweepPoint, minCacheEff, maxWriteAmp float64) (lo, hi float64, ok bool) {
+	if minCacheEff <= 0 {
+		minCacheEff = 0.30
+	}
+	if maxWriteAmp <= 0 {
+		maxWriteAmp = 2.0
+	}
+	lo, hi = -1, -1
+	for _, p := range points {
+		if p.CacheEfficiency >= minCacheEff && p.WriteAmplification() <= maxWriteAmp {
+			if lo < 0 {
+				lo = p.Alpha
+			}
+			hi = p.Alpha
+		}
+	}
+	return lo, hi, lo >= 0
+}

@@ -1,0 +1,40 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"repro/internal/pkggraph"
+	"repro/internal/similarity"
+	"repro/internal/spec"
+)
+
+// ExampleJaccardDistance shows the paper's merge-threshold arithmetic:
+// specifications sharing half their union are at distance 0.5.
+func ExampleJaccardDistance() {
+	a := spec.New([]pkggraph.PkgID{1, 2, 3})
+	b := spec.New([]pkggraph.PkgID{2, 3, 4})
+	fmt.Printf("d = %.2f\n", similarity.JaccardDistance(a, b))
+	// At alpha 0.75, these two would be merged; at alpha 0.4 they
+	// would remain separate images.
+
+	// Output:
+	// d = 0.50
+}
+
+// ExampleHasher_Sign shows MinHash signatures estimating distance in
+// O(k) independent of specification size.
+func ExampleHasher_Sign() {
+	h := similarity.MustNewHasher(256, 42)
+	big := make([]pkggraph.PkgID, 1000)
+	for i := range big {
+		big[i] = pkggraph.PkgID(i)
+	}
+	a := spec.New(big)       // {0..999}
+	b := spec.New(big[:900]) // {0..899}: similarity 0.9
+	exact := similarity.JaccardDistance(a, b)
+	est := similarity.EstimateDistance(h.Sign(a), h.Sign(b))
+	fmt.Printf("exact %.2f, estimate within 0.1: %v\n", exact, est > exact-0.1 && est < exact+0.1)
+
+	// Output:
+	// exact 0.10, estimate within 0.1: true
+}

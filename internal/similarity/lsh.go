@@ -1,0 +1,143 @@
+package similarity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LSHIndex is a banded locality-sensitive index over MinHash
+// signatures, for retrieving merge candidates from image populations
+// far larger than a linear scan can serve (site-wide registries with
+// tens of thousands of images, rather than the tens a single head-node
+// cache holds).
+//
+// Signatures of length bands*rows are cut into `bands` bands of `rows`
+// values; two sets collide when any band matches exactly. The
+// probability that sets with Jaccard similarity s share a band is
+//
+//	1 - (1 - s^rows)^bands
+//
+// With rows=1 the index retrieves even weakly similar sets with high
+// probability (miss probability (1-s)^bands), which suits LANDLORD's
+// merge search where the interesting similarity threshold 1-α can be
+// as low as 0.05. Larger rows sharpen the cutoff for high-similarity
+// retrieval at the cost of recall below it.
+//
+// Retrieval is probabilistic: a true candidate can be missed, so an
+// index-backed search is an approximation of Algorithm 1's exact scan.
+// The index is not safe for concurrent use.
+type LSHIndex struct {
+	bands, rows int
+	tables      []map[uint64][]uint64 // band -> band hash -> ids
+	sigs        map[uint64]Signature  // id -> signature (for Remove)
+}
+
+// NewLSHIndex creates an index for signatures of length bands*rows.
+func NewLSHIndex(bands, rows int) (*LSHIndex, error) {
+	if bands < 1 || rows < 1 {
+		return nil, fmt.Errorf("similarity: LSH needs bands >= 1 and rows >= 1, got %d x %d", bands, rows)
+	}
+	x := &LSHIndex{
+		bands:  bands,
+		rows:   rows,
+		tables: make([]map[uint64][]uint64, bands),
+		sigs:   make(map[uint64]Signature, 64),
+	}
+	for i := range x.tables {
+		x.tables[i] = make(map[uint64][]uint64)
+	}
+	return x, nil
+}
+
+// SignatureLen returns the signature length the index expects.
+func (x *LSHIndex) SignatureLen() int { return x.bands * x.rows }
+
+// Len returns the number of indexed sets.
+func (x *LSHIndex) Len() int { return len(x.sigs) }
+
+// bandHash mixes one band of the signature into a bucket key.
+func bandHash(band Signature) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range band {
+		h ^= v
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return h
+}
+
+// Insert adds a set under id. Inserting an id that is already present
+// is an error; use Update to change a signature.
+func (x *LSHIndex) Insert(id uint64, sig Signature) error {
+	if len(sig) != x.SignatureLen() {
+		return fmt.Errorf("similarity: signature length %d, index expects %d", len(sig), x.SignatureLen())
+	}
+	if _, dup := x.sigs[id]; dup {
+		return fmt.Errorf("similarity: id %d already indexed", id)
+	}
+	own := make(Signature, len(sig))
+	copy(own, sig)
+	x.sigs[id] = own
+	for b := 0; b < x.bands; b++ {
+		key := bandHash(own[b*x.rows : (b+1)*x.rows])
+		x.tables[b][key] = append(x.tables[b][key], id)
+	}
+	return nil
+}
+
+// Remove deletes an id from the index. Removing an absent id is a
+// no-op.
+func (x *LSHIndex) Remove(id uint64) {
+	sig, ok := x.sigs[id]
+	if !ok {
+		return
+	}
+	delete(x.sigs, id)
+	for b := 0; b < x.bands; b++ {
+		key := bandHash(sig[b*x.rows : (b+1)*x.rows])
+		bucket := x.tables[b][key]
+		for i, v := range bucket {
+			if v == id {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(x.tables[b], key)
+		} else {
+			x.tables[b][key] = bucket
+		}
+	}
+}
+
+// Update replaces an id's signature (for merged images whose contents
+// grew).
+func (x *LSHIndex) Update(id uint64, sig Signature) error {
+	if len(sig) != x.SignatureLen() {
+		return fmt.Errorf("similarity: signature length %d, index expects %d", len(sig), x.SignatureLen())
+	}
+	x.Remove(id)
+	return x.Insert(id, sig)
+}
+
+// Candidates returns the ids sharing at least one band with sig, in
+// ascending order. The query itself (if indexed) is included.
+func (x *LSHIndex) Candidates(sig Signature) ([]uint64, error) {
+	if len(sig) != x.SignatureLen() {
+		return nil, fmt.Errorf("similarity: signature length %d, index expects %d", len(sig), x.SignatureLen())
+	}
+	seen := make(map[uint64]struct{})
+	for b := 0; b < x.bands; b++ {
+		key := bandHash(sig[b*x.rows : (b+1)*x.rows])
+		for _, id := range x.tables[b][key] {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}

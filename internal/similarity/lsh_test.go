@@ -1,0 +1,192 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+func TestNewLSHIndexValidation(t *testing.T) {
+	if _, err := NewLSHIndex(0, 1); err == nil {
+		t.Error("bands=0 accepted")
+	}
+	if _, err := NewLSHIndex(1, 0); err == nil {
+		t.Error("rows=0 accepted")
+	}
+	x, err := NewLSHIndex(16, 4)
+	if err != nil || x.SignatureLen() != 64 {
+		t.Fatalf("NewLSHIndex: %v, len=%d", err, x.SignatureLen())
+	}
+}
+
+func TestLSHInsertRemove(t *testing.T) {
+	x, _ := NewLSHIndex(8, 2)
+	h := MustNewHasher(16, 1)
+	sig := h.Sign(sp(1, 2, 3))
+	if err := x.Insert(7, sig); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if err := x.Insert(7, sig); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	cands, err := x.Candidates(sig)
+	if err != nil || len(cands) != 1 || cands[0] != 7 {
+		t.Fatalf("Candidates = %v, %v", cands, err)
+	}
+	x.Remove(7)
+	if x.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	x.Remove(7) // no-op
+	cands, _ = x.Candidates(sig)
+	if len(cands) != 0 {
+		t.Fatalf("stale candidates: %v", cands)
+	}
+}
+
+func TestLSHLengthMismatch(t *testing.T) {
+	x, _ := NewLSHIndex(8, 2)
+	short := make(Signature, 4)
+	if err := x.Insert(1, short); err == nil {
+		t.Error("short insert accepted")
+	}
+	if err := x.Update(1, short); err == nil {
+		t.Error("short update accepted")
+	}
+	if _, err := x.Candidates(short); err == nil {
+		t.Error("short query accepted")
+	}
+}
+
+func TestLSHIdenticalSetsAlwaysCollide(t *testing.T) {
+	x, _ := NewLSHIndex(16, 4)
+	h := MustNewHasher(64, 2)
+	a := h.Sign(sp(10, 20, 30, 40))
+	b := h.Sign(sp(40, 30, 20, 10))
+	x.Insert(1, a)
+	cands, _ := x.Candidates(b)
+	if len(cands) != 1 || cands[0] != 1 {
+		t.Fatalf("identical sets did not collide: %v", cands)
+	}
+}
+
+func TestLSHInsertCopiesSignature(t *testing.T) {
+	x, _ := NewLSHIndex(4, 1)
+	h := MustNewHasher(4, 3)
+	sig := h.Sign(sp(1, 2))
+	x.Insert(1, sig)
+	sig[0] = 12345 // caller mutates its slice
+	cands, _ := x.Candidates(h.Sign(sp(1, 2)))
+	if len(cands) != 1 {
+		t.Fatal("index shared caller's slice")
+	}
+}
+
+func TestLSHUpdate(t *testing.T) {
+	x, _ := NewLSHIndex(16, 1)
+	h := MustNewHasher(16, 4)
+	old := h.Sign(sp(1, 2, 3))
+	x.Insert(5, old)
+	grown := h.Sign(sp(1, 2, 3, 4, 5, 6))
+	if err := x.Update(5, grown); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d after update", x.Len())
+	}
+	cands, _ := x.Candidates(grown)
+	if len(cands) != 1 || cands[0] != 5 {
+		t.Fatalf("updated signature not retrievable: %v", cands)
+	}
+}
+
+// TestLSHRecall checks the banded retrieval probability: with rows=1
+// and 64 bands, sets sharing >= 25% similarity must essentially always
+// be retrieved, while retrieval of unrelated sets stays rare.
+func TestLSHRecall(t *testing.T) {
+	const k = 64
+	h := MustNewHasher(k, 7)
+	x, _ := NewLSHIndex(k, 1)
+	rng := rand.New(rand.NewSource(9))
+
+	base := make([]pkggraph.PkgID, 200)
+	for i := range base {
+		base[i] = pkggraph.PkgID(i)
+	}
+	query := spec.New(base)
+
+	// 40 similar sets (share half of base) and 40 disjoint sets.
+	for i := 0; i < 40; i++ {
+		ids := append([]pkggraph.PkgID{}, base[:100]...)
+		for j := 0; j < 100; j++ {
+			ids = append(ids, pkggraph.PkgID(10000+i*1000+rng.Intn(900)))
+		}
+		x.Insert(uint64(i), h.Sign(spec.New(ids)))
+	}
+	for i := 0; i < 40; i++ {
+		ids := make([]pkggraph.PkgID, 200)
+		for j := range ids {
+			ids[j] = pkggraph.PkgID(100000 + i*1000 + j)
+		}
+		x.Insert(uint64(1000+i), h.Sign(spec.New(ids)))
+	}
+
+	cands, err := x.Candidates(h.Sign(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	similar, disjoint := 0, 0
+	for _, id := range cands {
+		if id < 1000 {
+			similar++
+		} else {
+			disjoint++
+		}
+	}
+	// Similar sets have s ~= 1/3: miss probability (2/3)^64 ~ 0. All 40
+	// must be retrieved.
+	if similar < 38 {
+		t.Errorf("retrieved %d/40 similar sets", similar)
+	}
+	// Disjoint sets only collide through hash accidents.
+	if disjoint > 4 {
+		t.Errorf("retrieved %d/40 disjoint sets", disjoint)
+	}
+}
+
+// TestLSHRowsSharpenCutoff verifies that more rows per band suppress
+// weakly similar candidates.
+func TestLSHRowsSharpenCutoff(t *testing.T) {
+	const k = 64
+	h := MustNewHasher(k, 11)
+	sharp, _ := NewLSHIndex(8, 8) // s must be high to match 8 rows
+	rng := rand.New(rand.NewSource(4))
+
+	// Weakly similar set: ~10% overlap with the query.
+	query := make([]pkggraph.PkgID, 100)
+	for i := range query {
+		query[i] = pkggraph.PkgID(i)
+	}
+	weak := append([]pkggraph.PkgID{}, query[:10]...)
+	for j := 0; j < 90; j++ {
+		weak = append(weak, pkggraph.PkgID(5000+rng.Intn(5000)))
+	}
+	sharp.Insert(1, h.Sign(spec.New(weak)))
+	cands, _ := sharp.Candidates(h.Sign(spec.New(query)))
+	if len(cands) != 0 {
+		t.Errorf("8-row bands retrieved a ~5%%-similar set: %v", cands)
+	}
+
+	// The same pair under rows=1 is found essentially always.
+	loose, _ := NewLSHIndex(64, 1)
+	loose.Insert(1, h.Sign(spec.New(weak)))
+	cands, _ = loose.Candidates(h.Sign(spec.New(query)))
+	if len(cands) != 1 {
+		t.Errorf("1-row bands missed a ~5%%-similar set")
+	}
+}

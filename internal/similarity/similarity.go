@@ -1,0 +1,143 @@
+// Package similarity implements the specification similarity metric at
+// the heart of LANDLORD's merge policy: the Jaccard distance over
+// package sets, plus the MinHash sketch (Broder 1997) the paper cites
+// as "a constant-time approximation of the Jaccard metric … important
+// in practice due to the sizes of the data involved".
+package similarity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spec"
+)
+
+// JaccardDistance returns
+//
+//	d_j(A, B) = 1 - |A ∩ B| / |A ∪ B|
+//
+// for the package sets of a and b. Two empty specifications are defined
+// to have distance 0 (they are identical); an empty versus a non-empty
+// specification has distance 1.
+func JaccardDistance(a, b spec.Spec) float64 {
+	if a.Empty() && b.Empty() {
+		return 0
+	}
+	inter := a.IntersectionLen(b)
+	union := a.Len() + b.Len() - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+// JaccardSimilarity returns 1 - JaccardDistance(a, b).
+func JaccardSimilarity(a, b spec.Spec) float64 {
+	return 1 - JaccardDistance(a, b)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-distributed
+// 64-bit mixing function used to derive the K independent hash
+// functions MinHash requires.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Signature is a MinHash sketch: the per-hash-function minima over a
+// specification's package IDs. Signatures produced by the same Hasher
+// are comparable with EstimateDistance.
+type Signature []uint64
+
+// Hasher produces MinHash signatures with k hash functions derived from
+// a seed. A Hasher is immutable and safe for concurrent use.
+type Hasher struct {
+	seeds []uint64
+}
+
+// NewHasher creates a Hasher with k hash functions (k >= 1). Larger k
+// reduces the estimator's standard error, which is about 1/sqrt(k).
+func NewHasher(k int, seed int64) (*Hasher, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("similarity: MinHash needs k >= 1, got %d", k)
+	}
+	h := &Hasher{seeds: make([]uint64, k)}
+	s := uint64(seed)
+	for i := range h.seeds {
+		s = splitmix64(s + uint64(i) + 1)
+		h.seeds[i] = s
+	}
+	return h, nil
+}
+
+// MustNewHasher is NewHasher that panics on error.
+func MustNewHasher(k int, seed int64) *Hasher {
+	h, err := NewHasher(k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// K returns the number of hash functions.
+func (h *Hasher) K() int { return len(h.seeds) }
+
+// Sign computes the MinHash signature of s. An empty specification
+// yields a signature of all math.MaxUint64, which estimates distance 0
+// against another empty signature and (almost surely) 1 against any
+// non-empty one — matching JaccardDistance's conventions.
+func (h *Hasher) Sign(s spec.Spec) Signature {
+	sig := make(Signature, len(h.seeds))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, id := range s.IDs() {
+		x := uint64(id) + 0x100000001
+		for i, seed := range h.seeds {
+			v := splitmix64(x ^ seed)
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// EstimateDistance estimates the Jaccard distance between the sets
+// underlying two signatures as the fraction of positions whose minima
+// differ. Both signatures must come from the same Hasher; it panics on
+// length mismatch because comparing sketches from different hashers is
+// meaningless and always a caller bug.
+func EstimateDistance(a, b Signature) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("similarity: signature length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return 1 - float64(same)/float64(len(a))
+}
+
+// MergeSignatures returns the signature of the union of the two
+// underlying sets: the positionwise minimum. This lets the cache
+// manager maintain the sketch of a merged image in O(k) without
+// re-signing the union.
+func MergeSignatures(a, b Signature) Signature {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("similarity: signature length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Signature, len(a))
+	for i := range a {
+		if a[i] < b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package spec
+
+import "repro/internal/pkggraph"
+
+// ConflictPolicy decides whether two specifications may be merged. The
+// paper notes that Jaccard similarity "does not capture conflicts
+// between components" and that compatibility checking is package-manager
+// specific; the policy is therefore pluggable and applied after distance
+// prioritization, exactly as Section V prescribes.
+type ConflictPolicy interface {
+	// Conflicts reports whether merging a and b would produce an
+	// unsatisfiable or broken image.
+	Conflicts(a, b Spec) bool
+}
+
+// NoConflicts is the policy for CVMFS-style append-only repositories,
+// where all versions coexist: "For LHC applications this is a non-issue,
+// since CVMFS is normally append-only and all previous versions remain
+// available."
+type NoConflicts struct{}
+
+// Conflicts always reports false.
+func (NoConflicts) Conflicts(a, b Spec) bool { return false }
+
+// SingleVersionPolicy models package managers in which certain families
+// (for example, a Python interpreter installed at a fixed prefix) admit
+// only one version per environment. Merging two specs that pin
+// different versions of such a family is a conflict.
+type SingleVersionPolicy struct {
+	repo *pkggraph.Repo
+	// exclusive holds the family names that cannot coexist in multiple
+	// versions. When nil, every family is exclusive.
+	exclusive map[string]bool
+}
+
+// NewSingleVersionPolicy builds a policy over repo. If families is
+// empty, every package family is treated as single-version.
+func NewSingleVersionPolicy(repo *pkggraph.Repo, families ...string) *SingleVersionPolicy {
+	p := &SingleVersionPolicy{repo: repo}
+	if len(families) > 0 {
+		p.exclusive = make(map[string]bool, len(families))
+		for _, f := range families {
+			p.exclusive[f] = true
+		}
+	}
+	return p
+}
+
+func (p *SingleVersionPolicy) isExclusive(name string) bool {
+	return p.exclusive == nil || p.exclusive[name]
+}
+
+// Conflicts reports whether a and b pin different versions of any
+// exclusive family.
+func (p *SingleVersionPolicy) Conflicts(a, b Spec) bool {
+	// Map family -> version package chosen by a, then check b against
+	// it. Only exclusive families participate.
+	versions := make(map[string]pkggraph.PkgID)
+	for _, id := range a.IDs() {
+		pkg := p.repo.Package(id)
+		if !p.isExclusive(pkg.Name) {
+			continue
+		}
+		if prev, ok := versions[pkg.Name]; ok && prev != id {
+			// a itself is internally conflicted; treat as conflicting
+			// with everything so it is never merged.
+			return true
+		}
+		versions[pkg.Name] = id
+	}
+	for _, id := range b.IDs() {
+		pkg := p.repo.Package(id)
+		if !p.isExclusive(pkg.Name) {
+			continue
+		}
+		if prev, ok := versions[pkg.Name]; ok && prev != id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// FuzzParse throws arbitrary text at the specification parser: it must
+// never panic, and anything it accepts must round-trip through Write.
+func FuzzParse(f *testing.F) {
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "p", Tier: pkggraph.TierCore, Size: 10, FileCount: 1},
+		{ID: 1, Name: "lib", Version: "2.0", Platform: "p", Tier: pkggraph.TierLibrary, Size: 5, FileCount: 1},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("base/1.0/p\n")
+	f.Add("# comment\nlib/2.0/p\n\nbase/1.0/p\n")
+	f.Add("")
+	f.Add("ghost/9/p\n")
+	f.Add("base/1.0/p\x00\xff\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseString(input, repo)
+		if err != nil {
+			return
+		}
+		// Accepted specs are canonical and re-serializable.
+		ids := s.IDs()
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("non-canonical spec from %q", input)
+			}
+		}
+		var sb stringsBuilder
+		if err := s.Write(&sb, repo); err != nil {
+			t.Fatalf("Write failed on accepted spec: %v", err)
+		}
+		back, err := ParseString(sb.String(), repo)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("round trip changed spec: %v vs %v", back.IDs(), s.IDs())
+		}
+	})
+}
+
+// stringsBuilder is a minimal io.Writer over a string (avoids
+// importing strings just for Builder in a fuzz file).
+type stringsBuilder struct{ buf []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *stringsBuilder) String() string { return string(b.buf) }

@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/pkggraph"
+)
+
+// Write renders the specification as text: one package key per line, in
+// a stable (key-sorted) order, so that equal specs serialize
+// identically. This is the format cmd/landlord and cmd/specgen exchange.
+func (s Spec) Write(w io.Writer, repo *pkggraph.Repo) error {
+	keys := make([]string, 0, len(s.ids))
+	for _, id := range s.ids {
+		keys = append(keys, repo.Package(id).Key())
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(bw, k); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the spec compactly for logs: up to eight keys followed
+// by an ellipsis with the total count.
+func (s Spec) String() string {
+	return fmt.Sprintf("spec(%d packages, hash %016x)", len(s.ids), s.Hash())
+}
+
+// Parse reads a textual specification: one package key per line, with
+// blank lines and lines starting with '#' ignored. Unknown keys are an
+// error; a specification that cannot be satisfied from the repository
+// must be rejected before it reaches the cache manager.
+func Parse(r io.Reader, repo *pkggraph.Repo) (Spec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ids []pkggraph.PkgID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		id, ok := repo.Lookup(text)
+		if !ok {
+			return Spec{}, fmt.Errorf("spec: line %d: unknown package %q", line, text)
+		}
+		ids = append(ids, id)
+	}
+	if err := sc.Err(); err != nil {
+		return Spec{}, fmt.Errorf("spec: reading: %w", err)
+	}
+	return New(ids), nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(text string, repo *pkggraph.Repo) (Spec, error) {
+	return Parse(strings.NewReader(text), repo)
+}

@@ -1,0 +1,189 @@
+// Package specscan derives container specifications from application
+// sources and logs — the paper's "simple analysis tools to
+// automatically generate specifications by scanning for Python import
+// statements, module load directives, or logs from previous jobs"
+// (Section V).
+//
+// Scanners extract requirement tokens; Resolve maps tokens to concrete
+// repository packages through a user-supplied Mapping (package naming
+// is site-specific, so the mapping is explicit rather than guessed).
+package specscan
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Mapping translates requirement tokens (Python module names, module
+// load arguments, log tokens) into repository package keys
+// (name/version/platform). Tokens without an entry are reported as
+// unresolved.
+type Mapping map[string]string
+
+var (
+	// import numpy / import numpy as np / import a.b, c.d
+	pyImportRe = regexp.MustCompile(`^\s*import\s+([\w\.,\s]+?)(?:\s+as\s+\w+)?\s*(?:#.*)?$`)
+	// from numpy import array
+	pyFromRe = regexp.MustCompile(`^\s*from\s+([\w\.]+)\s+import\s+`)
+	// module load gcc/8.2.0 root [possibly several]
+	moduleLoadRe = regexp.MustCompile(`^\s*module\s+(?:load|add)\s+(.+?)\s*(?:#.*)?$`)
+	// landlord log lines: "landlord: using package <key>"
+	logPackageRe = regexp.MustCompile(`landlord:\s+using\s+package\s+(\S+)`)
+)
+
+// ScanPythonImports extracts top-level imported module names from
+// Python source text. Submodule imports are reduced to their top-level
+// package ("numpy.linalg" -> "numpy"); duplicates are removed and the
+// result is sorted.
+func ScanPythonImports(src string) []string {
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := pyFromRe.FindStringSubmatch(line); m != nil {
+			seen[topLevel(m[1])] = true
+			continue
+		}
+		if m := pyImportRe.FindStringSubmatch(line); m != nil {
+			for _, part := range strings.Split(m[1], ",") {
+				name := strings.TrimSpace(part)
+				// "import x as y" on multi-import lines: drop the alias.
+				if i := strings.Index(name, " as "); i >= 0 {
+					name = name[:i]
+				}
+				if name != "" {
+					seen[topLevel(name)] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+func topLevel(module string) string {
+	if i := strings.IndexByte(module, '.'); i >= 0 {
+		return module[:i]
+	}
+	return module
+}
+
+// ScanModuleLoads extracts the arguments of `module load` / `module
+// add` directives from shell script text, sorted and de-duplicated.
+func ScanModuleLoads(src string) []string {
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if m := moduleLoadRe.FindStringSubmatch(sc.Text()); m != nil {
+			for _, tok := range strings.Fields(m[1]) {
+				seen[tok] = true
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// ScanJobLog extracts package keys recorded by a previous LANDLORD run
+// ("landlord: using package <key>" lines), the paper's runtime-tracing
+// fallback when static analysis is unavailable.
+func ScanJobLog(src string) []string {
+	seen := make(map[string]bool)
+	for _, m := range logPackageRe.FindAllStringSubmatch(src, -1) {
+		seen[m[1]] = true
+	}
+	return sortedKeys(seen)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScanFile dispatches on file extension: .py uses the Python scanner,
+// .sh/.bash the module scanner, .log the job-log scanner. Other
+// extensions are an error.
+func ScanFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".py":
+		return ScanPythonImports(string(data)), nil
+	case ".sh", ".bash":
+		return ScanModuleLoads(string(data)), nil
+	case ".log":
+		return ScanJobLog(string(data)), nil
+	default:
+		return nil, fmt.Errorf("specscan: unsupported file type %q", path)
+	}
+}
+
+// ScanDir walks a directory tree, scanning every supported file, and
+// returns the union of discovered tokens.
+func ScanDir(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".py", ".sh", ".bash", ".log":
+			tokens, err := ScanFile(path)
+			if err != nil {
+				return err
+			}
+			for _, tok := range tokens {
+				seen[tok] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sortedKeys(seen), nil
+}
+
+// Resolve maps tokens to packages and returns the dependency-closed
+// specification plus any unresolved tokens. A token resolves either
+// through the mapping or, failing that, directly as a package key.
+// Resolution succeeding for zero tokens is an error; a partially
+// resolved spec is returned with the unresolved remainder so callers
+// can decide whether to proceed.
+func Resolve(tokens []string, mapping Mapping, repo *pkggraph.Repo) (spec.Spec, []string, error) {
+	var ids []pkggraph.PkgID
+	var missing []string
+	for _, tok := range tokens {
+		key := tok
+		if mapped, ok := mapping[tok]; ok {
+			key = mapped
+		}
+		if id, ok := repo.Lookup(key); ok {
+			ids = append(ids, id)
+		} else {
+			missing = append(missing, tok)
+		}
+	}
+	if len(ids) == 0 {
+		return spec.Spec{}, missing, fmt.Errorf("specscan: no tokens resolved (%d unresolved)", len(missing))
+	}
+	return spec.WithClosure(repo, ids), missing, nil
+}

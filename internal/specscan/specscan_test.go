@@ -1,0 +1,166 @@
+package specscan
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+func TestScanPythonImports(t *testing.T) {
+	src := `#!/usr/bin/env python
+import numpy
+import scipy.linalg
+from pandas import DataFrame
+import os, sys
+import ROOT as r
+from uproot.models import TTree  # comment
+x = "import fake"  # not at start... but regex is line-based
+def f():
+    import json
+`
+	got := ScanPythonImports(src)
+	want := []string{"ROOT", "json", "numpy", "os", "pandas", "scipy", "sys", "uproot"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("imports = %v, want %v", got, want)
+	}
+}
+
+func TestScanPythonImportsMultiWithAlias(t *testing.T) {
+	got := ScanPythonImports("import numpy as np, scipy as sp\n")
+	want := []string{"numpy", "scipy"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("imports = %v, want %v", got, want)
+	}
+}
+
+func TestScanPythonImportsEmpty(t *testing.T) {
+	if got := ScanPythonImports("x = 1\n"); len(got) != 0 {
+		t.Fatalf("imports = %v, want none", got)
+	}
+}
+
+func TestScanModuleLoads(t *testing.T) {
+	src := `#!/bin/bash
+module load gcc/8.2.0
+module add root/6.18 geant4
+echo module load fake
+  module load python/3.8  # with comment
+`
+	got := ScanModuleLoads(src)
+	want := []string{"gcc/8.2.0", "geant4", "python/3.8", "root/6.18"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("modules = %v, want %v", got, want)
+	}
+}
+
+func TestScanJobLog(t *testing.T) {
+	src := `starting job
+landlord: using package root/6.18/x86
+landlord: using package gcc/8.2/x86
+landlord: using package root/6.18/x86
+job done
+`
+	got := ScanJobLog(src)
+	want := []string{"gcc/8.2/x86", "root/6.18/x86"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("log packages = %v, want %v", got, want)
+	}
+}
+
+func TestScanFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	py := filepath.Join(dir, "a.py")
+	os.WriteFile(py, []byte("import numpy\n"), 0o644)
+	sh := filepath.Join(dir, "b.sh")
+	os.WriteFile(sh, []byte("module load gcc/8\n"), 0o644)
+	lg := filepath.Join(dir, "c.log")
+	os.WriteFile(lg, []byte("landlord: using package k/1/p\n"), 0o644)
+	other := filepath.Join(dir, "d.txt")
+	os.WriteFile(other, []byte("x"), 0o644)
+
+	if got, err := ScanFile(py); err != nil || len(got) != 1 || got[0] != "numpy" {
+		t.Fatalf("py scan: %v %v", got, err)
+	}
+	if got, err := ScanFile(sh); err != nil || len(got) != 1 || got[0] != "gcc/8" {
+		t.Fatalf("sh scan: %v %v", got, err)
+	}
+	if got, err := ScanFile(lg); err != nil || len(got) != 1 || got[0] != "k/1/p" {
+		t.Fatalf("log scan: %v %v", got, err)
+	}
+	if _, err := ScanFile(other); err == nil {
+		t.Fatal("unsupported extension accepted")
+	}
+	if _, err := ScanFile(filepath.Join(dir, "missing.py")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	os.MkdirAll(filepath.Join(dir, "sub"), 0o755)
+	os.WriteFile(filepath.Join(dir, "a.py"), []byte("import numpy\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "sub", "b.sh"), []byte("module load gcc/8\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "ignore.txt"), []byte("import fake\n"), 0o644)
+	got, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gcc/8", "numpy"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dir scan = %v, want %v", got, want)
+	}
+	if _, err := ScanDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func testRepo(t *testing.T) *pkggraph.Repo {
+	t.Helper()
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "base", Version: "1.0", Platform: "p", Tier: pkggraph.TierCore, Size: 100, FileCount: 1},
+		{ID: 1, Name: "numpy", Version: "1.18", Platform: "p", Tier: pkggraph.TierLibrary, Size: 50, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+		{ID: 2, Name: "gcc", Version: "8.2", Platform: "p", Tier: pkggraph.TierFramework, Size: 70, FileCount: 1, Deps: []pkggraph.PkgID{0}},
+	}
+	r, err := pkggraph.New(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResolveWithMapping(t *testing.T) {
+	repo := testRepo(t)
+	mapping := Mapping{"numpy": "numpy/1.18/p", "gcc/8.2.0": "gcc/8.2/p"}
+	s, missing, err := Resolve([]string{"numpy", "gcc/8.2.0", "mystery"}, mapping, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != "mystery" {
+		t.Fatalf("missing = %v", missing)
+	}
+	// Closure pulls in base.
+	if s.Len() != 3 {
+		t.Fatalf("spec len = %d, want 3 (numpy, gcc, base)", s.Len())
+	}
+}
+
+func TestResolveDirectKey(t *testing.T) {
+	repo := testRepo(t)
+	s, missing, err := Resolve([]string{"numpy/1.18/p"}, nil, repo)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("direct key resolve failed: %v %v", missing, err)
+	}
+	if !s.Contains(1) || !s.Contains(0) {
+		t.Fatal("closure missing packages")
+	}
+}
+
+func TestResolveNothing(t *testing.T) {
+	repo := testRepo(t)
+	if _, _, err := Resolve([]string{"ghost"}, nil, repo); err == nil {
+		t.Fatal("expected error when nothing resolves")
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "fmt"
+
+// Byte size units used throughout the simulator. These are binary
+// multiples to match how the paper's cache sizes (e.g. 1.4 TB) are
+// treated as raw byte capacities.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// FormatBytes renders n as a human-readable size with two decimals,
+// choosing the largest unit that keeps the value at or above one.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.2fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.2fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.2fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// BytesToGB converts a byte count to binary gigabytes as a float, the
+// unit most of the paper's figures use on their y axes.
+func BytesToGB(n int64) float64 { return float64(n) / float64(GB) }
+
+// BytesToTB converts a byte count to binary terabytes as a float.
+func BytesToTB(n int64) float64 { return float64(n) / float64(TB) }

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// FuzzLoad feeds arbitrary bytes to the trace loader: it must reject
+// or accept without panicking, and accepted traces must re-serialize.
+func FuzzLoad(f *testing.F) {
+	pkgs := []pkggraph.Package{
+		{ID: 0, Name: "a", Version: "1", Platform: "p", Tier: pkggraph.TierCore, Size: 1, FileCount: 1},
+		{ID: 1, Name: "b", Version: "1", Platform: "p", Tier: pkggraph.TierCore, Size: 1, FileCount: 1},
+	}
+	repo, err := pkggraph.New(pkgs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(`{"seq":0,"packages":["a/1/p"]}` + "\n")
+	f.Add(`{"seq":0,"packages":["a/1/p","b/1/p"]}` + "\n" + `{"seq":1,"packages":[]}` + "\n")
+	f.Add(`{"seq":5}` + "\n")
+	f.Add(`not json`)
+	f.Add("")
+	f.Add(`{"seq":0,"packages":["ghost/1/p"]}` + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		stream, err := Load(strings.NewReader(input), repo)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Save(&sb, repo, stream); err != nil {
+			t.Fatalf("Save failed on accepted trace: %v", err)
+		}
+		back, err := Load(strings.NewReader(sb.String()), repo)
+		if err != nil {
+			t.Fatalf("round trip load failed: %v", err)
+		}
+		if len(back) != len(stream) {
+			t.Fatalf("round trip length %d vs %d", len(back), len(stream))
+		}
+		for i := range back {
+			if !back[i].Equal(stream[i]) {
+				t.Fatalf("round trip changed request %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package trace records and replays job request streams as JSON lines,
+// enabling the paper's trace-driven simulation methodology: a stream
+// generated once (or captured from a real submission system) can be
+// replayed against any cache configuration.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Record is one traced job request.
+type Record struct {
+	// Seq is the request's position in the stream, starting at 0.
+	Seq int `json:"seq"`
+	// Packages lists the required package keys (name/version/platform).
+	Packages []string `json:"packages"`
+}
+
+// Save writes the stream to w, one JSON record per line.
+func Save(w io.Writer, repo *pkggraph.Repo, stream []spec.Spec) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, s := range stream {
+		rec := Record{Seq: i, Packages: make([]string, 0, s.Len())}
+		for _, id := range s.IDs() {
+			rec.Packages = append(rec.Packages, repo.Package(id).Key())
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("trace: encoding request %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the stream to the named file.
+func SaveFile(path string, repo *pkggraph.Repo, stream []spec.Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, repo, stream); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a stream saved by Save, resolving package keys against
+// repo. Records must appear in Seq order; gaps or reordering are
+// errors, since a scrambled trace silently changes the experiment.
+func Load(r io.Reader, repo *pkggraph.Repo) ([]spec.Spec, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var stream []spec.Spec
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding request %d: %w", len(stream), err)
+		}
+		if rec.Seq != len(stream) {
+			return nil, fmt.Errorf("trace: record %d has seq %d (out of order or gap)", len(stream), rec.Seq)
+		}
+		ids := make([]pkggraph.PkgID, 0, len(rec.Packages))
+		for _, key := range rec.Packages {
+			id, ok := repo.Lookup(key)
+			if !ok {
+				return nil, fmt.Errorf("trace: request %d references unknown package %q", rec.Seq, key)
+			}
+			ids = append(ids, id)
+		}
+		stream = append(stream, spec.New(ids))
+	}
+	return stream, nil
+}
+
+// LoadFile reads a stream from the named file.
+func LoadFile(path string, repo *pkggraph.Repo) ([]spec.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, repo)
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func testRepo(t *testing.T) *pkggraph.Repo {
+	t.Helper()
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 5
+	cfg.LibraryFamilies = 20
+	cfg.ApplicationFamilies = 33
+	return pkggraph.MustGenerate(cfg, 42)
+}
+
+func TestRoundTrip(t *testing.T) {
+	repo := testRepo(t)
+	stream, err := workload.Stream(workload.NewDepClosure(repo, 1), 10, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, repo, stream); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf, repo)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded) != len(stream) {
+		t.Fatalf("len = %d, want %d", len(loaded), len(stream))
+	}
+	for i := range stream {
+		if !loaded[i].Equal(stream[i]) {
+			t.Fatalf("request %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsGap(t *testing.T) {
+	repo := testRepo(t)
+	text := `{"seq":0,"packages":[]}` + "\n" + `{"seq":2,"packages":[]}` + "\n"
+	if _, err := Load(strings.NewReader(text), repo); err == nil {
+		t.Fatal("expected error for seq gap")
+	}
+}
+
+func TestLoadRejectsUnknownPackage(t *testing.T) {
+	repo := testRepo(t)
+	text := `{"seq":0,"packages":["ghost/1.0/p"]}` + "\n"
+	if _, err := Load(strings.NewReader(text), repo); err == nil {
+		t.Fatal("expected error for unknown package")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	repo := testRepo(t)
+	if _, err := Load(strings.NewReader("not json\n"), repo); err == nil {
+		t.Fatal("expected error for malformed input")
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	repo := testRepo(t)
+	stream, err := Load(strings.NewReader(""), repo)
+	if err != nil {
+		t.Fatalf("Load empty: %v", err)
+	}
+	if len(stream) != 0 {
+		t.Fatalf("empty trace produced %d requests", len(stream))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	repo := testRepo(t)
+	path := t.TempDir() + "/trace.jsonl"
+	stream := []spec.Spec{spec.New([]pkggraph.PkgID{0, 1})}
+	if err := SaveFile(path, repo, stream); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path, repo)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(loaded) != 1 || !loaded[0].Equal(stream[0]) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFile(t.TempDir()+"/missing", repo); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Evolving models the workload drift the paper's introduction
+// describes: "as a user's work evolves, different jobs need different
+// software, and new containers are generated". A fixed population of
+// users each maintains a current specification; every submission comes
+// from a random user, who with some probability first mutates their
+// spec — swapping a package for a different version ("version
+// upgrade") or replacing part of their selection ("new analysis").
+//
+// Under drift, merged images steadily accumulate packages no current
+// job needs — precisely the bloat that image splitting (core.Prune)
+// and LRU eviction exist to shed.
+type Evolving struct {
+	repo *pkggraph.Repo
+	rng  *rand.Rand
+
+	// MutateProb is the chance a user's spec drifts before submitting.
+	MutateProb float64
+	// UpgradeProb is the chance a mutation is a version upgrade of one
+	// package family; otherwise one initial package is replaced by a
+	// fresh uniform pick.
+	UpgradeProb float64
+
+	users [][]pkggraph.PkgID // each user's current initial selection
+}
+
+// NewEvolving creates a drifting population. Each user starts with an
+// initial selection of up to maxInitial packages (like the dependency
+// scheme); defaults: 30% mutation chance per submission, 50% of
+// mutations are version upgrades.
+func NewEvolving(repo *pkggraph.Repo, users, maxInitial int, seed int64) (*Evolving, error) {
+	if users < 1 {
+		return nil, fmt.Errorf("workload: need at least one user, got %d", users)
+	}
+	if maxInitial < 1 {
+		return nil, fmt.Errorf("workload: maxInitial must be >= 1, got %d", maxInitial)
+	}
+	e := &Evolving{
+		repo:        repo,
+		rng:         rand.New(rand.NewSource(seed)),
+		MutateProb:  0.3,
+		UpgradeProb: 0.5,
+	}
+	for u := 0; u < users; u++ {
+		n := 1 + e.rng.Intn(maxInitial)
+		if n > repo.Len() {
+			n = repo.Len()
+		}
+		seen := make(map[pkggraph.PkgID]bool, n)
+		sel := make([]pkggraph.PkgID, 0, n)
+		for len(sel) < n {
+			id := pkggraph.PkgID(e.rng.Intn(repo.Len()))
+			if !seen[id] {
+				seen[id] = true
+				sel = append(sel, id)
+			}
+		}
+		e.users = append(e.users, sel)
+	}
+	return e, nil
+}
+
+// Users returns the population size.
+func (e *Evolving) Users() int { return len(e.users) }
+
+// Next picks a user, possibly mutates their selection, and returns its
+// dependency closure.
+func (e *Evolving) Next() spec.Spec {
+	u := e.rng.Intn(len(e.users))
+	if e.rng.Float64() < e.MutateProb {
+		e.mutate(u)
+	}
+	return spec.WithClosure(e.repo, e.users[u])
+}
+
+// mutate drifts one user's selection in place.
+func (e *Evolving) mutate(u int) {
+	sel := e.users[u]
+	i := e.rng.Intn(len(sel))
+	if e.rng.Float64() < e.UpgradeProb {
+		// Version upgrade: swap the package for a sibling version of
+		// the same family.
+		fam := e.repo.FamilyVersions(e.repo.Package(sel[i]).Name)
+		if len(fam) > 1 {
+			sel[i] = fam[e.rng.Intn(len(fam))]
+			return
+		}
+		// Single-version family: fall through to replacement.
+	}
+	// Replacement: a fresh uniform pick not already selected.
+	for tries := 0; tries < 16; tries++ {
+		id := pkggraph.PkgID(e.rng.Intn(e.repo.Len()))
+		dup := false
+		for _, s := range sel {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sel[i] = id
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package workload_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pkggraph"
+	"repro/internal/workload"
+)
+
+// Example builds the paper's standard request stream: unique
+// dependency-closed jobs, each repeated, shuffled.
+func Example() {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 3
+	cfg.FrameworkFamilies = 8
+	cfg.LibraryFamilies = 37
+	cfg.ApplicationFamilies = 72
+	repo, err := pkggraph.Generate(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := workload.NewDepClosure(repo, 7)
+	gen.MaxInitial = 5 // paper default is 100; small for the example
+
+	stream, err := workload.Stream(gen, 10, 3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requests: %d\n", len(stream))
+
+	// Every spec is dependency-closed: closing it again is a no-op.
+	closed := 0
+	for _, s := range stream {
+		if len(repo.Closure(s.IDs())) == s.Len() {
+			closed++
+		}
+	}
+	fmt.Printf("dependency-closed: %d\n", closed)
+
+	// Output:
+	// requests: 30
+	// dependency-closed: 30
+}

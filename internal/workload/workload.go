@@ -1,0 +1,171 @@
+// Package workload generates simulated HTC job request streams, the
+// two schemes of Section VI:
+//
+//   - the dependency scheme: "for each simulated request, we chose a
+//     random selection of packages and then added the closure of the
+//     package dependencies", with the initial selection capped at 100
+//     packages;
+//   - the uniform random scheme of Figure 7: images with the same
+//     cardinality as dependency-scheme images but contents chosen
+//     uniformly at random from the whole repository, "ignoring usage
+//     information and package dependencies".
+//
+// Streams are built from a pool of unique specifications, each repeated
+// a configurable number of times in a shuffled order (Figure 5 uses 500
+// unique jobs repeated five times). All randomness is seeded and
+// deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// Generator produces one job specification per call.
+type Generator interface {
+	// Next returns the next specification in the stream.
+	Next() spec.Spec
+}
+
+// DepClosure implements the paper's dependency scheme.
+type DepClosure struct {
+	repo *pkggraph.Repo
+	rng  *rand.Rand
+	// MinInitial and MaxInitial bound the uniform random size of the
+	// initial package selection (before closure). The paper uses "up
+	// to 100 packages".
+	MinInitial, MaxInitial int
+}
+
+// NewDepClosure creates a dependency-scheme generator with the paper's
+// defaults (initial selections of 1..100 packages).
+func NewDepClosure(repo *pkggraph.Repo, seed int64) *DepClosure {
+	return &DepClosure{
+		repo:       repo,
+		rng:        rand.New(rand.NewSource(seed)),
+		MinInitial: 1,
+		MaxInitial: 100,
+	}
+}
+
+// Next picks a uniform random initial selection and closes it over the
+// dependency graph.
+func (g *DepClosure) Next() spec.Spec {
+	n := g.MinInitial
+	if g.MaxInitial > g.MinInitial {
+		n += g.rng.Intn(g.MaxInitial - g.MinInitial + 1)
+	}
+	if n > g.repo.Len() {
+		n = g.repo.Len()
+	}
+	seen := make(map[pkggraph.PkgID]bool, n)
+	initial := make([]pkggraph.PkgID, 0, n)
+	for len(initial) < n {
+		id := pkggraph.PkgID(g.rng.Intn(g.repo.Len()))
+		if !seen[id] {
+			seen[id] = true
+			initial = append(initial, id)
+		}
+	}
+	return spec.WithClosure(g.repo, initial)
+}
+
+// UniformRandom implements the Figure 7 scheme: each image matches the
+// cardinality of a dependency-scheme image but its packages are chosen
+// uniformly at random with no structure.
+type UniformRandom struct {
+	repo  *pkggraph.Repo
+	rng   *rand.Rand
+	inner *DepClosure
+}
+
+// NewUniformRandom creates the random-scheme generator. It draws
+// cardinalities from an embedded dependency-scheme generator so the two
+// schemes produce size-comparable images, exactly as the paper does.
+func NewUniformRandom(repo *pkggraph.Repo, seed int64) *UniformRandom {
+	return &UniformRandom{
+		repo:  repo,
+		rng:   rand.New(rand.NewSource(seed + 1)),
+		inner: NewDepClosure(repo, seed),
+	}
+}
+
+// Next returns a structureless image with dependency-scheme cardinality.
+func (g *UniformRandom) Next() spec.Spec {
+	n := g.inner.Next().Len()
+	if n > g.repo.Len() {
+		n = g.repo.Len()
+	}
+	seen := make(map[pkggraph.PkgID]bool, n)
+	ids := make([]pkggraph.PkgID, 0, n)
+	for len(ids) < n {
+		id := pkggraph.PkgID(g.rng.Intn(g.repo.Len()))
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return spec.New(ids)
+}
+
+// UniqueSpecs draws from gen until n distinct specifications (by
+// content) have been collected. It errors out if the generator fails to
+// produce a fresh spec after a large number of attempts, which
+// indicates the repository is too small for the requested pool.
+func UniqueSpecs(gen Generator, n int) ([]spec.Spec, error) {
+	specs := make([]spec.Spec, 0, n)
+	byHash := make(map[uint64][]spec.Spec, n)
+	attempts := 0
+	for len(specs) < n {
+		attempts++
+		if attempts > 100*n+1000 {
+			return nil, fmt.Errorf("workload: could not find %d unique specs after %d attempts", n, attempts)
+		}
+		s := gen.Next()
+		dup := false
+		for _, prev := range byHash[s.Hash()] {
+			if prev.Equal(s) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		byHash[s.Hash()] = append(byHash[s.Hash()], s)
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// RepeatShuffled builds the request stream: every spec appears exactly
+// repeats times, in an order shuffled deterministically by seed. This
+// models concurrent submission of jobs "from many different versions of
+// an application".
+func RepeatShuffled(specs []spec.Spec, repeats int, seed int64) []spec.Spec {
+	if repeats < 1 {
+		repeats = 1
+	}
+	stream := make([]spec.Spec, 0, len(specs)*repeats)
+	for r := 0; r < repeats; r++ {
+		stream = append(stream, specs...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(stream), func(i, j int) {
+		stream[i], stream[j] = stream[j], stream[i]
+	})
+	return stream
+}
+
+// Stream is a convenience: draw n unique specs from gen and repeat each
+// `repeats` times in shuffled order.
+func Stream(gen Generator, n, repeats int, seed int64) ([]spec.Spec, error) {
+	specs, err := UniqueSpecs(gen, n)
+	if err != nil {
+		return nil, err
+	}
+	return RepeatShuffled(specs, repeats, seed), nil
+}
