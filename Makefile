@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz examples experiments clean
+.PHONY: all build vet test test-short race bench fuzz examples experiments clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrency-bearing packages: the
+# telemetry registry/ring, the HTTP service, the sweep worker pool,
+# and the multi-site cluster.
+race:
+	$(GO) test -race ./internal/telemetry ./internal/server ./internal/sim ./internal/cluster ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -29,6 +29,7 @@ import (
 	"runtime"
 
 	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
 )
 
 // options carries the global flags shared by all subcommands.
@@ -47,10 +48,14 @@ type options struct {
 	traceFile  string
 	random     bool
 	csvDir     string
+	eventsFile string
 
 	// out receives all experiment output (stdout in the binary,
 	// buffers in tests).
 	out io.Writer
+	// tracer is the request-event hook built from -events (nil when
+	// event logging is off). Tests inject their own.
+	tracer telemetry.Tracer
 }
 
 func usage() {
@@ -103,6 +108,7 @@ func main() {
 	fs.StringVar(&opt.traceFile, "trace", "", "trace file for trace-gen / replay")
 	fs.BoolVar(&opt.random, "random", false, "use the uniform-random workload (trace-gen)")
 	fs.StringVar(&opt.csvDir, "csv", "", "also write machine-readable CSV files into this directory")
+	fs.StringVar(&opt.eventsFile, "events", "", "write one JSONL telemetry event per simulated request to this file ('-' for stderr)")
 
 	run, ok := commands[cmd]
 	if !ok {
@@ -117,6 +123,16 @@ func main() {
 		opt.repeats = 3
 		opt.reps = 3
 	}
+	var closeEvents func() error
+	if opt.eventsFile != "" {
+		sink, cf, err := openEvents(opt.eventsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "landlord-sim: %v\n", err)
+			os.Exit(1)
+		}
+		opt.tracer = sink
+		closeEvents = cf
+	}
 	repo, err := loadRepo(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "landlord-sim: %v\n", err)
@@ -126,6 +142,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "landlord-sim: %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
+	if closeEvents != nil {
+		if err := closeEvents(); err != nil {
+			fmt.Fprintf(os.Stderr, "landlord-sim: writing events: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// openEvents opens the -events sink: a JSONL stream to the named file,
+// or to stderr for "-" (so event logs don't mix with experiment
+// output on stdout). The returned func flushes and reports the first
+// write error.
+func openEvents(path string) (*telemetry.JSONLSink, func() error, error) {
+	if path == "-" {
+		sink := telemetry.NewJSONLSink(os.Stderr)
+		return sink, sink.Err, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening events file: %w", err)
+	}
+	sink := telemetry.NewJSONLSink(f)
+	return sink, func() error {
+		if err := sink.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
 }
 
 var commands = map[string]func(*pkggraph.Repo, *options) error{

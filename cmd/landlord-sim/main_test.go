@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
 )
 
 // testRepo is a scaled-down repository so every command runs in
@@ -117,6 +119,60 @@ func TestCmdFig5(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "final:") {
 		t.Error("fig5 missing final summary")
+	}
+}
+
+func TestCmdFig5EventsJSONL(t *testing.T) {
+	// fig5 -events must emit exactly one well-formed JSONL event per
+	// simulated request, through the same openEvents path main uses.
+	opt, _ := testOptions(t)
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	sink, closeEvents, err := openEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.tracer = sink
+	if err := cmdFig5(testRepo(t), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeEvents(); err != nil {
+		t.Fatalf("closing events sink: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	want := opt.uniqueJobs * opt.repeats
+	if len(lines) != want {
+		t.Fatalf("events file has %d lines, want %d", len(lines), want)
+	}
+	ops := map[string]int{}
+	for i, line := range lines {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("line %d has seq %d", i+1, ev.Seq)
+		}
+		if ev.Op != "hit" && ev.Op != "merge" && ev.Op != "insert" {
+			t.Fatalf("line %d has op %q", i+1, ev.Op)
+		}
+		if ev.SpecPackages <= 0 || ev.RequestBytes <= 0 {
+			t.Fatalf("line %d lacks spec accounting: %+v", i+1, ev)
+		}
+		ops[ev.Op]++
+	}
+	if ops["hit"] == 0 || ops["insert"] == 0 {
+		t.Fatalf("event stream lacks op diversity: %v", ops)
+	}
+}
+
+func TestOpenEventsErrors(t *testing.T) {
+	if _, _, err := openEvents(filepath.Join(t.TempDir(), "no", "such", "dir", "f.jsonl")); err == nil {
+		t.Error("unwritable events path accepted")
 	}
 }
 

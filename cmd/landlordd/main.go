@@ -1,8 +1,8 @@
 // Command landlordd runs LANDLORD as a site-wide HTTP service — the
 // batch-system-plugin deployment of Section V. Submitters POST job
 // specifications to /v1/request and receive the image to run in;
-// /v1/stats, /v1/images, /v1/prune, /v1/snapshot and /metrics expose
-// operations.
+// /v1/stats, /v1/images, /v1/prune, /v1/snapshot, /v1/events and
+// /metrics expose operations.
 //
 //	landlordd -config site.json &
 //	landlordd -addr :8080 -alpha 0.8 -capacity-gb 2048 &
@@ -12,15 +12,22 @@
 //
 // Flags override the config file. With -config, the site's prune
 // schedule (prune_every_requests expressed as a time interval here) is
-// run by a background maintenance loop.
+// run by a background maintenance loop. -pprof additionally mounts the
+// runtime profiler under /debug/pprof/. The daemon drains in-flight
+// requests on SIGINT/SIGTERM and logs a final cache snapshot before
+// exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/config"
@@ -28,14 +35,53 @@ import (
 	"repro/internal/stats"
 )
 
+// maintenanceInterval converts a request-count prune schedule into a
+// wall-clock one: one pass per minute per thousand scheduled requests,
+// clamped to [1 minute, 1 hour] so misconfigured sites neither spin
+// nor starve.
+func maintenanceInterval(pruneEveryRequests int) time.Duration {
+	d := time.Duration(pruneEveryRequests) * time.Minute / 1000
+	if d < time.Minute {
+		return time.Minute
+	}
+	if d > time.Hour {
+		return time.Hour
+	}
+	return d
+}
+
+// statsLogLine renders the periodic (and final) cache-utilization
+// self-log entry.
+func statsLogLine(st server.StatsResponse) string {
+	return fmt.Sprintf("requests=%d hits=%d merges=%d inserts=%d deletes=%d splits=%d images=%d cached=%s unique=%s written=%s cache_eff=%.3f container_eff=%.3f",
+		st.Requests, st.Hits, st.Merges, st.Inserts, st.Deletes, st.Splits,
+		st.Images, stats.FormatBytes(st.TotalData), stats.FormatBytes(st.UniqueData),
+		stats.FormatBytes(st.BytesWritten), st.CacheEfficiency, st.ContainerEfficiency)
+}
+
+// mountPprof attaches the runtime profiler's handlers to mux. They are
+// mounted explicitly (not via the net/http/pprof side-effect import)
+// so the service mux — not http.DefaultServeMux — serves them, and
+// only when -pprof is set.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 func main() {
 	var (
-		configPath = flag.String("config", "", "site configuration file (JSON; flags override)")
-		addr       = flag.String("addr", "", "listen address (overrides config)")
-		alpha      = flag.Float64("alpha", -1, "merge threshold (overrides config)")
-		capacityGB = flag.Float64("capacity-gb", -1, "cache capacity in GB, 0 = unlimited (overrides config)")
-		repoSeed   = flag.Int64("repo-seed", 0, "seed for the synthetic repository (overrides config)")
-		repoFile   = flag.String("repo-file", "", "load the repository from this JSONL file (overrides config)")
+		configPath  = flag.String("config", "", "site configuration file (JSON; flags override)")
+		addr        = flag.String("addr", "", "listen address (overrides config)")
+		alpha       = flag.Float64("alpha", -1, "merge threshold (overrides config)")
+		capacityGB  = flag.Float64("capacity-gb", -1, "cache capacity in GB, 0 = unlimited (overrides config)")
+		repoSeed    = flag.Int64("repo-seed", 0, "seed for the synthetic repository (overrides config)")
+		repoFile    = flag.String("repo-file", "", "load the repository from this JSONL file (overrides config)")
+		pprofOn     = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+		statsEvery  = flag.Duration("stats-interval", 5*time.Minute, "cache-utilization self-log interval (0 disables)")
+		drainWindow = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
@@ -79,24 +125,74 @@ func main() {
 		os.Exit(1)
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mountPprof(mux)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if site.PruneEveryRequests > 0 {
-		// Approximate the request-count schedule with a time ticker:
-		// one maintenance pass per minute per thousand scheduled
-		// requests, minimum once a minute.
-		interval := time.Minute
+		interval := maintenanceInterval(site.PruneEveryRequests)
+		log.Printf("landlordd: maintenance pass every %v (prune_every_requests=%d)",
+			interval, site.PruneEveryRequests)
 		go func() {
-			for range time.Tick(interval) {
-				splits := srv.PruneNow(site.PruneUtilization, site.PruneMinServed)
-				if splits > 0 {
-					log.Printf("landlordd: maintenance pass split %d image(s)", splits)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					splits := srv.PruneNow(site.PruneUtilization, site.PruneMinServed)
+					if splits > 0 {
+						log.Printf("landlordd: maintenance pass split %d image(s)", splits)
+					}
 				}
 			}
 		}()
 	}
 
-	log.Printf("landlordd: serving %d-package repository (%s) on %s (alpha=%.2f)",
-		repo.Len(), stats.FormatBytes(repo.TotalSize()), site.Addr, *site.Alpha)
-	if err := http.ListenAndServe(site.Addr, srv.Handler()); err != nil {
+	if *statsEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					log.Printf("landlordd: cache %s", statsLogLine(srv.StatsNow()))
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              site.Addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	log.Printf("landlordd: serving %d-package repository (%s) on %s (alpha=%.2f, pprof=%v)",
+		repo.Len(), stats.FormatBytes(repo.TotalSize()), site.Addr, *site.Alpha, *pprofOn)
+
+	select {
+	case err := <-serveErr:
 		log.Fatalf("landlordd: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("landlordd: shutdown signal received, draining (up to %v)", *drainWindow)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("landlordd: drain incomplete: %v", err)
+		}
+		log.Printf("landlordd: final %s", statsLogLine(srv.StatsNow()))
 	}
 }

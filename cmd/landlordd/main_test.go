@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestMaintenanceInterval(t *testing.T) {
+	cases := []struct {
+		requests int
+		want     time.Duration
+	}{
+		{0, time.Minute},        // disabled schedules still clamp up
+		{1, time.Minute},        // sub-minute clamps to the floor
+		{999, time.Minute},      // just under one pass/minute
+		{1000, time.Minute},     // one pass per minute per thousand requests
+		{5000, 5 * time.Minute}, // scales linearly
+		{60000, time.Hour},      // exactly the ceiling
+		{1 << 30, time.Hour},    // absurd schedules clamp to the ceiling
+	}
+	for _, c := range cases {
+		if got := maintenanceInterval(c.requests); got != c.want {
+			t.Errorf("maintenanceInterval(%d) = %v, want %v", c.requests, got, c.want)
+		}
+	}
+}
+
+func TestStatsLogLine(t *testing.T) {
+	line := statsLogLine(server.StatsResponse{
+		Requests:        12,
+		Hits:            7,
+		Images:          3,
+		TotalData:       1 << 30,
+		CacheEfficiency: 0.875,
+	})
+	for _, want := range []string{"requests=12", "hits=7", "images=3", "cached=1.00GB", "cache_eff=0.875"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestMountPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	mountPprof(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline -> %d", resp.StatusCode)
+	}
+	// The index page must list the standard profiles.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ -> %d", resp.StatusCode)
+	}
+}

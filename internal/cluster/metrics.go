@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"repro/internal/telemetry"
+)
+
+// RegisterMetrics exposes per-site transfer and reuse gauges in reg,
+// labelled by site name:
+//
+//	landlord_site_jobs{site}               jobs executed at the site
+//	landlord_site_images{site}             images in the head-node cache
+//	landlord_site_cached_bytes{site}       bytes in the head-node cache
+//	landlord_site_head_written_bytes{site} image bytes written by the head node
+//	landlord_site_transferred_bytes{site}  image bytes shipped head -> workers
+//	landlord_site_local_hit_rate{site}     fraction of jobs reusing a local copy
+//
+// Values are computed at scrape time from live site state. Sites and
+// the registry scraper must not race: scrape between job batches, or
+// after RunStream completes (the Cluster itself is single-threaded).
+func (c *Cluster) RegisterMetrics(reg *telemetry.Registry) {
+	for _, site := range c.Sites {
+		site.RegisterMetrics(reg)
+	}
+}
+
+// RegisterMetrics registers the site's gauges in reg (see
+// Cluster.RegisterMetrics for the series list).
+func (s *Site) RegisterMetrics(reg *telemetry.Registry) {
+	label := telemetry.Label{Key: "site", Value: s.Name}
+	reg.GaugeFunc("landlord_site_jobs", "Jobs executed at the site",
+		func() float64 { return float64(s.Jobs()) }, label)
+	reg.GaugeFunc("landlord_site_images", "Images cached at the site head node",
+		func() float64 { return float64(s.Manager.Len()) }, label)
+	reg.GaugeFunc("landlord_site_cached_bytes", "Bytes cached at the site head node",
+		func() float64 { return float64(s.Manager.TotalData()) }, label)
+	reg.GaugeFunc("landlord_site_head_written_bytes", "Image bytes written by the site head node",
+		func() float64 { return float64(s.Manager.Stats().BytesWritten) }, label)
+	reg.GaugeFunc("landlord_site_transferred_bytes", "Image bytes shipped from head node to workers",
+		func() float64 { return float64(s.WorkerTransferredBytes()) }, label)
+	reg.GaugeFunc("landlord_site_local_hit_rate", "Fraction of jobs reusing a worker-local image copy",
+		func() float64 { return s.WorkerLocalHitRate() }, label)
+}

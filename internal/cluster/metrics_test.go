@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
+)
+
+func TestRegisterMetricsExposesPerSiteGauges(t *testing.T) {
+	repo := flatRepo(t, 10, 100)
+	siteA, err := NewSite(repo, SiteConfig{Name: "alpha", Core: core.Config{Alpha: 0.5}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteB, err := NewSite(repo, SiteConfig{Name: "beta", Core: core.Config{Alpha: 0.5}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New([]*Site{siteA, siteB}, &RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	// Round-robin: jobs 1 and 3 (identical) land on alpha — the repeat
+	// reuses the worker's local copy; job 2 lands on beta.
+	for _, job := range []struct{ a, b int }{{0, 1}, {2, 3}, {0, 1}} {
+		if _, err := c.Submit(sp(pkggraph.PkgID(job.a), pkggraph.PkgID(job.b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := telemetry.ParseText(&buf)
+	if err != nil {
+		t.Fatalf("cluster metrics did not parse: %v\n%s", err, buf.String())
+	}
+
+	alpha := telemetry.Label{Key: "site", Value: "alpha"}
+	beta := telemetry.Label{Key: "site", Value: "beta"}
+	if v, ok := sc.Value("landlord_site_jobs", alpha); !ok || v != 2 {
+		t.Errorf("alpha jobs = %v (present=%v)", v, ok)
+	}
+	if v, ok := sc.Value("landlord_site_jobs", beta); !ok || v != 1 {
+		t.Errorf("beta jobs = %v (present=%v)", v, ok)
+	}
+	// alpha transferred its 200-byte image once; the repeat was a local
+	// hit, so the hit rate is 0.5.
+	if v, ok := sc.Value("landlord_site_transferred_bytes", alpha); !ok || v != 200 {
+		t.Errorf("alpha transferred = %v (present=%v)", v, ok)
+	}
+	if v, ok := sc.Value("landlord_site_local_hit_rate", alpha); !ok || v != 0.5 {
+		t.Errorf("alpha local hit rate = %v (present=%v)", v, ok)
+	}
+	if v, ok := sc.Value("landlord_site_cached_bytes", alpha); !ok || v != 200 {
+		t.Errorf("alpha cached bytes = %v (present=%v)", v, ok)
+	}
+	if v, ok := sc.Value("landlord_site_head_written_bytes", beta); !ok || v != 200 {
+		t.Errorf("beta head written = %v (present=%v)", v, ok)
+	}
+	if v, ok := sc.Value("landlord_site_images", beta); !ok || v != 1 {
+		t.Errorf("beta images = %v (present=%v)", v, ok)
+	}
+}

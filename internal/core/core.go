@@ -23,10 +23,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/pkggraph"
 	"repro/internal/similarity"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Op identifies how a request was satisfied.
@@ -94,6 +96,11 @@ type Config struct {
 	// image insertion order, which Algorithm 1's comment ("Selection
 	// can be sorted by dj()") marks as optional.
 	NoCandidateSort bool
+	// Tracer, when non-nil, receives one telemetry.Event per request:
+	// the operation taken, scan/prefilter work, merge candidates with
+	// their distances, eviction churn, and wall-clock duration. A nil
+	// Tracer costs one branch per request.
+	Tracer telemetry.Tracer
 }
 
 // Image is a cached container image: the union of every specification
@@ -269,6 +276,13 @@ func (m *Manager) Images() []*Image {
 // Alpha returns the configured merge threshold.
 func (m *Manager) Alpha() float64 { return m.cfg.Alpha }
 
+// Tracer returns the configured request tracer (nil when disabled).
+func (m *Manager) Tracer() telemetry.Tracer { return m.cfg.Tracer }
+
+// SetTracer replaces the request tracer. Harnesses use it to stack a
+// collector (telemetry.Multi) onto an already-built Manager.
+func (m *Manager) SetTracer(t telemetry.Tracer) { m.cfg.Tracer = t }
+
 // sign computes the MinHash signature of s, or nil when the prefilter
 // is disabled.
 func (m *Manager) sign(s spec.Spec) similarity.Signature {
@@ -281,6 +295,10 @@ func (m *Manager) sign(s spec.Spec) similarity.Signature {
 // Request runs Algorithm 1 for specification s and returns how it was
 // satisfied. Empty specifications are rejected: they indicate an
 // unresolved job and must not silently hit every image.
+//
+// When a Tracer is configured, one telemetry.Event describing the
+// request's whole lifecycle is emitted before returning; with a nil
+// Tracer no per-request instrumentation state is allocated or updated.
 func (m *Manager) Request(s spec.Spec) (Result, error) {
 	if s.Empty() {
 		return Result{}, fmt.Errorf("core: empty specification")
@@ -290,20 +308,32 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 	reqBytes := s.Size(m.repo)
 	m.stats.RequestedBytes += reqBytes
 
+	var ev *telemetry.Event
+	var start time.Time
+	if m.cfg.Tracer != nil {
+		start = time.Now()
+		ev = &telemetry.Event{
+			Seq:          m.clock,
+			SpecPackages: s.Len(),
+			RequestBytes: reqBytes,
+		}
+	}
+
 	sig := m.sign(s)
 
 	// Phase 1: an existing image satisfies s.
-	if img := m.findSuperset(s, sig); img != nil {
+	if img := m.findSuperset(s, sig, ev); img != nil {
 		img.lastUse = m.clock
 		img.served(s)
 		m.stats.Hits++
 		res := Result{Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
+		m.trace(ev, res, start)
 		return res, nil
 	}
 
 	// Phase 2: merge into a close-enough image.
-	if img := m.findMergeTarget(s, sig); img != nil {
+	if img := m.findMergeTarget(s, sig, ev); img != nil {
 		merged := img.Spec.Union(s)
 		m.total -= img.Size
 		img.Spec = merged
@@ -328,6 +358,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		}
 		res.Evicted, res.EvictedBytes = m.evict(img.ID)
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
+		m.trace(ev, res, start)
 		return res, nil
 	}
 
@@ -356,13 +387,35 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 	}
 	res.Evicted, res.EvictedBytes = m.evict(img.ID)
 	m.stats.ContainerEffSum += res.ContainerEfficiency()
+	m.trace(ev, res, start)
 	return res, nil
 }
 
+// trace completes ev from the request's Result and cache state and
+// emits it. ev is nil when tracing is disabled.
+func (m *Manager) trace(ev *telemetry.Event, res Result, start time.Time) {
+	if ev == nil {
+		return
+	}
+	ev.Op = res.Op.String()
+	ev.ImageID = res.ImageID
+	ev.ImageVersion = res.ImageVersion
+	ev.ImageSize = res.ImageSize
+	ev.BytesWritten = res.BytesWritten
+	ev.Evicted = res.Evicted
+	ev.EvictedBytes = res.EvictedBytes
+	ev.CachedBytes = m.total
+	ev.Images = len(m.byID)
+	ev.DurationNanos = time.Since(start).Nanoseconds()
+	m.cfg.Tracer.Trace(ev)
+}
+
 // findSuperset returns the image with s ⊆ i, preferring the smallest
-// satisfying image (least bloat for the job), or nil.
-func (m *Manager) findSuperset(s spec.Spec, sig similarity.Signature) *Image {
+// satisfying image (least bloat for the job), or nil. When ev is
+// non-nil it records the number of images the scan examined.
+func (m *Manager) findSuperset(s spec.Spec, sig similarity.Signature, ev *telemetry.Event) *Image {
 	var best *Image
+	scanned := 0
 	for _, img := range m.images {
 		if img == nil || img.Spec.Len() < s.Len() {
 			continue
@@ -370,12 +423,16 @@ func (m *Manager) findSuperset(s spec.Spec, sig similarity.Signature) *Image {
 		if best != nil && img.Size >= best.Size {
 			continue
 		}
+		scanned++
 		if sig != nil && !signatureSubset(sig, img.sig) {
 			continue
 		}
 		if s.SubsetOf(img.Spec) {
 			best = img
 		}
+	}
+	if ev != nil {
+		ev.SupersetScanned = scanned
 	}
 	return best
 }
@@ -402,8 +459,10 @@ type candidate struct {
 // findMergeTarget returns the closest non-conflicting image with
 // d_j(s, j) < alpha, or nil. With MinHash enabled, exact distances are
 // only computed for images whose estimated distance is below
-// alpha+margin.
-func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature) *Image {
+// alpha+margin. When ev is non-nil it records the prefilter's
+// accept/reject counts and every candidate under α with its exact
+// distance.
+func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *telemetry.Event) *Image {
 	var cands []candidate
 	for _, img := range m.images {
 		if img == nil {
@@ -412,7 +471,13 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature) *Image 
 		if sig != nil {
 			est := similarity.EstimateDistance(sig, img.sig)
 			if est >= m.cfg.Alpha+m.cfg.MinHash.Margin {
+				if ev != nil {
+					ev.PrefilterRejected++
+				}
 				continue
+			}
+			if ev != nil {
+				ev.PrefilterAccepted++
 			}
 		}
 		d := similarity.JaccardDistance(s, img.Spec)
@@ -422,6 +487,12 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature) *Image 
 	}
 	if !m.cfg.NoCandidateSort {
 		sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	}
+	if ev != nil && len(cands) > 0 {
+		ev.Candidates = make([]telemetry.Candidate, len(cands))
+		for i, c := range cands {
+			ev.Candidates[i] = telemetry.Candidate{ImageID: c.img.ID, Distance: c.d}
+		}
 	}
 	for _, c := range cands {
 		if !m.cfg.Conflicts.Conflicts(s, c.img.Spec) {

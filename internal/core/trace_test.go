@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// collectTracer retains every event for assertions.
+type collectTracer struct{ events []telemetry.Event }
+
+func (c *collectTracer) Trace(ev *telemetry.Event) { c.events = append(c.events, *ev) }
+
+func TestRequestEmitsOneEventPerRequest(t *testing.T) {
+	repo := flatRepo(t, 10, 1)
+	tr := &collectTracer{}
+	m := mgr(t, repo, Config{Alpha: 0.6, Tracer: tr})
+
+	request(t, m, sp(0, 1, 2, 3)) // insert
+	request(t, m, sp(0, 1, 2, 3)) // hit
+	request(t, m, sp(0, 1, 2, 4)) // merge: d = 2/5 = 0.4 < 0.6
+
+	if len(tr.events) != 3 {
+		t.Fatalf("traced %d events for 3 requests", len(tr.events))
+	}
+	for i, ev := range tr.events {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+		if ev.SpecPackages != 4 || ev.RequestBytes != 4 {
+			t.Errorf("event %d spec sizing = %d pkgs / %d bytes", i, ev.SpecPackages, ev.RequestBytes)
+		}
+		if ev.DurationNanos < 0 {
+			t.Errorf("event %d negative duration", i)
+		}
+		if ev.Images < 1 || ev.CachedBytes < 1 {
+			t.Errorf("event %d cache snapshot empty: %+v", i, ev)
+		}
+	}
+
+	insert, hit, merge := tr.events[0], tr.events[1], tr.events[2]
+	if insert.Op != "insert" || insert.BytesWritten != 4 {
+		t.Errorf("insert event: %+v", insert)
+	}
+	if hit.Op != "hit" || hit.BytesWritten != 0 || hit.SupersetScanned == 0 {
+		t.Errorf("hit event: %+v", hit)
+	}
+	if merge.Op != "merge" || merge.ImageSize != 5 || merge.BytesWritten != 5 {
+		t.Errorf("merge event: %+v", merge)
+	}
+	if len(merge.Candidates) != 1 || merge.Candidates[0].Distance != 0.4 {
+		t.Errorf("merge candidates: %+v", merge.Candidates)
+	}
+}
+
+func TestTracePrefilterCounts(t *testing.T) {
+	repo := flatRepo(t, 26, 1)
+	tr := &collectTracer{}
+	m := mgr(t, repo, Config{
+		Alpha:   0.3,
+		MinHash: &MinHashConfig{K: 64, Seed: 1, Margin: 0.1},
+		Tracer:  tr,
+	})
+	// Two distant images, then a request close to neither: the
+	// prefilter should reject at least one distant image outright.
+	request(t, m, sp(0, 1, 2, 3, 4, 5, 6, 7))
+	request(t, m, sp(16, 17, 18, 19, 20, 21, 22, 23))
+	request(t, m, sp(8, 9, 10, 11, 12, 13, 14, 15))
+
+	last := tr.events[len(tr.events)-1]
+	if last.Op != "insert" {
+		t.Fatalf("expected disjoint request to insert, got %q", last.Op)
+	}
+	if last.PrefilterAccepted+last.PrefilterRejected != 2 {
+		t.Fatalf("prefilter examined %d+%d images, want 2",
+			last.PrefilterAccepted, last.PrefilterRejected)
+	}
+	if last.PrefilterRejected == 0 {
+		t.Fatalf("prefilter rejected nothing for disjoint sets: %+v", last)
+	}
+}
+
+func TestTraceEvictionAccounting(t *testing.T) {
+	repo := flatRepo(t, 12, 10)
+	tr := &collectTracer{}
+	m := mgr(t, repo, Config{Alpha: 0.1, Capacity: 60, Tracer: tr})
+
+	request(t, m, sp(0, 1, 2)) // 30 bytes
+	request(t, m, sp(3, 4, 5)) // 60 bytes total
+	request(t, m, sp(6, 7, 8)) // 90 -> evicts the LRU image
+	ev := tr.events[2]
+	if ev.Evicted != 1 || ev.EvictedBytes != 30 {
+		t.Fatalf("eviction event: %+v", ev)
+	}
+	if ev.CachedBytes != 60 || ev.Images != 2 {
+		t.Fatalf("post-eviction snapshot: %+v", ev)
+	}
+}
+
+func TestSetTracerStacksCollectors(t *testing.T) {
+	repo := flatRepo(t, 6, 1)
+	first := &collectTracer{}
+	m := mgr(t, repo, Config{Alpha: 0.5, Tracer: first})
+	second := &collectTracer{}
+	m.SetTracer(telemetry.Multi(m.Tracer(), second))
+
+	request(t, m, sp(0, 1))
+	if len(first.events) != 1 || len(second.events) != 1 {
+		t.Fatalf("stacked tracers got %d/%d events", len(first.events), len(second.events))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Client talks to a LANDLORD site service. It is safe for concurrent
@@ -110,4 +111,16 @@ func (c *Client) Restore(snaps []core.ImageSnapshot) error {
 // Healthz checks service liveness.
 func (c *Client) Healthz() error {
 	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Events fetches the most recent request trace events, oldest first.
+// limit <= 0 fetches everything the server retains.
+func (c *Client) Events(limit int) ([]telemetry.Event, error) {
+	path := "/v1/events"
+	if limit > 0 {
+		path = fmt.Sprintf("/v1/events?limit=%d", limit)
+	}
+	var out []telemetry.Event
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
 }

@@ -14,29 +14,136 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pkggraph"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
+
+// EventRingSize is how many request events the server retains for
+// /v1/events.
+const EventRingSize = 4096
 
 // Server wraps a Manager behind an HTTP API. Create with New, mount
 // via Handler.
 type Server struct {
 	repo *pkggraph.Repo
+	reg  *telemetry.Registry
+	ring *telemetry.Ring
 
 	mu  sync.Mutex
 	mgr *core.Manager
 }
 
-// New creates a Server with a fresh Manager.
+// New creates a Server with a fresh Manager. The server installs its
+// own telemetry: request events flow into a bounded ring buffer
+// (served by /v1/events) and per-operation latency histograms; any
+// Tracer already present in cfg keeps receiving events too.
 func New(repo *pkggraph.Repo, cfg core.Config) (*Server, error) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(EventRingSize)
+	cfg.Tracer = telemetry.Multi(cfg.Tracer, ring, newOpTracer(reg))
 	mgr, err := core.NewManager(repo, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{repo: repo, mgr: mgr}, nil
+	s := &Server{repo: repo, reg: reg, ring: ring, mgr: mgr}
+	s.registerCacheMetrics()
+	return s, nil
+}
+
+// Registry returns the server's metrics registry, so embedding
+// processes (the daemon, tests) can add their own series.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// opTracer feeds the registry from core request events: one latency
+// histogram and one eviction-churn pair per operation kind.
+type opTracer struct {
+	hists      map[string]*telemetry.Histogram
+	fallback   *telemetry.Histogram
+	evicted    *telemetry.Counter
+	evictedByt *telemetry.Counter
+}
+
+func newOpTracer(reg *telemetry.Registry) *opTracer {
+	const name = "landlord_request_duration_seconds"
+	const help = "Cache request latency by operation"
+	t := &opTracer{hists: make(map[string]*telemetry.Histogram)}
+	for _, op := range []string{"hit", "merge", "insert"} {
+		t.hists[op] = reg.Histogram(name, help, telemetry.DefaultLatencyBuckets(),
+			telemetry.Label{Key: "op", Value: op})
+	}
+	t.fallback = t.hists["insert"]
+	t.evicted = reg.Counter("landlord_evicted_images_total", "Images evicted by LRU pressure")
+	t.evictedByt = reg.Counter("landlord_evicted_bytes_total", "Bytes evicted by LRU pressure")
+	return t
+}
+
+// Trace implements telemetry.Tracer.
+func (t *opTracer) Trace(ev *telemetry.Event) {
+	h, ok := t.hists[ev.Op]
+	if !ok {
+		h = t.fallback
+	}
+	h.Observe(float64(ev.DurationNanos) / float64(time.Second))
+	if ev.Evicted > 0 {
+		t.evicted.Add(int64(ev.Evicted))
+		t.evictedByt.Add(ev.EvictedBytes)
+	}
+}
+
+// registerCacheMetrics exposes the manager's counters and live cache
+// state as scrape-time gauges, keeping the metric names the previous
+// hand-rolled /metrics table served.
+func (s *Server) registerCacheMetrics() {
+	snap := func(f func(st core.Stats) float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			st := s.mgr.Stats()
+			s.mu.Unlock()
+			return f(st)
+		}
+	}
+	s.reg.GaugeFunc("landlord_requests_total", "Job requests processed",
+		snap(func(st core.Stats) float64 { return float64(st.Requests) }))
+	s.reg.GaugeFunc("landlord_hits_total", "Requests served by an existing image",
+		snap(func(st core.Stats) float64 { return float64(st.Hits) }))
+	s.reg.GaugeFunc("landlord_merges_total", "Requests merged into an image",
+		snap(func(st core.Stats) float64 { return float64(st.Merges) }))
+	s.reg.GaugeFunc("landlord_inserts_total", "Requests creating a new image",
+		snap(func(st core.Stats) float64 { return float64(st.Inserts) }))
+	s.reg.GaugeFunc("landlord_deletes_total", "Images evicted",
+		snap(func(st core.Stats) float64 { return float64(st.Deletes) }))
+	s.reg.GaugeFunc("landlord_splits_total", "Images trimmed by prune passes",
+		snap(func(st core.Stats) float64 { return float64(st.Splits) }))
+	s.reg.GaugeFunc("landlord_bytes_written_total", "Image bytes written to the cache",
+		snap(func(st core.Stats) float64 { return float64(st.BytesWritten) }))
+	s.reg.GaugeFunc("landlord_requested_bytes_total", "Bytes directly requested by jobs",
+		snap(func(st core.Stats) float64 { return float64(st.RequestedBytes) }))
+	s.reg.GaugeFunc("landlord_images", "Images currently cached", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.mgr.Len())
+	})
+	s.reg.GaugeFunc("landlord_cached_bytes", "Bytes currently cached", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.mgr.TotalData())
+	})
+	s.reg.GaugeFunc("landlord_unique_bytes", "Deduplicated bytes currently cached", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.mgr.UniqueData())
+	})
+	s.reg.GaugeFunc("landlord_cache_efficiency", "UniqueData/TotalData of the live cache", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.mgr.CacheEfficiency()
+	})
 }
 
 // RequestBody is the POST /v1/request payload.
@@ -117,17 +224,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, each wrapped in
+// per-route request/latency/status instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/request", s.handleRequest)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/images", s.handleImages)
-	mux.HandleFunc("/v1/prune", s.handlePrune)
-	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/v1/restore", s.handleRestore)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	for route, h := range map[string]http.HandlerFunc{
+		"/v1/request":  s.handleRequest,
+		"/v1/stats":    s.handleStats,
+		"/v1/images":   s.handleImages,
+		"/v1/prune":    s.handlePrune,
+		"/v1/snapshot": s.handleSnapshot,
+		"/v1/restore":  s.handleRestore,
+		"/v1/healthz":  s.handleHealthz,
+		"/v1/events":   s.handleEvents,
+		"/metrics":     s.handleMetrics,
+	} {
+		mux.Handle(route, telemetry.Middleware(s.reg, route, h))
+	}
 	return mux
 }
 
@@ -221,14 +334,14 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// StatsNow snapshots the cache's aggregate state — the /v1/stats
+// payload — for callers embedding the server (the daemon logs it
+// periodically and on shutdown).
+func (s *Server) StatsNow() StatsResponse {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := s.mgr.Stats()
-	resp := StatsResponse{
+	return StatsResponse{
 		Requests:            st.Requests,
 		Hits:                st.Hits,
 		Merges:              st.Merges,
@@ -243,8 +356,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheEfficiency:     s.mgr.CacheEfficiency(),
 		ContainerEfficiency: st.MeanContainerEfficiency(),
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.StatsNow())
 }
 
 func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
@@ -297,40 +416,45 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleMetrics exposes counters in the Prometheus text exposition
-// format, so site monitoring can scrape the cache without bespoke
-// integration.
+// handleMetrics exposes the telemetry registry in the Prometheus text
+// exposition format, so site monitoring can scrape the cache without
+// bespoke integration: the legacy cache counters plus request-latency
+// histograms and the per-route HTTP series.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	st := s.mgr.Stats()
-	images := s.mgr.Len()
-	total := s.mgr.TotalData()
-	unique := s.mgr.UniqueData()
-	s.mu.Unlock()
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
-		name, help string
-		value      int64
-	}{
-		{"landlord_requests_total", "Job requests processed", st.Requests},
-		{"landlord_hits_total", "Requests served by an existing image", st.Hits},
-		{"landlord_merges_total", "Requests merged into an image", st.Merges},
-		{"landlord_inserts_total", "Requests creating a new image", st.Inserts},
-		{"landlord_deletes_total", "Images evicted", st.Deletes},
-		{"landlord_splits_total", "Images trimmed by prune passes", st.Splits},
-		{"landlord_bytes_written_total", "Image bytes written to the cache", st.BytesWritten},
-		{"landlord_requested_bytes_total", "Bytes directly requested by jobs", st.RequestedBytes},
-		{"landlord_images", "Images currently cached", int64(images)},
-		{"landlord_cached_bytes", "Bytes currently cached", total},
-		{"landlord_unique_bytes", "Deduplicated bytes currently cached", unique},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	s.reg.WriteText(w)
+}
+
+// handleEvents serves the most recent request events from the trace
+// ring buffer, oldest first. `?limit=N` bounds the response to the N
+// most recent events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
 	}
+	limit := 0 // 0 = everything retained
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		if n == 0 {
+			writeJSON(w, http.StatusOK, []telemetry.Event{})
+			return
+		}
+		limit = n
+	}
+	events := s.ring.Events(limit)
+	if events == nil {
+		events = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, events)
 }
 
 // PruneNow runs one maintenance split pass, for the daemon's

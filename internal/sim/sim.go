@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pkggraph"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -75,6 +76,12 @@ type Params struct {
 	// TimelineEvery records a timeline point every N requests
 	// (0 = no timeline).
 	TimelineEvery int
+
+	// Tracer, when non-nil, receives one telemetry.Event per simulated
+	// request (the `landlord-sim -events` hook). Sweeps share the
+	// tracer across repetitions, so it must be safe for concurrent use
+	// (telemetry.JSONLSink and telemetry.Ring are).
+	Tracer telemetry.Tracer
 }
 
 func (p Params) validate() error {
@@ -142,6 +149,7 @@ func (p Params) managerConfig() core.Config {
 		Capacity:        p.CacheBytes,
 		Conflicts:       p.Conflicts,
 		NoCandidateSort: p.NoCandidateSort,
+		Tracer:          p.Tracer,
 	}
 	if p.UseMinHash {
 		cfg.MinHash = core.DefaultMinHash()
@@ -166,30 +174,57 @@ func Run(p Params) (Result, error) {
 	return Replay(mgr, stream, p.TimelineEvery)
 }
 
+// timelineTracer accumulates the Figure 5 timeline from per-request
+// telemetry events: operation counts, eviction churn, cache occupancy
+// and cumulative writes, sampled every `every` requests. It replaces
+// the earlier ad-hoc Stats polling, so the timeline and the event
+// trace are definitionally consistent.
+type timelineTracer struct {
+	every int
+	cum   TimelinePoint
+	out   []TimelinePoint
+}
+
+// Trace implements telemetry.Tracer.
+func (t *timelineTracer) Trace(ev *telemetry.Event) {
+	t.cum.Request++
+	switch ev.Op {
+	case "hit":
+		t.cum.Hits++
+	case "merge":
+		t.cum.Merges++
+	case "insert":
+		t.cum.Inserts++
+	}
+	t.cum.Deletes += int64(ev.Evicted)
+	t.cum.BytesWritten += ev.BytesWritten
+	t.cum.CachedBytes = ev.CachedBytes
+	if t.cum.Request%t.every == 0 {
+		t.out = append(t.out, t.cum)
+	}
+}
+
 // Replay drives an existing Manager with a request stream, recording a
 // timeline point every `every` requests (0 disables the timeline). It
 // is also the entry point for trace-driven runs (see internal/trace).
+// Timeline counters start at zero from the first replayed request,
+// regardless of the Manager's prior history; any tracer already on the
+// Manager keeps receiving events.
 func Replay(mgr *core.Manager, stream []spec.Spec, every int) (Result, error) {
-	var timeline []TimelinePoint
+	var tl *timelineTracer
+	if every > 0 {
+		tl = &timelineTracer{every: every}
+		orig := mgr.Tracer()
+		mgr.SetTracer(telemetry.Multi(orig, tl))
+		defer mgr.SetTracer(orig)
+	}
 	for i, s := range stream {
 		if _, err := mgr.Request(s); err != nil {
 			return Result{}, fmt.Errorf("sim: request %d: %w", i, err)
 		}
-		if every > 0 && (i+1)%every == 0 {
-			st := mgr.Stats()
-			timeline = append(timeline, TimelinePoint{
-				Request:      i + 1,
-				Hits:         st.Hits,
-				Inserts:      st.Inserts,
-				Deletes:      st.Deletes,
-				Merges:       st.Merges,
-				CachedBytes:  mgr.TotalData(),
-				BytesWritten: st.BytesWritten,
-			})
-		}
 	}
 	st := mgr.Stats()
-	return Result{
+	res := Result{
 		Alpha:               mgr.Alpha(),
 		Requests:            len(stream),
 		Stats:               st,
@@ -198,6 +233,9 @@ func Replay(mgr *core.Manager, stream []spec.Spec, every int) (Result, error) {
 		UniqueData:          mgr.UniqueData(),
 		CacheEfficiency:     mgr.CacheEfficiency(),
 		ContainerEfficiency: st.MeanContainerEfficiency(),
-		Timeline:            timeline,
-	}, nil
+	}
+	if tl != nil {
+		res.Timeline = tl.out
+	}
+	return res, nil
 }

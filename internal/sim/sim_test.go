@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -432,6 +433,38 @@ func TestReplayWithTrace(t *testing.T) {
 	}
 	if res.Alpha != 0.8 {
 		t.Fatalf("alpha = %v", res.Alpha)
+	}
+}
+
+// tracerFunc adapts a closure to telemetry.Tracer.
+type tracerFunc func(*telemetry.Event)
+
+func (f tracerFunc) Trace(ev *telemetry.Event) { f(ev) }
+
+func TestRunTracerSeesEveryRequest(t *testing.T) {
+	// The Params.Tracer hook (the `-events` path) must observe one event
+	// per request and must coexist with the tracer-driven timeline.
+	p := testParams(t)
+	p.TimelineEvery = 10
+	var events int
+	ops := map[string]int64{}
+	p.Tracer = tracerFunc(func(ev *telemetry.Event) {
+		events++
+		ops[ev.Op]++
+	})
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.UniqueJobs * p.Repeats
+	if events != want {
+		t.Fatalf("tracer saw %d events, want %d", events, want)
+	}
+	if ops["hit"] != res.Stats.Hits || ops["insert"] != res.Stats.Inserts || ops["merge"] != res.Stats.Merges {
+		t.Fatalf("tracer op counts %v disagree with stats %+v", ops, res.Stats)
+	}
+	if len(res.Timeline) != want/10 {
+		t.Fatalf("timeline points = %d, want %d", len(res.Timeline), want/10)
 	}
 }
 

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text exposition — the consumer-side
+// view a monitoring system has of /metrics. Tests use it to round-trip
+// the registry's output; operators can use it to postprocess scrapes.
+type Scrape struct {
+	// Types maps family name to its declared type ("counter", "gauge",
+	// "histogram").
+	Types map[string]string
+	// Help maps family name to its HELP text.
+	Help map[string]string
+	// Samples maps a canonical series key (name plus sorted labels) to
+	// its value.
+	Samples map[string]float64
+}
+
+// Value looks up a sample by name and labels (order-insensitive).
+func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	sig, _ := canonical(labels)
+	v, ok := s.Samples[name+sig]
+	return v, ok
+}
+
+// ParseText parses a Prometheus text exposition (version 0.0.4) as a
+// scraper would. It returns an error on any malformed line, so tests
+// double as format validation.
+func ParseText(r io.Reader) (*Scrape, error) {
+	out := &Scrape{
+		Types:   map[string]string{},
+		Help:    map[string]string{},
+		Samples: map[string]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, out); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := parseSample(line, out); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseComment(line string, out *Scrape) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		rest := ""
+		if len(fields) == 4 {
+			rest = fields[3]
+		}
+		out.Help[fields[2]] = rest
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE without a type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		out.Types[fields[2]] = fields[3]
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func parseSample(line string, out *Scrape) error {
+	name := line
+	rest := ""
+	var labels []Label
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		var err error
+		labels, rest, err = parseLabels(line[i:])
+		if err != nil {
+			return err
+		}
+	} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+		name = line[:i]
+		rest = line[i:]
+	} else {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	if name == "" || !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; take the first field.
+	if i := strings.IndexAny(valStr, " \t"); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	sig, _ := canonical(labels)
+	key := name + sig
+	if _, dup := out.Samples[key]; dup {
+		return fmt.Errorf("duplicate sample %q", key)
+	}
+	out.Samples[key] = v
+	return nil
+}
+
+// parseLabels consumes a `{k="v",...}` block and returns the labels
+// plus the remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	if s[0] != '{' {
+		return nil, "", fmt.Errorf("labels must start with '{'")
+	}
+	s = s[1:]
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if len(s) == 0 {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if key == "" {
+			return nil, "", fmt.Errorf("empty label name")
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", key)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", key, err)
+		}
+		labels = append(labels, Label{key, val})
+		s = strings.TrimLeft(rest, " \t")
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func validMetricName(name string) bool {
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware instruments an HTTP handler with per-route metrics in
+// reg: a request counter labelled by route and status class
+// (landlord_http_requests_total) and a latency histogram labelled by
+// route (landlord_http_request_duration_seconds).
+func Middleware(reg *Registry, route string, next http.Handler) http.Handler {
+	hist := reg.Histogram("landlord_http_request_duration_seconds",
+		"HTTP request latency by route", DefaultLatencyBuckets(),
+		Label{"route", route})
+	// Pre-create the common status classes so scrapes show zero-valued
+	// series before traffic arrives.
+	classes := [6]*Counter{}
+	for c := 2; c <= 5; c++ {
+		classes[c] = reg.Counter("landlord_http_requests_total",
+			"HTTP requests by route and status class",
+			Label{"route", route}, Label{"code", fmt.Sprintf("%dxx", c)})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		class := sw.Status() / 100
+		if class >= 2 && class <= 5 {
+			classes[class].Inc()
+		} else {
+			reg.Counter("landlord_http_requests_total",
+				"HTTP requests by route and status class",
+				Label{"route", route}, Label{"code", fmt.Sprintf("%dxx", class)}).Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status code (200 when the handler
+// never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status returns the captured status code.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

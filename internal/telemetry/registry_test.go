@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "total requests").Add(41)
+	reg.Counter("requests_total", "total requests").Inc() // same series
+	reg.Gauge("cached_bytes", "bytes cached").Set(1.5e9)
+	reg.GaugeFunc("efficiency", "cache efficiency", func() float64 { return 0.75 })
+	reg.Counter("ops_total", "ops by kind", Label{"op", "hit"}).Add(7)
+	reg.Counter("ops_total", "ops by kind", Label{"op", "merge"}).Add(3)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := scrape.Value("requests_total"); !ok || v != 42 {
+		t.Fatalf("requests_total = %v, %v", v, ok)
+	}
+	if v, _ := scrape.Value("cached_bytes"); v != 1.5e9 {
+		t.Fatalf("cached_bytes = %v", v)
+	}
+	if v, _ := scrape.Value("efficiency"); v != 0.75 {
+		t.Fatalf("efficiency = %v", v)
+	}
+	if v, _ := scrape.Value("ops_total", Label{"op", "hit"}); v != 7 {
+		t.Fatalf("ops_total{op=hit} = %v", v)
+	}
+	if v, _ := scrape.Value("ops_total", Label{"op", "merge"}); v != 3 {
+		t.Fatalf("ops_total{op=merge} = %v", v)
+	}
+	if scrape.Types["requests_total"] != "counter" || scrape.Types["cached_bytes"] != "gauge" {
+		t.Fatalf("types wrong: %v", scrape.Types)
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("m", "h", Label{"x", "1"}, Label{"y", "2"})
+	b := reg.Counter("m", "h", Label{"y", "2"}, Label{"x", "1"})
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "h", Label{"path", `a"b\c` + "\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("escaped label did not round-trip: %v", err)
+	}
+	if v, ok := scrape.Value("m", Label{"path", `a"b\c` + "\nd"}); !ok || v != 1 {
+		t.Fatalf("escaped label lost: %v %v (%v)", v, ok, scrape.Samples)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("m", "h")
+}
+
+func TestExponentialBucketsMonotone(t *testing.T) {
+	for _, tc := range []struct {
+		start, factor float64
+		n             int
+	}{{10e-6, 2, 18}, {0.001, 1.5, 30}, {1, 10, 9}} {
+		b := ExponentialBuckets(tc.start, tc.factor, tc.n)
+		if len(b) != tc.n {
+			t.Fatalf("len = %d, want %d", len(b), tc.n)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("buckets(%v,%v,%d) not strictly increasing at %d: %v",
+					tc.start, tc.factor, tc.n, i, b)
+			}
+		}
+	}
+	// The default latency grid is monotone and spans µs to seconds.
+	def := DefaultLatencyBuckets()
+	for i := 1; i < len(def); i++ {
+		if def[i] <= def[i-1] {
+			t.Fatalf("default buckets not monotone at %d: %v", i, def)
+		}
+	}
+	if def[0] > 100e-6 || def[len(def)-1] < 1 {
+		t.Fatalf("default latency buckets don't span µs..s: %v", def)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	reg := NewRegistry()
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			reg.Histogram("h", "h", bounds)
+		}()
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5.565; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("histogram exposition did not parse: %v\n%s", err, buf.String())
+	}
+	// Cumulative le semantics: 0.01 includes the exact boundary value.
+	for _, tc := range []struct {
+		le   string
+		want float64
+	}{{"0.01", 2}, {"0.1", 3}, {"1", 4}, {"+Inf", 5}} {
+		v, ok := scrape.Value("lat_bucket", Label{"le", tc.le})
+		if !ok || v != tc.want {
+			t.Fatalf("lat_bucket{le=%s} = %v,%v want %v (%v)", tc.le, v, ok, tc.want, scrape.Samples)
+		}
+	}
+	if v, _ := scrape.Value("lat_count"); v != 5 {
+		t.Fatalf("lat_count = %v", v)
+	}
+	if v, _ := scrape.Value("lat_sum"); math.Abs(v-5.565) > 1e-9 {
+		t.Fatalf("lat_sum = %v", v)
+	}
+	if scrape.Types["lat"] != "histogram" {
+		t.Fatalf("lat type = %q", scrape.Types["lat"])
+	}
+}
+
+// TestRegistryConcurrentHammer drives every metric kind from parallel
+// goroutines while a scraper renders the exposition, so `go test
+// -race` exercises the registry's synchronization claims.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := []string{"hit", "merge", "insert"}
+			for i := 0; i < iters; i++ {
+				reg.Counter("hammer_total", "h", Label{"op", ops[i%3]}).Inc()
+				reg.Gauge("hammer_gauge", "h").Set(float64(i))
+				reg.Gauge("hammer_adj", "h").Add(1)
+				reg.Histogram("hammer_lat", "h", DefaultLatencyBuckets()).
+					Observe(float64(i%1000) * 1e-5)
+				if i%100 == g {
+					reg.GaugeFunc("hammer_fn", "h", func() float64 { return float64(g) })
+				}
+			}
+		}(g)
+	}
+	// Concurrent scrapes must see a consistent, parseable exposition.
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := reg.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				if _, err := ParseText(&buf); err != nil {
+					t.Errorf("mid-hammer scrape unparseable: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	scrapeWG.Wait()
+
+	var total int64
+	for _, op := range []string{"hit", "merge", "insert"} {
+		total += reg.Counter("hammer_total", "h", Label{"op", op}).Value()
+	}
+	if want := int64(goroutines * iters); total != want {
+		t.Fatalf("counter lost updates: %d, want %d", total, want)
+	}
+	if got := reg.Histogram("hammer_lat", "h", DefaultLatencyBuckets()).Count(); got != int64(goroutines*iters) {
+		t.Fatalf("histogram lost observations: %d", got)
+	}
+	if got := reg.Gauge("hammer_adj", "h").Value(); got != float64(goroutines*iters) {
+		t.Fatalf("gauge Add lost updates: %v", got)
+	}
+}
+
+func TestMiddlewareRecordsRouteMetrics(t *testing.T) {
+	reg := NewRegistry()
+	ok := Middleware(reg, "/v1/request", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) // implicit 200
+	}))
+	fail := Middleware(reg, "/v1/prune", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/request", nil))
+	}
+	rec := httptest.NewRecorder()
+	fail.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/prune", nil))
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := scrape.Value("landlord_http_requests_total",
+		Label{"route", "/v1/request"}, Label{"code", "2xx"}); v != 3 {
+		t.Fatalf("2xx count = %v", v)
+	}
+	if v, _ := scrape.Value("landlord_http_requests_total",
+		Label{"route", "/v1/prune"}, Label{"code", "4xx"}); v != 1 {
+		t.Fatalf("4xx count = %v", v)
+	}
+	if v, _ := scrape.Value("landlord_http_request_duration_seconds_count",
+		Label{"route", "/v1/request"}); v != 3 {
+		t.Fatalf("latency histogram count = %v", v)
+	}
+}

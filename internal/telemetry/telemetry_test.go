@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMultiDropsNils(t *testing.T) {
+	if got := Multi(nil, nil); got != nil {
+		t.Fatalf("Multi(nil, nil) = %v, want nil", got)
+	}
+	ring := NewRing(4)
+	if got := Multi(nil, ring); got != Tracer(ring) {
+		t.Fatalf("Multi(nil, ring) should return ring itself, got %T", got)
+	}
+	ring2 := NewRing(4)
+	m := Multi(ring, nil, ring2)
+	m.Trace(&Event{Op: "hit"})
+	if ring.Total() != 1 || ring2.Total() != 1 {
+		t.Fatalf("fan-out missed a sink: %d, %d", ring.Total(), ring2.Total())
+	}
+}
+
+func TestJSONLSinkEmitsOneLinePerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for i := 1; i <= 3; i++ {
+		sink.Trace(&Event{Seq: uint64(i), Op: "insert", SpecPackages: i,
+			Candidates: []Candidate{{ImageID: 7, Distance: 0.25}}})
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		n++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", n, err)
+		}
+		if ev.Seq != uint64(n) || ev.Op != "insert" {
+			t.Fatalf("line %d decoded to %+v", n, ev)
+		}
+		if len(ev.Candidates) != 1 || ev.Candidates[0].Distance != 0.25 {
+			t.Fatalf("line %d candidates: %+v", n, ev.Candidates)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d lines, want 3", n)
+	}
+}
+
+func TestJSONLSinkRetainsFirstError(t *testing.T) {
+	sink := NewJSONLSink(failWriter{})
+	sink.Trace(&Event{Op: "hit"})
+	if sink.Err() == nil {
+		t.Fatal("expected write error")
+	}
+	sink.Trace(&Event{Op: "hit"}) // must not panic or reset the error
+	if sink.Err() == nil {
+		t.Fatal("error lost")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "fail" }
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Events(0); len(got) != 0 {
+		t.Fatalf("empty ring returned %d events", len(got))
+	}
+	for i := 1; i <= 5; i++ {
+		r.Trace(&Event{Seq: uint64(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Events(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(3 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestRingLimit(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 6; i++ {
+		r.Trace(&Event{Seq: uint64(i)})
+	}
+	got := r.Events(2)
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("Events(2) = %+v, want seqs 5,6", got)
+	}
+	if got := r.Events(100); len(got) != 6 {
+		t.Fatalf("Events(100) returned %d, want 6", len(got))
+	}
+}
+
+func TestRingCopiesEvents(t *testing.T) {
+	r := NewRing(2)
+	ev := &Event{Seq: 1, Op: "hit"}
+	r.Trace(ev)
+	ev.Op = "mutated"
+	if got := r.Events(0)[0].Op; got != "hit" {
+		t.Fatalf("ring retained caller's pointer: op = %q", got)
+	}
+}
+
+func TestEventJSONSchema(t *testing.T) {
+	// The JSONL schema is part of the documented observability surface
+	// (README); keep the field names stable.
+	data, err := json.Marshal(&Event{Op: "merge", Candidates: []Candidate{{ImageID: 1, Distance: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"seq"`, `"op"`, `"spec_packages"`, `"request_bytes"`, `"image_id"`,
+		`"image_version"`, `"image_size"`, `"bytes_written"`, `"superset_scanned"`,
+		`"prefilter_accepted"`, `"prefilter_rejected"`, `"candidates"`,
+		`"evicted"`, `"evicted_bytes"`, `"cached_bytes"`, `"images"`, `"duration_ns"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("event JSON missing field %s: %s", field, data)
+		}
+	}
+}
