@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz examples experiments clean
+.PHONY: all build vet test test-short race bench fuzz crash-test examples experiments clean
 
 all: build vet test
 
@@ -32,6 +32,13 @@ fuzz:
 	$(GO) test ./internal/spec -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzLoad -fuzztime 30s
 	$(GO) test ./internal/shrinkwrap -fuzz FuzzUnpack -fuzztime 30s
+	$(GO) test ./internal/persist -fuzz FuzzWALDecode -fuzztime 30s
+
+# Durability gauntlet: the persist fault-injection suite (every WAL
+# truncation and bit-flip) plus the end-to-end kill -9 daemon test.
+crash-test:
+	$(GO) test -v -run 'TestCrashRecovery|TestTornTail|TestRecoverFallsBack|TestCheckpointCompaction' ./internal/persist
+	$(GO) test -v -run TestDaemonSurvivesKill9 ./cmd/landlordd
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -11,7 +11,10 @@
 //
 // The cache directory persists between invocations, so a stream of job
 // submissions sees exactly the hit/merge/insert behaviour the paper
-// describes. `landlord -stats` prints the cache state.
+// describes. State is stored as a CRC-validated checkpoint
+// (internal/persist format, shared with landlordd); pre-existing
+// plain-JSON state.json directories are migrated on first save.
+// `landlord -stats` prints the cache state.
 package main
 
 import (
@@ -20,18 +23,31 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cvmfs"
+	"repro/internal/persist"
 	"repro/internal/pkggraph"
 	"repro/internal/shrinkwrap"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
-// stateFile is the persisted cache state within the cache directory.
-type stateFile struct {
+// State lives in <cache-dir>/state.ckpt, a single CRC-framed checkpoint
+// in the internal/persist format (the same one landlordd compacts its
+// WAL into). Older cache directories hold a plain-JSON state.json; it
+// is still read, and the first save migrates it to the new format.
+const (
+	stateName       = "state.ckpt"
+	legacyStateName = "state.json"
+)
+
+// legacyStateFile is the pre-checkpoint plain-JSON cache state, kept
+// only so existing cache directories survive the format change.
+type legacyStateFile struct {
 	RepoSeed int64                `json:"repo_seed"`
 	RepoFile string               `json:"repo_file,omitempty"`
 	Images   []core.ImageSnapshot `json:"images"`
@@ -69,8 +85,7 @@ func run(cacheDir, specPath string, alpha, capacityGB float64, repoSeed int64, r
 	if err != nil {
 		return err
 	}
-	statePath := filepath.Join(cacheDir, "state.json")
-	if err := loadState(statePath, mgr); err != nil {
+	if err := loadState(cacheDir, mgr, repoSeed, repoFile); err != nil {
 		return err
 	}
 
@@ -137,11 +152,7 @@ func run(cacheDir, specPath string, alpha, capacityGB float64, repoSeed int64, r
 		fmt.Printf("landlord: launching (simulated): %s\n", strings.Join(jobArgs, " "))
 	}
 
-	return saveState(statePath, stateFile{
-		RepoSeed: repoSeed,
-		RepoFile: repoFile,
-		Images:   mgr.Snapshot(),
-	})
+	return saveState(cacheDir, mgr, repoSeed, repoFile)
 }
 
 func loadRepo(seed int64, file string) (*pkggraph.Repo, error) {
@@ -151,7 +162,36 @@ func loadRepo(seed int64, file string) (*pkggraph.Repo, error) {
 	return pkggraph.Generate(pkggraph.DefaultGenConfig(), seed)
 }
 
-func loadState(path string, mgr *core.Manager) error {
+// repoMeta describes the repository the cache was built against, so a
+// later invocation with a different repository fails loudly instead of
+// resolving package keys against the wrong package set.
+func repoMeta(repoSeed int64, repoFile string) map[string]string {
+	return map[string]string{
+		"repo_seed": strconv.FormatInt(repoSeed, 10),
+		"repo_file": repoFile,
+	}
+}
+
+func loadState(cacheDir string, mgr *core.Manager, repoSeed int64, repoFile string) error {
+	path := filepath.Join(cacheDir, stateName)
+	ck, err := persist.ReadCheckpointFile(path)
+	if os.IsNotExist(err) {
+		return loadLegacyState(filepath.Join(cacheDir, legacyStateName), mgr)
+	}
+	if err != nil {
+		return fmt.Errorf("corrupt state %s: %w", path, err)
+	}
+	if want := repoMeta(repoSeed, repoFile); ck.Meta["repo_seed"] != want["repo_seed"] || ck.Meta["repo_file"] != want["repo_file"] {
+		return fmt.Errorf("cache %s was built against repository {seed %s, file %q}, not {seed %s, file %q}; use a fresh -cache-dir",
+			cacheDir, ck.Meta["repo_seed"], ck.Meta["repo_file"], want["repo_seed"], want["repo_file"])
+	}
+	return mgr.ImportState(ck.State)
+}
+
+// loadLegacyState reads the pre-checkpoint state.json format. Image IDs
+// are reassigned (the legacy format predates stable IDs) and stats
+// start at zero, matching the old behaviour exactly.
+func loadLegacyState(path string, mgr *core.Manager) error {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -159,26 +199,39 @@ func loadState(path string, mgr *core.Manager) error {
 	if err != nil {
 		return err
 	}
-	var st stateFile
+	var st legacyStateFile
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("corrupt state %s: %w", path, err)
 	}
 	return mgr.Restore(st.Images)
 }
 
-func saveState(path string, st stateFile) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+func saveState(cacheDir string, mgr *core.Manager, repoSeed int64, repoFile string) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(&st, "", "  ")
+	path := filepath.Join(cacheDir, stateName)
+	err := persist.WriteCheckpointFile(path, persist.Checkpoint{
+		SavedUnixNano: time.Now().UnixNano(),
+		Meta:          repoMeta(repoSeed, repoFile),
+		State:         mgr.ExportState(),
+	})
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	// The checkpoint is durable; a leftover legacy file would shadow
+	// nothing (state.ckpt wins) but confuse operators, so retire it.
+	if legacy := filepath.Join(cacheDir, legacyStateName); fileExists(legacy) {
+		if err := os.Remove(legacy); err != nil {
+			return fmt.Errorf("retiring legacy %s: %w", legacy, err)
+		}
 	}
-	return os.Rename(tmp, path)
+	return nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func printStats(mgr *core.Manager, repo *pkggraph.Repo) {

@@ -6,8 +6,20 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/pkggraph"
 )
+
+// readState loads the checkpoint-format cache state a run left behind.
+func readState(t *testing.T, cacheDir string) persist.Checkpoint {
+	t.Helper()
+	ck, err := persist.ReadCheckpointFile(filepath.Join(cacheDir, stateName))
+	if err != nil {
+		t.Fatalf("state not persisted: %v", err)
+	}
+	return ck
+}
 
 // writeSmallRepo saves a scaled-down repository file so tests avoid
 // generating the full 9,660-package default on every run.
@@ -57,32 +69,28 @@ func TestRunInsertThenHitPersists(t *testing.T) {
 	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, []string{"./job.sh"}); err != nil {
 		t.Fatalf("first run: %v", err)
 	}
-	statePath := filepath.Join(cacheDir, "state.json")
-	data, err := os.ReadFile(statePath)
-	if err != nil {
-		t.Fatalf("state not persisted: %v", err)
+	st := readState(t, cacheDir)
+	if len(st.State.Images) != 1 {
+		t.Fatalf("state holds %d images, want 1", len(st.State.Images))
 	}
-	var st stateFile
-	if err := json.Unmarshal(data, &st); err != nil {
-		t.Fatalf("state not valid JSON: %v", err)
-	}
-	if len(st.Images) != 1 {
-		t.Fatalf("state holds %d images, want 1", len(st.Images))
+	if st.Meta["repo_file"] != repoFile {
+		t.Fatalf("state meta records repo %q, want %q", st.Meta["repo_file"], repoFile)
 	}
 	// Second invocation loads the state and hits.
 	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err != nil {
 		t.Fatalf("second run: %v", err)
 	}
-	data2, err := os.ReadFile(statePath)
-	if err != nil {
-		t.Fatal(err)
+	st2 := readState(t, cacheDir)
+	if len(st2.State.Images) != 1 {
+		t.Fatalf("hit should not create images: %d", len(st2.State.Images))
 	}
-	var st2 stateFile
-	if err := json.Unmarshal(data2, &st2); err != nil {
-		t.Fatal(err)
+	// Checkpoint state is cumulative: the hit keeps the image identity
+	// and the stats carry across invocations.
+	if st2.State.Images[0].ID != st.State.Images[0].ID {
+		t.Errorf("image ID changed across a hit: %d -> %d", st.State.Images[0].ID, st2.State.Images[0].ID)
 	}
-	if len(st2.Images) != 1 {
-		t.Fatalf("hit should not create images: %d", len(st2.Images))
+	if st2.State.Stats.Requests != 2 || st2.State.Stats.Hits != 1 {
+		t.Errorf("cumulative stats = %+v, want 2 requests / 1 hit", st2.State.Stats)
 	}
 }
 
@@ -131,10 +139,84 @@ func TestRunMaterialize(t *testing.T) {
 func TestRunCorruptState(t *testing.T) {
 	repoFile := writeSmallRepo(t)
 	cacheDir := t.TempDir()
-	os.WriteFile(filepath.Join(cacheDir, "state.json"), []byte("{broken"), 0o644)
+	os.WriteFile(filepath.Join(cacheDir, stateName), []byte("not a checkpoint frame"), 0o644)
 	specFile := specFileFor(t, repoFile, 1)
 	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err == nil {
 		t.Fatal("corrupt state accepted")
+	}
+}
+
+func TestRunCorruptLegacyState(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	cacheDir := t.TempDir()
+	os.WriteFile(filepath.Join(cacheDir, legacyStateName), []byte("{broken"), 0o644)
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err == nil {
+		t.Fatal("corrupt legacy state accepted")
+	}
+}
+
+// TestRunLegacyStateMigration: a pre-checkpoint cache directory (plain
+// state.json) is read, and the next save upgrades it in place.
+func TestRunLegacyStateMigration(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	repo, err := pkggraph.LoadFile(repoFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	legacy := legacyStateFile{
+		RepoSeed: 1,
+		RepoFile: repoFile,
+		Images: []core.ImageSnapshot{{
+			Packages: []string{repo.Package(0).Key()},
+			LastUse:  1,
+		}},
+	}
+	data, err := json.Marshal(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyPath := filepath.Join(cacheDir, legacyStateName)
+	if err := os.WriteFile(legacyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err != nil {
+		t.Fatalf("run over legacy state: %v", err)
+	}
+	st := readState(t, cacheDir)
+	if len(st.State.Images) == 0 {
+		t.Fatal("legacy image lost in migration")
+	}
+	if _, err := os.Stat(legacyPath); !os.IsNotExist(err) {
+		t.Errorf("legacy state.json not retired after migration (stat err: %v)", err)
+	}
+}
+
+// TestRunRepoMismatch: reusing a cache directory against a different
+// repository is refused instead of resolving keys against the wrong
+// package set.
+func TestRunRepoMismatch(t *testing.T) {
+	repoFile := writeSmallRepo(t)
+	cacheDir := t.TempDir()
+	specFile := specFileFor(t, repoFile, 1)
+	if err := run(cacheDir, specFile, 0.8, 0, 1, repoFile, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same repository content under a different path still mismatches:
+	// identity is (seed, file) as given, conservatively.
+	otherFile := filepath.Join(t.TempDir(), "other.jsonl")
+	data, err := os.ReadFile(repoFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(otherFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cacheDir, specFile, 0.8, 0, 1, otherFile, false, false, nil); err == nil {
+		t.Fatal("repository mismatch accepted")
 	}
 }
 
@@ -150,10 +232,8 @@ func TestRunCapacityEvicts(t *testing.T) {
 	if err := run(cacheDir, b, 0.0, 0.000001, 1, repoFile, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(filepath.Join(cacheDir, "state.json"))
-	var st stateFile
-	json.Unmarshal(data, &st)
-	if len(st.Images) != 1 {
-		t.Fatalf("capacity 1KB should keep a single (oversized) image, got %d", len(st.Images))
+	st := readState(t, cacheDir)
+	if len(st.State.Images) != 1 {
+		t.Fatalf("capacity 1KB should keep a single (oversized) image, got %d", len(st.State.Images))
 	}
 }

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/server"
+)
+
+// buildDaemon compiles the landlordd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "landlordd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary and returns its base URL (parsed
+// from the "listening on" log line) and the running command.
+func startDaemon(t *testing.T, bin, cfgPath string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, "-config", cfgPath, "-stats-interval", "0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	listenRe := regexp.MustCompile(`listening on (\S+)`)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			t.Logf("[daemon] %s", line)
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not log a listen address within 15s")
+		return "", nil
+	}
+}
+
+func waitHealthy(t *testing.T, client *server.Client) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		err := client.Healthz() // retries 503 (recovering) internally
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon not healthy in time: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// byLastUse is the canonical order for comparing snapshots: each
+// request stamps a unique logical-clock value, so last-use order is a
+// total order independent of in-memory layout.
+func byLastUse(snaps []core.ImageSnapshot) []core.ImageSnapshot {
+	out := append([]core.ImageSnapshot(nil), snaps...)
+	sort.Slice(out, func(a, b int) bool { return out[a].LastUse < out[b].LastUse })
+	return out
+}
+
+// TestDaemonSurvivesKill9 is the issue's acceptance scenario: seed the
+// daemon with a 500-request stream under fsync=always, kill -9 the
+// process, restart it over the same state directory, and require the
+// recovered cache — image set, LRU order, and stats — to be identical
+// to the pre-kill cache.
+func TestDaemonSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary; skipped in -short")
+	}
+	bin := buildDaemon(t)
+
+	// Small repository shared by both daemon incarnations.
+	genCfg := pkggraph.DefaultGenConfig()
+	genCfg.CoreFamilies = 2
+	genCfg.FrameworkFamilies = 5
+	genCfg.LibraryFamilies = 20
+	genCfg.ApplicationFamilies = 33
+	repo := pkggraph.MustGenerate(genCfg, 42)
+	dir := t.TempDir()
+	repoFile := filepath.Join(dir, "repo.jsonl")
+	if err := repo.SaveFile(repoFile); err != nil {
+		t.Fatal(err)
+	}
+
+	stateDir := filepath.Join(dir, "state")
+	cfgPath := filepath.Join(dir, "site.json")
+	cfg := fmt.Sprintf(`{
+		"addr": "127.0.0.1:0",
+		"alpha": 0.8,
+		"repo_file": %q,
+		"state_dir": %q,
+		"fsync": "always",
+		"checkpoint_every_requests": 200
+	}`, repoFile, stateDir)
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cmd := startDaemon(t, bin, cfgPath)
+	client := server.NewClient(base, nil)
+	waitHealthy(t, client)
+
+	// Seeded 500-request stream: random 1-3 package specs, closed
+	// server-side, producing hits, merges, inserts, and churn.
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, repo.Len())
+	for i := range keys {
+		keys[i] = repo.Package(pkggraph.PkgID(i)).Key()
+	}
+	for i := 0; i < 500; i++ {
+		req := make([]string, 1+rng.Intn(3))
+		for j := range req {
+			req[j] = keys[rng.Intn(len(keys))]
+		}
+		if _, err := client.Request(req, true); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	wantStats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnaps, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: SIGKILL, no drain, no final checkpoint.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart over the same state directory.
+	base2, _ := startDaemon(t, bin, cfgPath)
+	client2 := server.NewClient(base2, nil)
+	waitHealthy(t, client2)
+
+	gotStats, err := client2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats after kill -9 + restart:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+	gotSnaps, err := client2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSnaps) != len(wantSnaps) {
+		t.Fatalf("image count after restart = %d, want %d", len(gotSnaps), len(wantSnaps))
+	}
+	if got, want := byLastUse(gotSnaps), byLastUse(wantSnaps); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered image set differs from the pre-kill cache:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The recovered daemon must still behave identically: a request
+	// for an already-cached spec hits.
+	hitReq := []string{keys[0]}
+	if _, err := client2.Request(hitReq, true); err != nil {
+		t.Fatalf("request after recovery: %v", err)
+	}
+}

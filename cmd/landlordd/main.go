@@ -16,6 +16,13 @@
 // runtime profiler under /debug/pprof/. The daemon drains in-flight
 // requests on SIGINT/SIGTERM and logs a final cache snapshot before
 // exiting.
+//
+// With -state-dir (or state_dir in the config), cache state is durable
+// (internal/persist): every mutation is write-ahead logged, the state
+// is checkpointed on shutdown and on POST /v1/checkpoint, and startup
+// recovers the previous state — serving 503 until recovery completes —
+// so a crashed or restarted daemon does not re-pay the image build I/O
+// its cache already absorbed.
 package main
 
 import (
@@ -23,14 +30,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -79,6 +89,7 @@ func main() {
 		capacityGB  = flag.Float64("capacity-gb", -1, "cache capacity in GB, 0 = unlimited (overrides config)")
 		repoSeed    = flag.Int64("repo-seed", 0, "seed for the synthetic repository (overrides config)")
 		repoFile    = flag.String("repo-file", "", "load the repository from this JSONL file (overrides config)")
+		stateDir    = flag.String("state-dir", "", "durable state directory: WAL + checkpoints (overrides config)")
 		pprofOn     = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 		statsEvery  = flag.Duration("stats-interval", 5*time.Minute, "cache-utilization self-log interval (0 disables)")
 		drainWindow = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
@@ -109,6 +120,9 @@ func main() {
 	if *repoFile != "" {
 		site.RepoFile = *repoFile
 	}
+	if *stateDir != "" {
+		site.StateDir = *stateDir
+	}
 	if err := site.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
 		os.Exit(1)
@@ -119,10 +133,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := server.New(repo, site.CoreConfig(repo))
+
+	// Bind and serve 503s immediately; the handler swaps to the real
+	// mux once recovery (below) finishes, so restarting daemons are
+	// "come back later" instead of connection-refused.
+	var handler atomic.Pointer[http.Handler]
+	recovering := server.RecoveringHandler()
+	handler.Store(&recovering)
+	httpSrv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", site.Addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
 		os.Exit(1)
+	}
+	log.Printf("landlordd: listening on %s", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var srv *server.Server
+	var store *persist.Store
+	if site.StateDir != "" {
+		store, err = persist.Open(site.StateDir, site.PersistOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+			os.Exit(1)
+		}
+		s, rep, err := server.NewPersistent(repo, site.CoreConfig(repo), store, site.CheckpointEveryRequests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+			os.Exit(1)
+		}
+		for _, warn := range rep.Warnings {
+			log.Printf("landlordd: recovery warning: %s", warn)
+		}
+		log.Printf("landlordd: recovered state from %s: %s", site.StateDir, rep)
+		srv = s
+	} else {
+		srv, err = server.New(repo, site.CoreConfig(repo))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -130,6 +187,8 @@ func main() {
 	if *pprofOn {
 		mountPprof(mux)
 	}
+	var live http.Handler = mux
+	handler.Store(&live)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -170,17 +229,8 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{
-		Addr:              site.Addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
-
 	log.Printf("landlordd: serving %d-package repository (%s) on %s (alpha=%.2f, pprof=%v)",
-		repo.Len(), stats.FormatBytes(repo.TotalSize()), site.Addr, *site.Alpha, *pprofOn)
+		repo.Len(), stats.FormatBytes(repo.TotalSize()), ln.Addr(), *site.Alpha, *pprofOn)
 
 	select {
 	case err := <-serveErr:
@@ -192,6 +242,19 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("landlordd: drain incomplete: %v", err)
+		}
+		if store != nil {
+			// Seal the durable state: checkpoint the drained cache, so
+			// the next start recovers instantly from a compact log.
+			if info, err := srv.CheckpointNow(); err != nil {
+				log.Printf("landlordd: final checkpoint failed (WAL remains authoritative): %v", err)
+			} else {
+				log.Printf("landlordd: checkpointed %d image(s) as seq %d (%s)",
+					info.Images, info.Seq, stats.FormatBytes(info.Bytes))
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("landlordd: closing state store: %v", err)
+			}
 		}
 		log.Printf("landlordd: final %s", statsLogLine(srv.StatsNow()))
 	}

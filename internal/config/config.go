@@ -10,8 +10,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/pkggraph"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -46,6 +48,22 @@ type Site struct {
 	// PruneUtilization and PruneMinServed parameterize the pass.
 	PruneUtilization float64 `json:"prune_utilization"`
 	PruneMinServed   int     `json:"prune_min_served"`
+
+	// StateDir enables durable cache state: a write-ahead log plus
+	// checkpoints under this directory, recovered at startup. Empty
+	// disables persistence (the cache restarts cold).
+	StateDir string `json:"state_dir"`
+	// Fsync is the WAL flush policy: "always", "interval" (default),
+	// or "never". See internal/persist for the trade-offs.
+	Fsync string `json:"fsync"`
+	// FsyncIntervalMS bounds staleness under the "interval" policy
+	// (default 100ms).
+	FsyncIntervalMS int `json:"fsync_interval_ms"`
+	// CheckpointEveryRequests compacts the WAL into a checkpoint every
+	// N requests (0 = only at shutdown and on POST /v1/checkpoint).
+	CheckpointEveryRequests int `json:"checkpoint_every_requests"`
+	// WALSegmentMB rotates WAL segments at this size (default 4 MB).
+	WALSegmentMB int `json:"wal_segment_mb"`
 }
 
 // Default returns the configuration the daemon uses with no file.
@@ -99,7 +117,30 @@ func (s Site) Validate() error {
 			return fmt.Errorf("prune_min_served must be >= 1 when pruning")
 		}
 	}
+	if _, err := persist.ParseFsyncPolicy(s.Fsync); err != nil {
+		return fmt.Errorf("fsync: %w", err)
+	}
+	if s.FsyncIntervalMS < 0 {
+		return fmt.Errorf("fsync_interval_ms must be non-negative")
+	}
+	if s.CheckpointEveryRequests < 0 {
+		return fmt.Errorf("checkpoint_every_requests must be non-negative")
+	}
+	if s.WALSegmentMB < 0 {
+		return fmt.Errorf("wal_segment_mb must be non-negative")
+	}
 	return nil
+}
+
+// PersistOptions assembles the durability options for the state
+// directory. Only meaningful when StateDir is set.
+func (s Site) PersistOptions() persist.Options {
+	policy, _ := persist.ParseFsyncPolicy(s.Fsync) // Validate caught bad values
+	return persist.Options{
+		SegmentBytes: int64(s.WALSegmentMB) << 20,
+		SyncPolicy:   policy,
+		SyncInterval: time.Duration(s.FsyncIntervalMS) * time.Millisecond,
+	}
 }
 
 // OpenRepo loads or generates the configured repository.

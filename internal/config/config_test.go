@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/persist"
 )
 
 func writeConfig(t *testing.T, text string) string {
@@ -70,6 +73,67 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(writeConfig(t, `{"prune_every_requests": 10, "prune_utilization": 0.5}`)); err == nil {
 		t.Error("pruning without min_served accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"fsync": "sometimes"}`)); err == nil {
+		t.Error("unknown fsync policy accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"fsync_interval_ms": -5}`)); err == nil {
+		t.Error("negative fsync interval accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"checkpoint_every_requests": -1}`)); err == nil {
+		t.Error("negative checkpoint threshold accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"wal_segment_mb": -1}`)); err == nil {
+		t.Error("negative segment size accepted")
+	}
+}
+
+func TestPersistOptions(t *testing.T) {
+	path := writeConfig(t, `{
+		"state_dir": "/var/lib/landlord",
+		"fsync": "always",
+		"fsync_interval_ms": 250,
+		"checkpoint_every_requests": 5000,
+		"wal_segment_mb": 8
+	}`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StateDir != "/var/lib/landlord" || s.CheckpointEveryRequests != 5000 {
+		t.Fatalf("persistence fields lost: %+v", s)
+	}
+	opts := s.PersistOptions()
+	if opts.SyncPolicy != persist.FsyncAlways {
+		t.Errorf("sync policy = %v, want always", opts.SyncPolicy)
+	}
+	if opts.SegmentBytes != 8<<20 {
+		t.Errorf("segment bytes = %d, want %d", opts.SegmentBytes, 8<<20)
+	}
+	if opts.SyncInterval != 250*time.Millisecond {
+		t.Errorf("sync interval = %v, want 250ms", opts.SyncInterval)
+	}
+
+	// Defaults: empty fsync parses to the interval policy, zero sizes
+	// defer to the store's defaults.
+	opts = Default().PersistOptions()
+	if opts.SyncPolicy != persist.FsyncInterval || opts.SegmentBytes != 0 {
+		t.Errorf("default options = %+v", opts)
+	}
+}
+
+// TestExampleSiteConfig pins the shipped example config: it must parse
+// and validate, and it must exercise every durability knob.
+func TestExampleSiteConfig(t *testing.T) {
+	s, err := Load(filepath.Join("..", "..", "examples", "site.json"))
+	if err != nil {
+		t.Fatalf("examples/site.json: %v", err)
+	}
+	if s.StateDir == "" || s.Fsync == "" || s.CheckpointEveryRequests == 0 || s.WALSegmentMB == 0 {
+		t.Errorf("example config leaves durability keys unset: %+v", s)
+	}
+	if s.PruneEveryRequests == 0 {
+		t.Error("example config should demonstrate the prune schedule")
 	}
 }
 

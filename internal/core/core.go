@@ -101,6 +101,11 @@ type Config struct {
 	// their distances, eviction churn, and wall-clock duration. A nil
 	// Tracer costs one branch per request.
 	Tracer telemetry.Tracer
+	// Commit, when non-nil, receives one Mutation per state change
+	// (touch/merge/insert/delete/split) as it is applied — the hook the
+	// durability layer (internal/persist) logs through. A nil hook
+	// costs one branch per mutation.
+	Commit CommitHook
 }
 
 // Image is a cached container image: the union of every specification
@@ -147,27 +152,28 @@ func (r Result) ContainerEfficiency() float64 {
 }
 
 // Stats accumulates operation counts and I/O totals over a Manager's
-// lifetime.
+// lifetime. The JSON tags define the serialized form used by
+// checkpoints (core.ManagerState / internal/persist).
 type Stats struct {
-	Requests int64
-	Hits     int64
-	Inserts  int64
-	Merges   int64
-	Deletes  int64
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	Inserts  int64 `json:"inserts"`
+	Merges   int64 `json:"merges"`
+	Deletes  int64 `json:"deletes"`
 	// Splits counts images trimmed by Prune (see split.go).
-	Splits int64
+	Splits int64 `json:"splits"`
 
 	// BytesWritten is the cumulative data written into the cache
 	// ("Actual Writes" in Figure 4c): each insert writes the new image,
 	// each merge rewrites the merged image in its entirety.
-	BytesWritten int64
+	BytesWritten int64 `json:"bytes_written"`
 	// RequestedBytes is the cumulative size of every requested
 	// specification ("Requested Writes"): what a system creating each
 	// requested image directly would write.
-	RequestedBytes int64
+	RequestedBytes int64 `json:"requested_bytes"`
 	// ContainerEffSum accumulates per-request container efficiency;
 	// divide by Requests for the mean.
-	ContainerEffSum float64
+	ContainerEffSum float64 `json:"container_eff_sum"`
 }
 
 // MeanContainerEfficiency returns the mean per-request container
@@ -326,6 +332,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		img.lastUse = m.clock
 		img.served(s)
 		m.stats.Hits++
+		m.commit(Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: img.lastUse, RequestBytes: reqBytes})
 		res := Result{Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
 		m.trace(ev, res, start)
@@ -348,6 +355,13 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		m.total += img.Size
 		m.stats.Merges++
 		m.stats.BytesWritten += img.Size // the merged image is rewritten whole
+		if m.cfg.Commit != nil {
+			m.commit(Mutation{
+				Kind: MutMerge, ImageID: img.ID, LastUse: img.lastUse,
+				Version: img.Version, Merges: img.Merges,
+				RequestBytes: reqBytes, Packages: m.keysOf(img.Spec),
+			})
+		}
 		res := Result{
 			Op:           OpMerge,
 			ImageID:      img.ID,
@@ -377,6 +391,12 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 	m.total += img.Size
 	m.stats.Inserts++
 	m.stats.BytesWritten += img.Size
+	if m.cfg.Commit != nil {
+		m.commit(Mutation{
+			Kind: MutInsert, ImageID: img.ID, LastUse: img.lastUse,
+			RequestBytes: reqBytes, Packages: m.keysOf(img.Spec),
+		})
+	}
 	res := Result{
 		Op:           OpInsert,
 		ImageID:      img.ID,
@@ -530,6 +550,7 @@ func (m *Manager) evict(keep uint64) (int, int64) {
 		delete(m.byID, victim.ID)
 		m.total -= victim.Size
 		m.stats.Deletes++
+		m.commit(Mutation{Kind: MutDelete, ImageID: victim.ID})
 		n++
 		bytes += victim.Size
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+)
+
+// recorder is a CommitHook that keeps every mutation.
+type recorder struct {
+	muts []Mutation
+}
+
+func (r *recorder) Commit(mut Mutation) {
+	mut.Packages = append([]string(nil), mut.Packages...)
+	r.muts = append(r.muts, mut)
+}
+
+// TestCommitHookEmitsOutcomes pins the hook protocol on a hand-built
+// scenario: insert, hit, merge, then an insert that evicts.
+func TestCommitHookEmitsOutcomes(t *testing.T) {
+	repo := flatRepo(t, 8, 10)
+	rec := &recorder{}
+	m := mgr(t, repo, Config{Alpha: 0.5, Capacity: 40, Commit: rec})
+
+	request(t, m, sp(0, 1))    // insert image 0
+	request(t, m, sp(0, 1))    // hit -> touch
+	request(t, m, sp(0, 1, 2)) // d({0,1},{0,1,2}) = 1/3 <= alpha -> merge
+	request(t, m, sp(3, 4))    // insert; 30+20 > 40 -> evicts image 0
+
+	var kinds []MutationKind
+	for _, mut := range rec.muts {
+		kinds = append(kinds, mut.Kind)
+	}
+	want := []MutationKind{MutInsert, MutTouch, MutMerge, MutInsert, MutDelete}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("mutation kinds = %v, want %v", kinds, want)
+	}
+	merge := rec.muts[2]
+	if merge.ImageID != 0 || merge.Version != 1 || merge.Merges != 1 {
+		t.Errorf("merge mutation carries wrong counters: %+v", merge)
+	}
+	if len(merge.Packages) != 3 {
+		t.Errorf("merge mutation packages = %v, want the merged union", merge.Packages)
+	}
+	if del := rec.muts[4]; del.ImageID != 0 {
+		t.Errorf("delete mutation targets image %d, want 0", del.ImageID)
+	}
+}
+
+// TestReplayEquivalence is the property the WAL rests on: applying the
+// hook's mutation stream to a fresh manager reproduces the live
+// manager's exported state exactly — images, IDs, versions, LRU
+// clocks, and stats — across a randomized workload with merges,
+// evictions, and prune splits.
+func TestReplayEquivalence(t *testing.T) {
+	repo := flatRepo(t, 24, 10)
+	rec := &recorder{}
+	live := mgr(t, repo, Config{Alpha: 0.5, Capacity: 160, Commit: rec})
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		k := 1 + rng.Intn(3)
+		ids := make([]pkggraph.PkgID, k)
+		for j := range ids {
+			ids[j] = pkggraph.PkgID(rng.Intn(repo.Len()))
+		}
+		request(t, live, spec.New(ids))
+		if (i+1)%25 == 0 {
+			if _, err := live.Prune(0.5, 1); err != nil {
+				t.Fatalf("prune: %v", err)
+			}
+		}
+	}
+	if err := live.checkInvariants(); err != nil {
+		t.Fatalf("live manager invariants: %v", err)
+	}
+
+	replayed := mgr(t, repo, Config{Alpha: 0.5, Capacity: 160})
+	for i, mut := range rec.muts {
+		if err := replayed.ApplyMutation(mut); err != nil {
+			t.Fatalf("replaying mutation %d (%+v): %v", i, mut, err)
+		}
+	}
+	if err := replayed.checkInvariants(); err != nil {
+		t.Fatalf("replayed manager invariants: %v", err)
+	}
+	got, want := replayed.ExportState(), live.ExportState()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed state differs from live state:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestApplyMutationNeverEvicts: replay applies logged outcomes only;
+// an over-capacity state is legal until the next live request, whose
+// LRU pass brings the cache back under budget.
+func TestApplyMutationNeverEvicts(t *testing.T) {
+	repo := flatRepo(t, 8, 10)
+	m := mgr(t, repo, Config{Capacity: 30})
+	for i := 0; i < 3; i++ {
+		mut := Mutation{
+			Kind: MutInsert, ImageID: uint64(i), LastUse: uint64(i + 1),
+			RequestBytes: 20, Packages: []string{key(repo, 2*i), key(repo, 2*i+1)},
+		}
+		if err := m.ApplyMutation(mut); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if m.Len() != 3 || m.TotalData() != 60 {
+		t.Fatalf("replay evicted: %d images, %d bytes (want 3, 60)", m.Len(), m.TotalData())
+	}
+	request(t, m, sp(6, 7))
+	if m.TotalData() > 30 {
+		t.Fatalf("live request left cache over capacity: %d bytes", m.TotalData())
+	}
+}
+
+func key(repo *pkggraph.Repo, i int) string {
+	return repo.Package(pkggraph.PkgID(i)).Key()
+}
+
+func TestApplyMutationErrors(t *testing.T) {
+	repo := flatRepo(t, 8, 10)
+	m := mgr(t, repo, Config{})
+	if err := m.ApplyMutation(Mutation{Kind: MutInsert, ImageID: 1, LastUse: 1, Packages: []string{key(repo, 0)}}); err != nil {
+		t.Fatalf("seed insert: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  Mutation
+	}{
+		{"touch unknown", Mutation{Kind: MutTouch, ImageID: 9}},
+		{"insert duplicate", Mutation{Kind: MutInsert, ImageID: 1, Packages: []string{key(repo, 1)}}},
+		{"insert unknown package", Mutation{Kind: MutInsert, ImageID: 2, Packages: []string{"no/such/pkg"}}},
+		{"insert empty", Mutation{Kind: MutInsert, ImageID: 2}},
+		{"merge unknown image", Mutation{Kind: MutMerge, ImageID: 9, Packages: []string{key(repo, 1)}}},
+		{"merge unknown package", Mutation{Kind: MutMerge, ImageID: 1, Packages: []string{"no/such/pkg"}}},
+		{"delete unknown", Mutation{Kind: MutDelete, ImageID: 9}},
+		{"split unknown image", Mutation{Kind: MutSplit, ImageID: 9, Packages: []string{key(repo, 0)}}},
+		{"split unknown package", Mutation{Kind: MutSplit, ImageID: 1, Packages: []string{"no/such/pkg"}}},
+		{"unknown kind", Mutation{Kind: "frobnicate", ImageID: 1}},
+	}
+	for _, tc := range cases {
+		if err := m.ApplyMutation(tc.mut); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Failed applications must not have corrupted anything.
+	if err := m.checkInvariants(); err != nil {
+		t.Fatalf("invariants after rejected mutations: %v", err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("rejected mutations changed the cache: %d images", m.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -75,6 +76,141 @@ func TestRestoreRejectsEmptyImage(t *testing.T) {
 	m := mgr(t, repo, Config{Alpha: 0})
 	if err := m.Restore([]ImageSnapshot{{LastUse: 1}}); err == nil {
 		t.Fatal("empty snapshot image accepted")
+	}
+}
+
+// TestRestoreCapacityOverflow: a snapshot larger than the configured
+// capacity restores whole (supporting capacity shrinks across a
+// restart); the next live request brings the cache back under budget.
+func TestRestoreCapacityOverflow(t *testing.T) {
+	repo := flatRepo(t, 10, 100)
+	big := mgr(t, repo, Config{Alpha: 0})
+	request(t, big, sp(1))
+	request(t, big, sp(2))
+	request(t, big, sp(3))
+
+	small := mgr(t, repo, Config{Alpha: 0, Capacity: 250})
+	if err := small.Restore(big.Snapshot()); err != nil {
+		t.Fatalf("over-capacity Restore: %v", err)
+	}
+	if small.Len() != 3 || small.TotalData() != 300 {
+		t.Fatalf("restore trimmed the snapshot early: %d images, %d bytes", small.Len(), small.TotalData())
+	}
+	request(t, small, sp(4))
+	if small.TotalData() > 250 {
+		t.Fatalf("cache still over capacity after a request: %d bytes", small.TotalData())
+	}
+	// LRU means {3} (and the new {4}) survive; {1} and {2} go.
+	if r := request(t, small, sp(3)); r.Op != OpHit {
+		t.Fatalf("most-recent restored image was evicted (op %v)", r.Op)
+	}
+	if err := small.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotPruneSnapshotRoundTrip: prune a manager mid-life, carry
+// its snapshot through Restore, and verify the split survives the trip
+// and both managers stay behaviourally identical.
+func TestSnapshotPruneSnapshotRoundTrip(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	m := mgr(t, repo, Config{Alpha: 0.5})
+	request(t, m, sp(1, 2, 3, 4))
+	if _, err := m.Prune(0.5, 1); err != nil { // reset the insert-seeded hot window
+		t.Fatalf("Prune: %v", err)
+	}
+	request(t, m, sp(1, 2)) // hot subset: {1,2} of a 4-package image
+	request(t, m, sp(1, 2))
+	splits, err := m.Prune(0.5, 2)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if len(splits) != 1 {
+		t.Fatalf("expected 1 split, got %+v", splits)
+	}
+
+	snaps := m.Snapshot()
+	m2 := mgr(t, repo, Config{Alpha: 0.5})
+	if err := m2.Restore(snaps); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if m2.TotalData() != m.TotalData() || m2.Len() != m.Len() {
+		t.Fatalf("pruned state lost in round trip: %d/%d vs %d/%d",
+			m2.Len(), m2.TotalData(), m.Len(), m.TotalData())
+	}
+	// The snapshot of the restored manager must match modulo the IDs
+	// Restore reassigns.
+	again := m2.Snapshot()
+	for i := range snaps {
+		a, b := snaps[i], again[i]
+		a.ID, b.ID = 0, 0
+		a.Version, b.Version = 0, 0 // Restore resets content versions
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("snapshot %d changed in round trip:\n before %+v\n after  %+v", i, snaps[i], again[i])
+		}
+	}
+	if err := m2.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportStateRoundTrip: ImportState is the checkpoint loader; it
+// must preserve IDs, versions, the clock, ID allocation, and stats
+// bit for bit.
+func TestImportStateRoundTrip(t *testing.T) {
+	repo := flatRepo(t, 20, 10)
+	m := mgr(t, repo, Config{Alpha: 0.5, Capacity: 120})
+	request(t, m, sp(1, 2, 3))
+	request(t, m, sp(1, 2, 3, 4)) // merge -> version 1
+	request(t, m, sp(10, 11))
+	request(t, m, sp(12, 13)) // evicts under the 120-byte cap
+	st := m.ExportState()
+
+	m2 := mgr(t, repo, Config{Alpha: 0.5, Capacity: 120})
+	if err := m2.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if err := m2.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("export/import/export not a fixed point:\n got %+v\nwant %+v", got, st)
+	}
+	if m2.Stats() != m.Stats() {
+		t.Fatalf("stats lost: %+v vs %+v", m2.Stats(), m.Stats())
+	}
+	// ID allocation continues where the donor left off.
+	r := request(t, m2, sp(15))
+	if wantNext := st.NextID; r.ImageID != wantNext {
+		t.Fatalf("new image got ID %d, want %d", r.ImageID, wantNext)
+	}
+}
+
+func TestImportStateRejects(t *testing.T) {
+	repo := flatRepo(t, 5, 10)
+	occupied := mgr(t, repo, Config{})
+	request(t, occupied, sp(1))
+	if err := occupied.ImportState(ManagerState{}); err == nil {
+		t.Error("ImportState into non-empty manager accepted")
+	}
+
+	cases := []struct {
+		name string
+		st   ManagerState
+	}{
+		{"unknown package", ManagerState{Images: []ImageSnapshot{
+			{ID: 0, Packages: []string{"ghost/1/p"}, LastUse: 1}}}},
+		{"empty image", ManagerState{Images: []ImageSnapshot{
+			{ID: 0, LastUse: 1}}}},
+		{"duplicate ID", ManagerState{Images: []ImageSnapshot{
+			{ID: 7, Packages: []string{key(repo, 1)}, LastUse: 1},
+			{ID: 7, Packages: []string{key(repo, 2)}, LastUse: 2}}}},
+	}
+	for _, tc := range cases {
+		m := mgr(t, repo, Config{})
+		if err := m.ImportState(tc.st); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }
 

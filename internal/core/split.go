@@ -82,6 +82,12 @@ func (m *Manager) Prune(maxUtilization float64, minServed int) ([]SplitResult, e
 				m.total += img.Size
 				m.stats.Splits++
 				m.stats.BytesWritten += hotSize
+				if m.cfg.Commit != nil {
+					m.commit(Mutation{
+						Kind: MutSplit, ImageID: img.ID,
+						Version: img.Version, Packages: m.keysOf(img.Spec),
+					})
+				}
 				out = append(out, res)
 			}
 		}

@@ -1,0 +1,450 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
+)
+
+// Store ties the WAL and checkpoints together for one state
+// directory. Lifecycle: Open, Recover (which returns the reconstructed
+// Manager and installs the store as its commit hook), then Commit
+// flows mutations to the WAL until Close. Checkpoint compacts at any
+// point; the caller must hold whatever lock serializes access to the
+// Manager while exporting the state it passes in (the HTTP server
+// holds its request mutex, so commits and checkpoints never
+// interleave).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // open append segment; nil before Recover / after Close
+	seq      uint64   // sequence number of the open segment
+	segBytes int64
+	lastSync time.Time
+	sticky   error
+	buf      []byte // scratch frame buffer, reused across commits
+
+	lastCkptUnixNano atomic.Int64
+
+	// Metric series; nil until RegisterMetrics.
+	walRecords  *telemetry.Counter
+	walBytes    *telemetry.Counter
+	walErrors   *telemetry.Counter
+	checkpoints *telemetry.Counter
+}
+
+var errNotRecovered = errors.New("persist: store not recovered; call Recover before Commit")
+
+// Open prepares a store over dir, creating it if needed. No files are
+// opened until Recover.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+}
+
+// Dir returns the state directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Err returns the sticky append error, if any. Once an append fails
+// (disk full, removed directory) the store stops logging and the cache
+// keeps serving from memory; operators see the error here and in the
+// landlord_persist_wal_errors_total metric.
+func (st *Store) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sticky
+}
+
+// RecoveryReport describes what Recover found and did.
+type RecoveryReport struct {
+	Duration         time.Duration
+	CheckpointSeq    uint64 // 0 when no checkpoint was loaded
+	CheckpointImages int
+	SegmentsScanned  int
+	RecordsReplayed  int
+	RecordsSkipped   int
+	CorruptSegments  int
+	TornTail         bool
+	Warnings         []string
+}
+
+// String renders a one-line log summary.
+func (r *RecoveryReport) String() string {
+	return fmt.Sprintf("checkpoint seq=%d images=%d, replayed %d record(s) from %d segment(s) in %v (skipped=%d corrupt_segments=%d torn_tail=%v warnings=%d)",
+		r.CheckpointSeq, r.CheckpointImages, r.RecordsReplayed, r.SegmentsScanned,
+		r.Duration.Round(time.Millisecond), r.RecordsSkipped, r.CorruptSegments, r.TornTail, len(r.Warnings))
+}
+
+func (r *RecoveryReport) warn(format string, args ...any) {
+	const maxWarnings = 16
+	if len(r.Warnings) < maxWarnings {
+		r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+	}
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+)
+
+func (st *Store) segPath(seq uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix))
+}
+
+func (st *Store) ckptPath(seq uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix))
+}
+
+// parseSeq extracts the sequence number from a segment or checkpoint
+// file name, or returns false for unrelated files.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return n, err == nil
+}
+
+// scan lists segment and checkpoint sequence numbers, ascending.
+func (st *Store) scan() (segs, ckpts []uint64, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), segPrefix, segSuffix); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseSeq(e.Name(), ckptPrefix, ckptSuffix); ok {
+			ckpts = append(ckpts, n)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] < ckpts[b] })
+	return segs, ckpts, nil
+}
+
+// Recover rebuilds a Manager from the newest valid checkpoint plus the
+// WAL tail, installs the store as the manager's commit hook
+// (overriding any hook already in cfg), and opens a fresh segment for
+// subsequent commits. It never fails on corrupt state — the report's
+// Warnings say what was skipped — only on I/O errors reaching the
+// directory or invalid cfg.
+func (st *Store) Recover(repo *pkggraph.Repo, cfg core.Config) (*core.Manager, *RecoveryReport, error) {
+	start := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f != nil {
+		return nil, nil, errors.New("persist: Recover called twice")
+	}
+	cfg.Commit = st
+
+	segs, ckpts, err := st.scan()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RecoveryReport{}
+
+	// Newest checkpoint that both parses and imports wins.
+	var mgr *core.Manager
+	var ckptSeq uint64
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		seq := ckpts[i]
+		ck, err := ReadCheckpointFile(st.ckptPath(seq))
+		if err != nil {
+			rep.warn("checkpoint %d unreadable: %v", seq, err)
+			continue
+		}
+		m, err := core.NewManager(repo, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.ImportState(ck.State); err != nil {
+			rep.warn("checkpoint %d rejected: %v", seq, err)
+			continue
+		}
+		mgr, ckptSeq = m, seq
+		rep.CheckpointSeq = seq
+		rep.CheckpointImages = len(ck.State.Images)
+		if ck.SavedUnixNano != 0 {
+			st.lastCkptUnixNano.Store(ck.SavedUnixNano)
+		}
+		break
+	}
+	if mgr == nil {
+		m, err := core.NewManager(repo, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr = m
+	}
+
+	// Replay segments not covered by the checkpoint, oldest first.
+	var maxSeq uint64
+	if len(ckpts) > 0 {
+		maxSeq = ckpts[len(ckpts)-1]
+	}
+	for i, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq < ckptSeq {
+			continue // compacted into the checkpoint; stale file
+		}
+		rep.SegmentsScanned++
+		f, err := os.Open(st.segPath(seq))
+		if err != nil {
+			rep.CorruptSegments++
+			rep.warn("segment %d unreadable: %v", seq, err)
+			continue
+		}
+		muts, readErr := ReadSegment(f)
+		f.Close()
+		for _, mut := range muts {
+			if err := mgr.ApplyMutation(mut); err != nil {
+				rep.RecordsSkipped++
+				rep.warn("segment %d: %v", seq, err)
+				continue
+			}
+			rep.RecordsReplayed++
+		}
+		if readErr != nil {
+			if i == len(segs)-1 {
+				// The normal crash signature: the final record was
+				// mid-write when the process died.
+				rep.TornTail = true
+				rep.warn("segment %d ends with a torn record: %v", seq, readErr)
+			} else {
+				rep.CorruptSegments++
+				rep.warn("segment %d corrupt mid-stream: %v", seq, readErr)
+			}
+		}
+	}
+
+	// Open a fresh segment for post-recovery commits; earlier segments
+	// stay until the next checkpoint compacts them.
+	st.seq = maxSeq + 1
+	f, err := os.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.f = f
+	st.segBytes = 0
+	st.lastSync = time.Now()
+	if st.lastCkptUnixNano.Load() == 0 {
+		st.lastCkptUnixNano.Store(time.Now().UnixNano())
+	}
+	rep.Duration = time.Since(start)
+	return mgr, rep, nil
+}
+
+// Commit implements core.CommitHook: one framed record per mutation.
+// It never blocks the cache on durability failures — the first error
+// sticks, later mutations are dropped, and Err/metrics surface it.
+func (st *Store) Commit(mut core.Mutation) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.sticky != nil {
+		return
+	}
+	if st.f == nil {
+		st.fail(errNotRecovered)
+		return
+	}
+	buf, err := EncodeRecord(st.buf[:0], mut)
+	st.buf = buf
+	if err != nil {
+		st.fail(fmt.Errorf("persist: encoding mutation: %w", err))
+		return
+	}
+	if st.segBytes > 0 && st.segBytes+int64(len(buf)) > st.opts.SegmentBytes {
+		if err := st.rotateLocked(); err != nil {
+			st.fail(err)
+			return
+		}
+	}
+	n, err := st.f.Write(buf)
+	st.segBytes += int64(n)
+	if err != nil {
+		st.fail(fmt.Errorf("persist: appending WAL record: %w", err))
+		return
+	}
+	if st.walRecords != nil {
+		st.walRecords.Inc()
+		st.walBytes.Add(int64(n))
+	}
+	switch st.opts.SyncPolicy {
+	case FsyncAlways:
+		if err := st.f.Sync(); err != nil {
+			st.fail(fmt.Errorf("persist: syncing WAL: %w", err))
+		}
+	case FsyncInterval:
+		if time.Since(st.lastSync) >= st.opts.SyncInterval {
+			if err := st.f.Sync(); err != nil {
+				st.fail(fmt.Errorf("persist: syncing WAL: %w", err))
+				return
+			}
+			st.lastSync = time.Now()
+		}
+	}
+}
+
+func (st *Store) fail(err error) {
+	st.sticky = err
+	if st.walErrors != nil {
+		st.walErrors.Inc()
+	}
+}
+
+// rotateLocked seals the current segment (flush + fsync + close) and
+// opens the next one.
+func (st *Store) rotateLocked() error {
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("persist: sealing segment %d: %w", st.seq, err)
+	}
+	if err := st.f.Close(); err != nil {
+		return fmt.Errorf("persist: closing segment %d: %w", st.seq, err)
+	}
+	st.seq++
+	f, err := os.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening segment %d: %w", st.seq, err)
+	}
+	st.f = f
+	st.segBytes = 0
+	st.lastSync = time.Now()
+	return nil
+}
+
+// CheckpointInfo reports one completed checkpoint.
+type CheckpointInfo struct {
+	Seq      uint64        `json:"seq"`
+	Images   int           `json:"images"`
+	Bytes    int64         `json:"bytes"`
+	Duration time.Duration `json:"-"`
+}
+
+// Checkpoint compacts the log: it rotates the WAL, durably writes
+// state as checkpoint-<newseq>, and deletes the now-covered older
+// segments and checkpoints. The caller must prevent concurrent
+// mutations between exporting state and this call returning (the HTTP
+// server holds its manager mutex across both).
+func (st *Store) Checkpoint(state core.ManagerState) (CheckpointInfo, error) {
+	start := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return CheckpointInfo{}, errNotRecovered
+	}
+	if err := st.rotateLocked(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	now := time.Now()
+	path := st.ckptPath(st.seq)
+	if err := WriteCheckpointFile(path, Checkpoint{
+		SavedUnixNano: now.UnixNano(),
+		WALSeq:        st.seq,
+		State:         state,
+	}); err != nil {
+		return CheckpointInfo{}, err
+	}
+	info := CheckpointInfo{Seq: st.seq, Images: len(state.Images)}
+	if fi, err := os.Stat(path); err == nil {
+		info.Bytes = fi.Size()
+	}
+	st.lastCkptUnixNano.Store(now.UnixNano())
+	if st.checkpoints != nil {
+		st.checkpoints.Inc()
+	}
+	// Garbage-collect covered files; failures leave stale files that
+	// recovery ignores and the next checkpoint retries.
+	if segs, ckpts, err := st.scan(); err == nil {
+		for _, seq := range segs {
+			if seq < info.Seq {
+				os.Remove(st.segPath(seq))
+			}
+		}
+		for _, seq := range ckpts {
+			if seq < info.Seq {
+				os.Remove(st.ckptPath(seq))
+			}
+		}
+	}
+	info.Duration = time.Since(start)
+	return info, nil
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	return st.f.Sync()
+}
+
+// Close seals the WAL. Commits after Close are dropped (and counted as
+// errors).
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.f.Sync()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.f = nil
+	if st.sticky == nil {
+		st.sticky = errors.New("persist: store closed")
+	}
+	return err
+}
+
+// RegisterMetrics exposes the durability series on reg: recovery
+// duration and replay counts (from rep, which may be nil), WAL
+// record/byte/error counters, checkpoint count, and a scrape-time
+// checkpoint-age gauge.
+func (st *Store) RegisterMetrics(reg *telemetry.Registry, rep *RecoveryReport) {
+	if rep != nil {
+		reg.Gauge("landlord_persist_recovery_seconds",
+			"Wall-clock time of the last crash recovery").Set(rep.Duration.Seconds())
+		reg.Gauge("landlord_persist_replayed_records",
+			"WAL records replayed by the last recovery").Set(float64(rep.RecordsReplayed))
+		reg.Gauge("landlord_persist_skipped_records",
+			"WAL records skipped as corrupt or inapplicable by the last recovery").Set(float64(rep.RecordsSkipped))
+	}
+	st.walRecords = reg.Counter("landlord_persist_wal_records_total", "Mutations appended to the WAL")
+	st.walBytes = reg.Counter("landlord_persist_wal_bytes_total", "Bytes appended to the WAL")
+	st.walErrors = reg.Counter("landlord_persist_wal_errors_total", "WAL append/sync failures (durability degraded)")
+	st.checkpoints = reg.Counter("landlord_persist_checkpoints_total", "Checkpoints written")
+	reg.GaugeFunc("landlord_persist_checkpoint_age_seconds",
+		"Seconds since the last durable checkpoint", func() float64 {
+			t := st.lastCkptUnixNano.Load()
+			if t == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, t)).Seconds()
+		})
+}
+
+// ensure Store satisfies the hook interface.
+var _ core.CommitHook = (*Store)(nil)

@@ -6,65 +6,140 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/telemetry"
 )
 
 // Client talks to a LANDLORD site service. It is safe for concurrent
 // use (http.Client is).
+//
+// Idempotent requests (GETs) are retried with capped exponential
+// backoff on transport errors — connection refused while the daemon
+// restarts, timeouts — and on 503, which the daemon serves while it
+// replays its WAL after a crash. POSTs are never retried: a request
+// that mutates the cache may have been applied even when its response
+// was lost.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// MaxRetries bounds re-attempts after the first try of an
+	// idempotent request (0 disables retrying).
+	MaxRetries int
+	// RetryBase is the first backoff delay; each retry doubles it.
+	RetryBase time.Duration
+	// RetryCap bounds the backoff delay.
+	RetryCap time.Duration
+
+	sleep func(time.Duration) // test hook
 }
 
 // NewClient creates a client for the service at base (e.g.
-// "http://headnode:8080"). A nil httpClient uses
-// http.DefaultClient.
+// "http://headnode:8080"). A nil httpClient uses http.DefaultClient.
+// Retry policy defaults: 4 retries, 100ms base, 2s cap.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	return &Client{
+		base:       base,
+		hc:         httpClient,
+		MaxRetries: 4,
+		RetryBase:  100 * time.Millisecond,
+		RetryCap:   2 * time.Second,
+		sleep:      time.Sleep,
+	}
+}
+
+// backoff returns the delay before retry attempt n (1-based):
+// RetryBase doubled per attempt, capped at RetryCap.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.RetryBase
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if c.RetryCap > 0 && d >= c.RetryCap {
+			return c.RetryCap
+		}
+	}
+	if c.RetryCap > 0 && d > c.RetryCap {
+		return c.RetryCap
+	}
+	return d
 }
 
 // do issues a request and decodes the JSON response into out,
-// converting service error payloads into Go errors.
+// converting service error payloads into Go errors and retrying
+// idempotent requests per the client's retry policy.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("server client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	attempts := 1
+	if method == http.MethodGet && c.MaxRetries > 0 {
+		attempts += c.MaxRetries
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.sleep(c.backoff(attempt - 1))
+		}
+		retryable, err := c.try(method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// try performs one HTTP exchange. The boolean reports whether the
+// failure is worth retrying (transport error or 503).
+func (c *Client) try(method, path string, payload []byte, out any) (bool, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
-		return fmt.Errorf("server client: %w", err)
+		return false, fmt.Errorf("server client: %w", err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+		return true, fmt.Errorf("server client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		retryable := resp.StatusCode == http.StatusServiceUnavailable
 		var eb errorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
-			return fmt.Errorf("server client: %s %s: %s (status %d)", method, path, eb.Error, resp.StatusCode)
+			return retryable, fmt.Errorf("server client: %s %s: %s (status %d)", method, path, eb.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
+		return retryable, fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("server client: decoding response: %w", err)
+		return false, fmt.Errorf("server client: decoding response: %w", err)
 	}
-	return nil
+	return false, nil
 }
 
 // Request submits a job specification (package keys) and returns the
@@ -93,6 +168,13 @@ func (c *Client) Images() ([]ImageInfo, error) {
 func (c *Client) Prune(maxUtilization float64, minServed int) ([]SplitInfo, error) {
 	var out []SplitInfo
 	err := c.do(http.MethodPost, "/v1/prune", PruneBody{MaxUtilization: maxUtilization, MinServed: minServed}, &out)
+	return out, err
+}
+
+// Checkpoint asks the service to durably checkpoint its cache state.
+func (c *Client) Checkpoint() (persist.CheckpointInfo, error) {
+	var out persist.CheckpointInfo
+	err := c.do(http.MethodPost, "/v1/checkpoint", nil, &out)
 	return out, err
 }
 

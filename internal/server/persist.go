@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pkggraph"
+	"repro/internal/telemetry"
+)
+
+// NewPersistent creates a Server whose cache state is durable: the
+// manager is recovered from the store's checkpoint + WAL, the store is
+// installed as the manager's commit hook, and the durability metrics
+// join the server's registry. checkpointEvery > 0 compacts the log
+// after that many requests; zero leaves checkpointing to shutdown and
+// explicit POST /v1/checkpoint calls.
+//
+// If recovery replayed a WAL tail, the state is checkpointed
+// immediately, so the next restart starts from a compact log.
+func NewPersistent(repo *pkggraph.Repo, cfg core.Config, store *persist.Store, checkpointEvery int) (*Server, *persist.RecoveryReport, error) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(EventRingSize)
+	cfg.Tracer = telemetry.Multi(cfg.Tracer, ring, newOpTracer(reg))
+	mgr, rep, err := store.Recover(repo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Server{repo: repo, reg: reg, ring: ring, mgr: mgr, store: store, ckptEvery: checkpointEvery}
+	s.registerCacheMetrics()
+	store.RegisterMetrics(reg, rep)
+	if rep.RecordsReplayed > 0 {
+		if _, err := store.Checkpoint(mgr.ExportState()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, rep, nil
+}
+
+var errNoStore = errors.New("server: no persistence configured")
+
+// CheckpointNow durably checkpoints the cache state and compacts the
+// WAL. It fails with an error when the server was built without a
+// store (New rather than NewPersistent).
+func (s *Server) CheckpointNow() (persist.CheckpointInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked runs a checkpoint under s.mu, so no mutation can
+// slip between exporting the state and sealing the WAL segment. The
+// request counter resets only on success: a failed checkpoint (full
+// disk) is retried at the next threshold crossing.
+func (s *Server) checkpointLocked() (persist.CheckpointInfo, error) {
+	if s.store == nil {
+		return persist.CheckpointInfo{}, errNoStore
+	}
+	info, err := s.store.Checkpoint(s.mgr.ExportState())
+	if err == nil {
+		s.sinceCkpt = 0
+	}
+	return info, err
+}
+
+// maybeCheckpointLocked is the per-request compaction trigger; the
+// caller holds s.mu. Errors are not fatal to the request that tripped
+// the threshold — the WAL keeps the state recoverable, the
+// checkpoint-age metric exposes the stall, and the next request
+// retries.
+func (s *Server) maybeCheckpointLocked() {
+	if s.store == nil || s.ckptEvery <= 0 {
+		return
+	}
+	s.sinceCkpt++
+	if s.sinceCkpt >= s.ckptEvery {
+		s.checkpointLocked()
+	}
+}
+
+// handleCheckpoint is POST /v1/checkpoint: durably checkpoint now.
+// Operators call it before planned maintenance; 412 means the daemon
+// runs without a state directory.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	info, err := s.CheckpointNow()
+	if errors.Is(err, errNoStore) {
+		writeError(w, http.StatusPreconditionFailed, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// RecoveringHandler serves 503 for every route while the daemon
+// replays its WAL at startup, so load balancers and clients (whose
+// GETs retry on 503) hold off instead of seeing connection errors.
+func RecoveringHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/pkggraph"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -37,6 +38,12 @@ type Server struct {
 
 	mu  sync.Mutex
 	mgr *core.Manager
+	// Durability (nil/zero without NewPersistent): the WAL+checkpoint
+	// store, the checkpoint-every-N-requests threshold, and the number
+	// of requests served since the last successful checkpoint.
+	store     *persist.Store
+	ckptEvery int
+	sinceCkpt int
 }
 
 // New creates a Server with a fresh Manager. The server installs its
@@ -229,15 +236,16 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for route, h := range map[string]http.HandlerFunc{
-		"/v1/request":  s.handleRequest,
-		"/v1/stats":    s.handleStats,
-		"/v1/images":   s.handleImages,
-		"/v1/prune":    s.handlePrune,
-		"/v1/snapshot": s.handleSnapshot,
-		"/v1/restore":  s.handleRestore,
-		"/v1/healthz":  s.handleHealthz,
-		"/v1/events":   s.handleEvents,
-		"/metrics":     s.handleMetrics,
+		"/v1/request":    s.handleRequest,
+		"/v1/stats":      s.handleStats,
+		"/v1/checkpoint": s.handleCheckpoint,
+		"/v1/images":     s.handleImages,
+		"/v1/prune":      s.handlePrune,
+		"/v1/snapshot":   s.handleSnapshot,
+		"/v1/restore":    s.handleRestore,
+		"/v1/healthz":    s.handleHealthz,
+		"/v1/events":     s.handleEvents,
+		"/metrics":       s.handleMetrics,
 	} {
 		mux.Handle(route, telemetry.Middleware(s.reg, route, h))
 	}
@@ -273,6 +281,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	err := s.mgr.Restore(snaps)
+	if err == nil && s.store != nil {
+		// Restore is not WAL-logged (it rewrites the whole state), so
+		// checkpoint immediately to close the durability hole. Failure
+		// is tolerable: the in-memory restore succeeded, and recovery
+		// skips WAL records that reference the missing images.
+		s.checkpointLocked()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusConflict, "restore: %v", err)
@@ -317,6 +332,9 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	res, err := s.mgr.Request(sp)
+	if err == nil {
+		s.maybeCheckpointLocked()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "request failed: %v", err)

@@ -218,6 +218,7 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestClientAgainstDeadServer(t *testing.T) {
 	client := NewClient("http://127.0.0.1:1", nil)
+	client.MaxRetries = 0 // keep the test fast; retry behaviour is covered in client_test.go
 	if err := client.Healthz(); err == nil {
 		t.Fatal("expected connection error")
 	}
