@@ -18,11 +18,14 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrency-bearing packages: the
-# telemetry registry/ring, the HTTP service, the sweep worker pool,
-# and the multi-site cluster.
+# Full race-detector pass. Every package runs under -race — the
+# concurrent request pipeline (core.ConcurrentManager, the server's
+# handler fan-out, WAL group commit) makes data races a correctness
+# bug anywhere, not just in the historically concurrent corners. The
+# oracle-equivalence harness and soak are the heavyweight entries;
+# the timeout gives them headroom on slow CI runners.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/server ./internal/sim ./internal/cluster ./internal/core
+	$(GO) test -race -timeout 20m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"regexp"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pkggraph"
 	"repro/internal/server"
+	"repro/internal/spec"
 )
 
 // buildDaemon compiles the landlordd binary once per test run.
@@ -199,4 +202,179 @@ func TestDaemonSurvivesKill9(t *testing.T) {
 	if _, err := client2.Request(hitReq, true); err != nil {
 		t.Fatalf("request after recovery: %v", err)
 	}
+}
+
+// TestDaemonSurvivesKill9UnderLoad kills the daemon while 8 parallel
+// clients are mid-stream, then requires the recovered cache to be
+// consistent with a prefix of the concurrent execution that covers
+// every acknowledged request: under fsync=always the server
+// acknowledges only after the group-commit fsync, so an acked request's
+// mutations must be in the recovered state even though the kill landed
+// with requests in flight.
+func TestDaemonSurvivesKill9UnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary; skipped in -short")
+	}
+	bin := buildDaemon(t)
+
+	genCfg := pkggraph.DefaultGenConfig()
+	genCfg.CoreFamilies = 2
+	genCfg.FrameworkFamilies = 5
+	genCfg.LibraryFamilies = 20
+	genCfg.ApplicationFamilies = 33
+	repo := pkggraph.MustGenerate(genCfg, 43)
+	dir := t.TempDir()
+	repoFile := filepath.Join(dir, "repo.jsonl")
+	if err := repo.SaveFile(repoFile); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbounded capacity and no pruning: images only grow (merges
+	// absorb specs, nothing is evicted), so "this spec was served" is
+	// permanently visible as "some image contains its packages".
+	stateDir := filepath.Join(dir, "state")
+	cfgPath := filepath.Join(dir, "site.json")
+	cfg := fmt.Sprintf(`{
+		"addr": "127.0.0.1:0",
+		"alpha": 0.8,
+		"repo_file": %q,
+		"state_dir": %q,
+		"fsync": "always",
+		"max_inflight": 4
+	}`, repoFile, stateDir)
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cmd := startDaemon(t, bin, cfgPath)
+	waitHealthy(t, server.NewClient(base, nil))
+
+	// 8 parallel clients stream pre-closed specs (closure computed
+	// client-side, close:false) so the test knows the exact package set
+	// each acknowledgement guarantees. Only acked requests are
+	// recorded; the kill makes the tail of each stream fail, which is
+	// expected.
+	const workers = 8
+	var acked atomic.Int64
+	var killed atomic.Bool
+	records := make([][][]string, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 10))
+			c := server.NewClient(base, nil)
+			for i := 0; i < 5000; i++ {
+				ids := make([]pkggraph.PkgID, 1+rng.Intn(3))
+				for j := range ids {
+					ids[j] = pkggraph.PkgID(rng.Intn(repo.Len()))
+				}
+				closed := closedKeys(repo, ids)
+				if _, err := c.Request(closed, false); err != nil {
+					if !killed.Load() {
+						t.Errorf("worker %d failed before the kill: %v", g, err)
+					}
+					return
+				}
+				records[g] = append(records[g], closed)
+				acked.Add(1)
+			}
+		}(g)
+	}
+
+	// Kill mid-stream once enough requests are acknowledged.
+	for acked.Load() < 200 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	killed.Store(true)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	var ackedReqs [][]string
+	for _, rs := range records {
+		ackedReqs = append(ackedReqs, rs...)
+	}
+	t.Logf("killed daemon with %d acknowledged request(s)", len(ackedReqs))
+
+	// Restart over the same state directory.
+	base2, _ := startDaemon(t, bin, cfgPath)
+	client2 := server.NewClient(base2, nil)
+	waitHealthy(t, client2)
+
+	gotStats, err := client2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSnaps, err := client2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered state is some prefix of the linearized execution
+	// that contains at least every acknowledged request (unacked
+	// in-flight requests may or may not have made the durable prefix).
+	if gotStats.Requests < int64(len(ackedReqs)) {
+		t.Errorf("recovered %d request(s), fewer than the %d acknowledged before the kill",
+			gotStats.Requests, len(ackedReqs))
+	}
+	if got := gotStats.Hits + gotStats.Merges + gotStats.Inserts; got != gotStats.Requests {
+		t.Errorf("recovered counters do not partition: hits+merges+inserts = %d, requests = %d",
+			got, gotStats.Requests)
+	}
+
+	// Every acknowledged spec must be covered by a recovered image.
+	images := make([]map[string]bool, len(gotSnaps))
+	for i, snap := range gotSnaps {
+		images[i] = make(map[string]bool, len(snap.Packages))
+		for _, key := range snap.Packages {
+			images[i][key] = true
+		}
+	}
+	for i, req := range ackedReqs {
+		if !coveredBy(req, images) {
+			t.Errorf("acked request %d (%v) is not contained in any recovered image", i, req)
+		}
+	}
+
+	// The recovered daemon still serves: re-sending a covered spec is a
+	// hit (its packages are cached by construction).
+	res, err := client2.Request(ackedReqs[0], false)
+	if err != nil {
+		t.Fatalf("request after recovery: %v", err)
+	}
+	if res.Op != "hit" {
+		t.Errorf("covered spec after recovery produced %q, want hit", res.Op)
+	}
+}
+
+// closedKeys computes a spec's dependency closure client-side and
+// renders it as package keys, so the test knows exactly which packages
+// an acknowledgement guarantees are cached.
+func closedKeys(repo *pkggraph.Repo, ids []pkggraph.PkgID) []string {
+	closed := spec.WithClosure(repo, ids)
+	keys := make([]string, 0, closed.Len())
+	for _, id := range closed.IDs() {
+		keys = append(keys, repo.Package(id).Key())
+	}
+	return keys
+}
+
+// coveredBy reports whether some image contains every key of req.
+func coveredBy(req []string, images []map[string]bool) bool {
+nextImage:
+	for _, img := range images {
+		for _, key := range req {
+			if !img[key] {
+				continue nextImage
+			}
+		}
+		return true
+	}
+	return false
 }

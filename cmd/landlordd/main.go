@@ -182,6 +182,11 @@ func main() {
 		}
 	}
 
+	if site.MaxInflight > 0 {
+		srv.SetMaxInflight(site.MaxInflight)
+		log.Printf("landlordd: bounding concurrent cache requests at %d (max_inflight)", site.MaxInflight)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *pprofOn {

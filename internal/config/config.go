@@ -42,6 +42,12 @@ type Site struct {
 	// Empty means no conflict checking (the CVMFS case).
 	SingleVersionFamilies []string `json:"single_version_families"`
 
+	// MaxInflight bounds how many cache requests the server processes
+	// concurrently; excess requests queue. 0 (the default) leaves
+	// concurrency bounded only by the HTTP server's connection
+	// handling.
+	MaxInflight int `json:"max_inflight"`
+
 	// PruneEveryRequests runs a split pass every N requests
 	// (0 disables).
 	PruneEveryRequests int `json:"prune_every_requests"`
@@ -105,6 +111,9 @@ func (s Site) Validate() error {
 	}
 	if s.CapacityGB < 0 {
 		return fmt.Errorf("capacity_gb must be non-negative")
+	}
+	if s.MaxInflight < 0 {
+		return fmt.Errorf("max_inflight must be non-negative")
 	}
 	if s.PruneEveryRequests < 0 {
 		return fmt.Errorf("prune_every_requests must be non-negative")

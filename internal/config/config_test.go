@@ -86,6 +86,22 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := Load(writeConfig(t, `{"wal_segment_mb": -1}`)); err == nil {
 		t.Error("negative segment size accepted")
 	}
+	if _, err := Load(writeConfig(t, `{"max_inflight": -4}`)); err == nil {
+		t.Error("negative max_inflight accepted")
+	}
+}
+
+func TestMaxInflight(t *testing.T) {
+	s, err := Load(writeConfig(t, `{"max_inflight": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxInflight != 32 {
+		t.Fatalf("max_inflight = %d, want 32", s.MaxInflight)
+	}
+	if Default().MaxInflight != 0 {
+		t.Fatal("default max_inflight should be 0 (unbounded)")
+	}
 }
 
 func TestPersistOptions(t *testing.T) {

@@ -130,6 +130,12 @@ type Image struct {
 
 // Result reports how one request was satisfied.
 type Result struct {
+	// Seq is the request's logical timestamp (the manager clock value
+	// stamped on it): the position of this request in the cache's
+	// linearization order. Concurrent callers (ConcurrentManager) can
+	// sort results by Seq to reconstruct the equivalent sequential
+	// execution.
+	Seq     uint64
 	Op      Op
 	ImageID uint64
 	// ImageVersion is the content version of the image served; a
@@ -186,7 +192,9 @@ func (s Stats) MeanContainerEfficiency() float64 {
 }
 
 // Manager is the LANDLORD cache manager. It is not safe for concurrent
-// use; the simulator runs one Manager per goroutine.
+// use: the simulator runs one Manager per goroutine, and the site
+// service wraps one in a ConcurrentManager, which serves hits under a
+// shared read lock and everything else under a write lock.
 type Manager struct {
 	repo   *pkggraph.Repo
 	cfg    Config
@@ -307,7 +315,7 @@ func (m *Manager) sign(s spec.Spec) similarity.Signature {
 // Tracer no per-request instrumentation state is allocated or updated.
 func (m *Manager) Request(s spec.Spec) (Result, error) {
 	if s.Empty() {
-		return Result{}, fmt.Errorf("core: empty specification")
+		return Result{}, errEmptySpec()
 	}
 	m.clock++
 	m.stats.Requests++
@@ -333,7 +341,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		img.served(s)
 		m.stats.Hits++
 		m.commit(Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: img.lastUse, RequestBytes: reqBytes})
-		res := Result{Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
+		res := Result{Seq: m.clock, Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
 		m.trace(ev, res, start)
 		return res, nil
@@ -363,6 +371,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 			})
 		}
 		res := Result{
+			Seq:          m.clock,
 			Op:           OpMerge,
 			ImageID:      img.ID,
 			ImageVersion: img.Version,
@@ -398,6 +407,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		})
 	}
 	res := Result{
+		Seq:          m.clock,
 		Op:           OpInsert,
 		ImageID:      img.ID,
 		ImageVersion: img.Version,
@@ -410,6 +420,9 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 	m.trace(ev, res, start)
 	return res, nil
 }
+
+// errEmptySpec is the rejection both request paths share.
+func errEmptySpec() error { return fmt.Errorf("core: empty specification") }
 
 // trace completes ev from the request's Result and cache state and
 // emits it. ev is nil when tracing is disabled.

@@ -23,12 +23,21 @@
 // images can always be rebuilt from the repository — so recovering
 // most of the state cheaply always beats refusing to start.
 //
-// Durability is governed by an fsync policy: "always" syncs the WAL
-// after every record (no acknowledged mutation is ever lost, ~one disk
-// flush per request), "interval" syncs at most every SyncInterval
-// (bounded loss under power failure, near-zero cost; a killed process
-// loses nothing because records are still written to the kernel per
-// append), and "never" leaves syncing to the OS entirely.
+// Durability is governed by an fsync policy: "always" guarantees every
+// record is on stable storage before the request that produced it is
+// acknowledged (no acknowledged mutation is ever lost), "interval"
+// syncs at most every SyncInterval (bounded loss under power failure,
+// near-zero cost; a killed process loses nothing because records are
+// still written to the kernel per append), and "never" leaves syncing
+// to the OS entirely.
+//
+// Under "always" the sync is a group commit, not one fsync per record:
+// Commit appends to the OS in mutation order and returns (it runs with
+// the cache's locks held and must not stall concurrent hits behind a
+// disk flush), and the server calls WaitDurable after releasing those
+// locks, before acknowledging. Concurrent WaitDurable callers elect a
+// leader whose single fsync covers every record appended so far, so N
+// in-flight requests cost ~2 fsyncs instead of N.
 package persist
 
 import (

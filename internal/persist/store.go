@@ -37,6 +37,15 @@ type Store struct {
 	sticky   error
 	buf      []byte // scratch frame buffer, reused across commits
 
+	// Group commit (FsyncAlways): Commit appends records to the OS in
+	// mutation order and returns; durability is paid in WaitDurable,
+	// where concurrent waiters elect one leader whose single fsync
+	// covers every record appended so far — the shared batch.
+	appendSeq  uint64     // records appended to the OS, guarded by mu
+	durableSeq uint64     // records known to be on stable storage, guarded by mu
+	flushing   bool       // a leader's fsync is in flight
+	flushCond  *sync.Cond // on mu; signaled whenever durableSeq advances
+
 	lastCkptUnixNano atomic.Int64
 
 	// Metric series; nil until RegisterMetrics.
@@ -44,6 +53,7 @@ type Store struct {
 	walBytes    *telemetry.Counter
 	walErrors   *telemetry.Counter
 	checkpoints *telemetry.Counter
+	batchHist   *telemetry.Histogram
 }
 
 var errNotRecovered = errors.New("persist: store not recovered; call Recover before Commit")
@@ -54,7 +64,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+	st := &Store{dir: dir, opts: opts.withDefaults()}
+	st.flushCond = sync.NewCond(&st.mu)
+	return st, nil
 }
 
 // Dir returns the state directory.
@@ -254,9 +266,17 @@ func (st *Store) Recover(repo *pkggraph.Repo, cfg core.Config) (*core.Manager, *
 	return mgr, rep, nil
 }
 
-// Commit implements core.CommitHook: one framed record per mutation.
-// It never blocks the cache on durability failures — the first error
-// sticks, later mutations are dropped, and Err/metrics surface it.
+// Commit implements core.CommitHook: one framed record per mutation,
+// appended in mutation order. It never blocks the cache on durability
+// failures — the first error sticks, later mutations are dropped, and
+// Err/metrics surface it.
+//
+// Commit is called with the cache's locks held (the ConcurrentManager
+// invokes the hook before releasing the lock that ordered the
+// mutation), so it must stay cheap: it writes to the OS but never
+// fsyncs under FsyncAlways. Durability under that policy is paid in
+// WaitDurable, which the server calls after releasing the cache locks
+// and before acknowledging the request.
 func (st *Store) Commit(mut core.Mutation) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -285,24 +305,78 @@ func (st *Store) Commit(mut core.Mutation) {
 		st.fail(fmt.Errorf("persist: appending WAL record: %w", err))
 		return
 	}
+	st.appendSeq++
 	if st.walRecords != nil {
 		st.walRecords.Inc()
 		st.walBytes.Add(int64(n))
 	}
-	switch st.opts.SyncPolicy {
-	case FsyncAlways:
+	if st.opts.SyncPolicy == FsyncInterval && time.Since(st.lastSync) >= st.opts.SyncInterval {
 		if err := st.f.Sync(); err != nil {
 			st.fail(fmt.Errorf("persist: syncing WAL: %w", err))
+			return
 		}
-	case FsyncInterval:
-		if time.Since(st.lastSync) >= st.opts.SyncInterval {
-			if err := st.f.Sync(); err != nil {
-				st.fail(fmt.Errorf("persist: syncing WAL: %w", err))
-				return
-			}
-			st.lastSync = time.Now()
-		}
+		st.lastSync = time.Now()
+		st.markDurableLocked(st.appendSeq)
 	}
+}
+
+// WaitDurable blocks until every record appended before the call is on
+// stable storage, and returns the sticky error if durability has
+// degraded. Under FsyncInterval and FsyncNever it returns immediately:
+// the policy's staleness bound is the durability contract there.
+//
+// Under FsyncAlways this is the group-commit protocol: the first
+// waiter to arrive becomes the leader and fsyncs once for every record
+// appended so far; waiters arriving while that fsync is in flight
+// sleep, and one of them leads the next round, syncing the whole batch
+// that accumulated meanwhile. N concurrent committers therefore cost
+// ~2 fsyncs, not N — the dominant durability cost amortizes across the
+// batch.
+func (st *Store) WaitDurable() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.opts.SyncPolicy != FsyncAlways || st.f == nil {
+		return st.sticky
+	}
+	target := st.appendSeq
+	for st.durableSeq < target && st.sticky == nil {
+		if st.flushing {
+			st.flushCond.Wait()
+			continue
+		}
+		st.flushing = true
+		f := st.f
+		seg := st.seq
+		upto := st.appendSeq
+		st.mu.Unlock()
+		err := f.Sync()
+		st.mu.Lock()
+		st.flushing = false
+		switch {
+		case st.seq != seg:
+			// The segment rotated (or the store closed) while we were
+			// syncing: rotation fsynced the records we cover, and
+			// markDurableLocked already advanced past upto. Any error
+			// from syncing the closed handle is expected noise.
+		case err != nil:
+			st.fail(fmt.Errorf("persist: group-commit sync: %w", err))
+		default:
+			if st.batchHist != nil && upto > st.durableSeq {
+				st.batchHist.Observe(float64(upto - st.durableSeq))
+			}
+			st.markDurableLocked(upto)
+		}
+		st.flushCond.Broadcast()
+	}
+	return st.sticky
+}
+
+// markDurableLocked advances the durable watermark and wakes waiters.
+func (st *Store) markDurableLocked(seq uint64) {
+	if seq > st.durableSeq {
+		st.durableSeq = seq
+	}
+	st.flushCond.Broadcast()
 }
 
 func (st *Store) fail(err error) {
@@ -310,10 +384,13 @@ func (st *Store) fail(err error) {
 	if st.walErrors != nil {
 		st.walErrors.Inc()
 	}
+	// Unblock group-commit waiters; they return the sticky error.
+	st.flushCond.Broadcast()
 }
 
 // rotateLocked seals the current segment (flush + fsync + close) and
-// opens the next one.
+// opens the next one. Sealing makes every record appended so far
+// durable, so the group-commit watermark advances with it.
 func (st *Store) rotateLocked() error {
 	if err := st.f.Sync(); err != nil {
 		return fmt.Errorf("persist: sealing segment %d: %w", st.seq, err)
@@ -321,6 +398,7 @@ func (st *Store) rotateLocked() error {
 	if err := st.f.Close(); err != nil {
 		return fmt.Errorf("persist: closing segment %d: %w", st.seq, err)
 	}
+	st.markDurableLocked(st.appendSeq)
 	st.seq++
 	f, err := os.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
@@ -397,7 +475,11 @@ func (st *Store) Sync() error {
 	if st.f == nil {
 		return nil
 	}
-	return st.f.Sync()
+	if err := st.f.Sync(); err != nil {
+		return err
+	}
+	st.markDurableLocked(st.appendSeq)
+	return nil
 }
 
 // Close seals the WAL. Commits after Close are dropped (and counted as
@@ -412,9 +494,14 @@ func (st *Store) Close() error {
 	if cerr := st.f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		st.markDurableLocked(st.appendSeq)
+	}
 	st.f = nil
+	st.seq++ // invalidate any in-flight group-commit leader's segment capture
 	if st.sticky == nil {
 		st.sticky = errors.New("persist: store closed")
+		st.flushCond.Broadcast()
 	}
 	return err
 }
@@ -436,6 +523,9 @@ func (st *Store) RegisterMetrics(reg *telemetry.Registry, rep *RecoveryReport) {
 	st.walBytes = reg.Counter("landlord_persist_wal_bytes_total", "Bytes appended to the WAL")
 	st.walErrors = reg.Counter("landlord_persist_wal_errors_total", "WAL append/sync failures (durability degraded)")
 	st.checkpoints = reg.Counter("landlord_persist_checkpoints_total", "Checkpoints written")
+	st.batchHist = reg.Histogram("landlord_persist_group_commit_records",
+		"Records made durable per group-commit fsync",
+		telemetry.ExponentialBuckets(1, 2, 10))
 	reg.GaugeFunc("landlord_persist_checkpoint_age_seconds",
 		"Seconds since the last durable checkpoint", func() float64 {
 			t := st.lastCkptUnixNano.Load()

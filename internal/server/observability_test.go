@@ -184,7 +184,7 @@ func TestConfiguredTracerStillReceivesEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.mgr.Request(mustSpec(t, repo, "libA/1.0/p")); err != nil {
+	if _, err := srv.cmgr.Request(mustSpec(t, repo, "libA/1.0/p")); err != nil {
 		t.Fatal(err)
 	}
 	if len(events) != 1 {

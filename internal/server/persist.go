@@ -27,8 +27,11 @@ func NewPersistent(repo *pkggraph.Repo, cfg core.Config, store *persist.Store, c
 	if err != nil {
 		return nil, nil, err
 	}
-	s := &Server{repo: repo, reg: reg, ring: ring, mgr: mgr, store: store, ckptEvery: checkpointEvery}
+	// Recovery is single-threaded; the concurrent facade goes on before
+	// any goroutine can reach the manager.
+	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: core.Concurrent(mgr), store: store, ckptEvery: checkpointEvery}
 	s.registerCacheMetrics()
+	s.registerContentionMetrics()
 	store.RegisterMetrics(reg, rep)
 	if rep.RecordsReplayed > 0 {
 		if _, err := store.Checkpoint(mgr.ExportState()); err != nil {
@@ -44,39 +47,58 @@ var errNoStore = errors.New("server: no persistence configured")
 // WAL. It fails with an error when the server was built without a
 // store (New rather than NewPersistent).
 func (s *Server) CheckpointNow() (persist.CheckpointInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checkpointLocked()
-}
-
-// checkpointLocked runs a checkpoint under s.mu, so no mutation can
-// slip between exporting the state and sealing the WAL segment. The
-// request counter resets only on success: a failed checkpoint (full
-// disk) is retried at the next threshold crossing.
-func (s *Server) checkpointLocked() (persist.CheckpointInfo, error) {
 	if s.store == nil {
 		return persist.CheckpointInfo{}, errNoStore
 	}
-	info, err := s.store.Checkpoint(s.mgr.ExportState())
+	var info persist.CheckpointInfo
+	var err error
+	s.cmgr.WithExclusive(func(m *core.Manager) {
+		info, err = s.checkpointExclusive(m)
+	})
+	return info, err
+}
+
+// checkpointExclusive runs a checkpoint; the caller holds the cache's
+// write lock (WithExclusive), so no mutation can slip between
+// exporting the state and sealing the WAL segment. The request counter
+// resets only on success: a failed checkpoint (full disk) is retried
+// at the next threshold crossing.
+func (s *Server) checkpointExclusive(m *core.Manager) (persist.CheckpointInfo, error) {
+	if s.store == nil {
+		return persist.CheckpointInfo{}, errNoStore
+	}
+	info, err := s.store.Checkpoint(m.ExportState())
 	if err == nil {
-		s.sinceCkpt = 0
+		s.sinceCkpt.Store(0)
 	}
 	return info, err
 }
 
-// maybeCheckpointLocked is the per-request compaction trigger; the
-// caller holds s.mu. Errors are not fatal to the request that tripped
-// the threshold — the WAL keeps the state recoverable, the
-// checkpoint-age metric exposes the stall, and the next request
-// retries.
-func (s *Server) maybeCheckpointLocked() {
+// maybeCheckpoint is the per-request compaction trigger, called after
+// each successful request with no locks held. The counter is atomic
+// and the checkpoint itself is single-flight: the first goroutine over
+// the threshold takes the latch and runs the checkpoint (briefly
+// freezing the cache via the write lock); everyone else keeps serving.
+// Errors are not fatal to the request that tripped the threshold — the
+// WAL keeps the state recoverable, the checkpoint-age metric exposes
+// the stall, and a later request retries.
+func (s *Server) maybeCheckpoint() {
 	if s.store == nil || s.ckptEvery <= 0 {
 		return
 	}
-	s.sinceCkpt++
-	if s.sinceCkpt >= s.ckptEvery {
-		s.checkpointLocked()
+	if s.sinceCkpt.Add(1) < int64(s.ckptEvery) {
+		return
 	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.ckptBusy.Store(false)
+	// Re-check under the latch: a checkpoint that completed while we
+	// were acquiring it has already reset the counter.
+	if s.sinceCkpt.Load() < int64(s.ckptEvery) {
+		return
+	}
+	s.CheckpointNow()
 }
 
 // handleCheckpoint is POST /v1/checkpoint: durably checkpoint now.

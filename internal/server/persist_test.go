@@ -87,10 +87,7 @@ func TestCheckpointEveryRequests(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv.mu.Lock()
-	since := srv.sinceCkpt
-	srv.mu.Unlock()
-	if since != 0 {
+	if since := srv.sinceCkpt.Load(); since != 0 {
 		t.Fatalf("sinceCkpt = %d after threshold, want 0 (checkpoint ran)", since)
 	}
 

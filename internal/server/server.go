@@ -6,8 +6,13 @@
 // in; administrators read stats and trigger maintenance (prune)
 // passes.
 //
-// The service serializes access to the underlying Manager with a
-// mutex, so one head-node process can serve many submitters.
+// The service runs a concurrent request pipeline: the Manager sits
+// behind a core.ConcurrentManager, so hits — the dominant operation in
+// the paper's operational zone — are served in parallel under a read
+// lock while merges, inserts, and maintenance serialize on the write
+// lock. Read-only endpoints (/v1/stats, /v1/images, the cache gauges
+// on /metrics) ride the read path and never block request traffic.
+// SetMaxInflight optionally bounds concurrently processed requests.
 package server
 
 import (
@@ -15,7 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -29,21 +34,26 @@ import (
 // /v1/events.
 const EventRingSize = 4096
 
-// Server wraps a Manager behind an HTTP API. Create with New, mount
-// via Handler.
+// Server wraps a ConcurrentManager behind an HTTP API. Create with
+// New, mount via Handler.
 type Server struct {
 	repo *pkggraph.Repo
 	reg  *telemetry.Registry
 	ring *telemetry.Ring
 
-	mu  sync.Mutex
-	mgr *core.Manager
+	cmgr *core.ConcurrentManager
+	// sem, when non-nil, bounds concurrently processed /v1/request
+	// calls (SetMaxInflight). Acquire = send, release = receive.
+	sem chan struct{}
 	// Durability (nil/zero without NewPersistent): the WAL+checkpoint
-	// store, the checkpoint-every-N-requests threshold, and the number
-	// of requests served since the last successful checkpoint.
+	// store, the checkpoint-every-N-requests threshold, the number of
+	// requests served since the last successful checkpoint, and the
+	// single-flight latch that keeps concurrent threshold-crossers from
+	// piling up behind one checkpoint.
 	store     *persist.Store
 	ckptEvery int
-	sinceCkpt int
+	sinceCkpt atomic.Int64
+	ckptBusy  atomic.Bool
 }
 
 // New creates a Server with a fresh Manager. The server installs its
@@ -54,13 +64,51 @@ func New(repo *pkggraph.Repo, cfg core.Config) (*Server, error) {
 	reg := telemetry.NewRegistry()
 	ring := telemetry.NewRing(EventRingSize)
 	cfg.Tracer = telemetry.Multi(cfg.Tracer, ring, newOpTracer(reg))
-	mgr, err := core.NewManager(repo, cfg)
+	cmgr, err := core.NewConcurrent(repo, cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{repo: repo, reg: reg, ring: ring, mgr: mgr}
+	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: cmgr}
 	s.registerCacheMetrics()
+	s.registerContentionMetrics()
 	return s, nil
+}
+
+// SetMaxInflight bounds how many /v1/request calls are processed
+// concurrently; excess requests queue on the semaphore (or fail with
+// 503 when the client gives up first). n <= 0 removes the bound. Call
+// before serving — it is not safe to change while requests are in
+// flight.
+func (s *Server) SetMaxInflight(n int) {
+	if n <= 0 {
+		s.sem = nil
+		return
+	}
+	sem := make(chan struct{}, n)
+	s.sem = sem
+	s.reg.GaugeFunc("landlord_inflight_requests",
+		"Cache requests currently being processed (bounded by max_inflight)",
+		func() float64 { return float64(len(sem)) })
+}
+
+// registerContentionMetrics exposes the concurrent pipeline's lock
+// behaviour: time spent waiting for each lock path and how much
+// traffic each path carried.
+func (s *Server) registerContentionMetrics() {
+	const name = "landlord_lock_wait_seconds"
+	const help = "Time spent waiting to acquire the cache lock, by path"
+	s.cmgr.SetLockWaitMetrics(
+		s.reg.Histogram(name, help, telemetry.DefaultLatencyBuckets(),
+			telemetry.Label{Key: "path", Value: "read"}),
+		s.reg.Histogram(name, help, telemetry.DefaultLatencyBuckets(),
+			telemetry.Label{Key: "path", Value: "write"}),
+	)
+	s.reg.GaugeFunc("landlord_read_path_hits_total",
+		"Requests served entirely under the shared read lock",
+		func() float64 { return float64(s.cmgr.ReadHits()) })
+	s.reg.GaugeFunc("landlord_write_lock_acquisitions_total",
+		"Exclusive cache lock acquisitions (misses, merges, inserts, maintenance)",
+		func() float64 { return float64(s.cmgr.WriteLockAcquisitions()) })
 }
 
 // Registry returns the server's metrics registry, so embedding
@@ -105,14 +153,13 @@ func (t *opTracer) Trace(ev *telemetry.Event) {
 
 // registerCacheMetrics exposes the manager's counters and live cache
 // state as scrape-time gauges, keeping the metric names the previous
-// hand-rolled /metrics table served.
+// hand-rolled /metrics table served. Every gauge reads through the
+// concurrent manager's read path, so a scrape never blocks request
+// traffic on the write lock.
 func (s *Server) registerCacheMetrics() {
 	snap := func(f func(st core.Stats) float64) func() float64 {
 		return func() float64 {
-			s.mu.Lock()
-			st := s.mgr.Stats()
-			s.mu.Unlock()
-			return f(st)
+			return f(s.cmgr.Stats())
 		}
 	}
 	s.reg.GaugeFunc("landlord_requests_total", "Job requests processed",
@@ -132,24 +179,16 @@ func (s *Server) registerCacheMetrics() {
 	s.reg.GaugeFunc("landlord_requested_bytes_total", "Bytes directly requested by jobs",
 		snap(func(st core.Stats) float64 { return float64(st.RequestedBytes) }))
 	s.reg.GaugeFunc("landlord_images", "Images currently cached", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.mgr.Len())
+		return float64(s.cmgr.Len())
 	})
 	s.reg.GaugeFunc("landlord_cached_bytes", "Bytes currently cached", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.mgr.TotalData())
+		return float64(s.cmgr.TotalData())
 	})
 	s.reg.GaugeFunc("landlord_unique_bytes", "Deduplicated bytes currently cached", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(s.mgr.UniqueData())
+		return float64(s.cmgr.UniqueData())
 	})
 	s.reg.GaugeFunc("landlord_cache_efficiency", "UniqueData/TotalData of the live cache", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.mgr.CacheEfficiency()
+		return s.cmgr.CacheEfficiency()
 	})
 }
 
@@ -260,10 +299,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	snaps := s.mgr.Snapshot()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, snaps)
+	writeJSON(w, http.StatusOK, s.cmgr.Snapshot())
 }
 
 // handleRestore loads a previously saved snapshot. Like core.Restore
@@ -279,16 +315,17 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
 		return
 	}
-	s.mu.Lock()
-	err := s.mgr.Restore(snaps)
-	if err == nil && s.store != nil {
-		// Restore is not WAL-logged (it rewrites the whole state), so
-		// checkpoint immediately to close the durability hole. Failure
-		// is tolerable: the in-memory restore succeeded, and recovery
-		// skips WAL records that reference the missing images.
-		s.checkpointLocked()
-	}
-	s.mu.Unlock()
+	var err error
+	s.cmgr.WithExclusive(func(m *core.Manager) {
+		err = m.Restore(snaps)
+		if err == nil && s.store != nil {
+			// Restore is not WAL-logged (it rewrites the whole state), so
+			// checkpoint immediately to close the durability hole. Failure
+			// is tolerable: the in-memory restore succeeded, and recovery
+			// skips WAL records that reference the missing images.
+			s.checkpointExclusive(m)
+		}
+	})
 	if err != nil {
 		writeError(w, http.StatusConflict, "restore: %v", err)
 		return
@@ -304,6 +341,15 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "server at max_inflight and client gave up: %v", r.Context().Err())
+			return
+		}
 	}
 	var body RequestBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
@@ -330,15 +376,20 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		sp = spec.New(ids)
 	}
 
-	s.mu.Lock()
-	res, err := s.mgr.Request(sp)
-	if err == nil {
-		s.maybeCheckpointLocked()
-	}
-	s.mu.Unlock()
+	res, err := s.cmgr.Request(sp)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "request failed: %v", err)
 		return
+	}
+	s.maybeCheckpoint()
+	if s.store != nil {
+		// Group-commit barrier: the request's WAL records must be on
+		// stable storage before the acknowledgement (under fsync=always;
+		// a no-op otherwise). Called with no cache locks held, so one
+		// leader's fsync covers every request in flight. A sticky
+		// durability error does not fail the request — the cache serves
+		// from memory and Err/metrics surface the degradation.
+		s.store.WaitDurable()
 	}
 	writeJSON(w, http.StatusOK, RequestResponse{
 		Op:           res.Op.String(),
@@ -354,26 +405,29 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 
 // StatsNow snapshots the cache's aggregate state — the /v1/stats
 // payload — for callers embedding the server (the daemon logs it
-// periodically and on shutdown).
+// periodically and on shutdown). It reads under the shared lock, so
+// the snapshot is internally consistent but never blocks requests.
 func (s *Server) StatsNow() StatsResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.mgr.Stats()
-	return StatsResponse{
-		Requests:            st.Requests,
-		Hits:                st.Hits,
-		Merges:              st.Merges,
-		Inserts:             st.Inserts,
-		Deletes:             st.Deletes,
-		Splits:              st.Splits,
-		BytesWritten:        st.BytesWritten,
-		RequestedBytes:      st.RequestedBytes,
-		Images:              s.mgr.Len(),
-		TotalData:           s.mgr.TotalData(),
-		UniqueData:          s.mgr.UniqueData(),
-		CacheEfficiency:     s.mgr.CacheEfficiency(),
-		ContainerEfficiency: st.MeanContainerEfficiency(),
-	}
+	var out StatsResponse
+	s.cmgr.WithShared(func(m *core.Manager) {
+		st := m.Stats()
+		out = StatsResponse{
+			Requests:            st.Requests,
+			Hits:                st.Hits,
+			Merges:              st.Merges,
+			Inserts:             st.Inserts,
+			Deletes:             st.Deletes,
+			Splits:              st.Splits,
+			BytesWritten:        st.BytesWritten,
+			RequestedBytes:      st.RequestedBytes,
+			Images:              m.Len(),
+			TotalData:           m.TotalData(),
+			UniqueData:          m.UniqueData(),
+			CacheEfficiency:     m.CacheEfficiency(),
+			ContainerEfficiency: st.MeanContainerEfficiency(),
+		}
+	})
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -389,8 +443,7 @@ func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	imgs := s.mgr.Images()
+	imgs := s.cmgr.Images()
 	out := make([]ImageInfo, 0, len(imgs))
 	for _, img := range imgs {
 		out = append(out, ImageInfo{
@@ -401,7 +454,6 @@ func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
 			Merges:   img.Merges,
 		})
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -415,9 +467,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	s.mu.Lock()
-	splits, err := s.mgr.Prune(body.MaxUtilization, body.MinServed)
-	s.mu.Unlock()
+	splits, err := s.cmgr.Prune(body.MaxUtilization, body.MinServed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "prune: %v", err)
 		return
@@ -479,9 +529,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // background scheduler. Invalid parameters are treated as a no-op pass
 // (the daemon validated its configuration at startup).
 func (s *Server) PruneNow(maxUtilization float64, minServed int) int {
-	s.mu.Lock()
-	splits, err := s.mgr.Prune(maxUtilization, minServed)
-	s.mu.Unlock()
+	splits, err := s.cmgr.Prune(maxUtilization, minServed)
 	if err != nil {
 		return 0
 	}
