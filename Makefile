@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz crash-test examples experiments clean
+.PHONY: all build vet test test-short race bench fuzz check cover crash-test examples experiments clean
 
 all: build vet test
 
@@ -30,12 +30,33 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Brief fuzzing pass over every fuzz target.
+# Brief fuzzing pass over every fuzz target. Patterns are anchored:
+# -fuzz is a regex, and an unanchored FuzzParse would also match
+# FuzzSpecParse in the same package (go test refuses to fuzz two
+# targets at once).
 fuzz:
-	$(GO) test ./internal/spec -fuzz FuzzParse -fuzztime 30s
-	$(GO) test ./internal/trace -fuzz FuzzLoad -fuzztime 30s
-	$(GO) test ./internal/shrinkwrap -fuzz FuzzUnpack -fuzztime 30s
-	$(GO) test ./internal/persist -fuzz FuzzWALDecode -fuzztime 30s
+	$(GO) test ./internal/spec -fuzz '^FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/spec -fuzz '^FuzzSpecParse$$' -fuzztime 30s
+	$(GO) test ./internal/config -fuzz '^FuzzConfigLoad$$' -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz '^FuzzLoad$$' -fuzztime 30s
+	$(GO) test ./internal/pkggraph -fuzz '^FuzzLoad$$' -fuzztime 30s
+	$(GO) test ./internal/shrinkwrap -fuzz '^FuzzUnpack$$' -fuzztime 30s
+	$(GO) test ./internal/persist -fuzz '^FuzzWALDecode$$' -fuzztime 30s
+
+# Short-budget invariant harness for every PR: the deterministic
+# simulation suite and scaled-down soaks under the race detector, the
+# mutant self-test (each seeded bug must be caught within 1,000
+# requests, reproducibly), and one CLI chaos pass.
+check:
+	$(GO) test -race -short -count=1 ./internal/check
+	$(GO) test -run 'TestMutants|TestMutantFailure' -count=1 ./internal/check
+	$(GO) run ./cmd/landlord-check sim -seed 1
+
+# Coverage profile across every package (atomic mode: the concurrent
+# suites are the interesting part).
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Durability gauntlet: the persist fault-injection suite (every WAL
 # truncation and bit-flip) plus the end-to-end kill -9 daemon test.

@@ -1,0 +1,157 @@
+// Command landlord-check drives the deterministic simulation and
+// invariant-checking harness (internal/check) from the command line:
+//
+//	landlord-check sim   -seed 1 [-steps 600]
+//	landlord-check soak  -seed 1 [-requests 50000] [-workers 8]
+//	landlord-check chaos -duration 10m [-seed 0]
+//
+// sim runs the canonical deterministic suite — two in-memory
+// simulations plus a persistent chaos run with checkpoints, prune
+// passes, injected filesystem faults and crash/recovery cycles — under
+// one seed. soak hammers one ConcurrentManager from many goroutines
+// with injected persist faults; run the binary built with -race for
+// full effect. chaos loops the whole harness over consecutive seeds
+// until the duration expires (the nightly soak).
+//
+// Every failure prints the seed and the exact `go test` command that
+// reproduces it bit-for-bit; the process exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sim":
+		err = runSim(os.Args[2:])
+	case "soak":
+		err = runSoak(os.Args[2:])
+	case "chaos":
+		err = runChaos(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|chaos> [flags]
+
+  sim   -seed N [-steps N]               deterministic suite + persistent chaos run
+  soak  -seed N [-requests N] [-workers N]  concurrent soak with injected persist faults
+  chaos -duration D [-seed N]            loop sim+soak over consecutive seeds (0 = from clock)`)
+}
+
+// suite runs the canonical deterministic schedule for one seed: the
+// in-memory suite, then the persistent chaos run in a throwaway
+// directory. steps > 0 overrides the chaos run's length.
+func suite(seed int64, steps int) error {
+	for _, cfg := range check.Suite(seed) {
+		rep, f := check.RunSim(cfg)
+		if f != nil {
+			return f
+		}
+		report(cfg, rep)
+	}
+	dir, err := os.MkdirTemp("", "landlord-check-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := check.ChaosConfig(seed, dir)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	rep, f := check.RunSim(cfg)
+	if f != nil {
+		return f
+	}
+	report(cfg, rep)
+	return nil
+}
+
+func report(cfg check.SimConfig, rep check.SimReport) {
+	fmt.Printf("sim seed=%d steps=%d alpha=%.2f persist=%v: hits=%d merges=%d inserts=%d deletes=%d splits=%d crashes=%d injected=%d state=%s\n",
+		cfg.Seed, rep.Steps, cfg.Alpha, cfg.Dir != "",
+		rep.Stats.Hits, rep.Stats.Merges, rep.Stats.Inserts, rep.Stats.Deletes,
+		rep.Stats.Splits, rep.Crashes, rep.Injected, rep.StateHash[:12])
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	steps := fs.Int("steps", 0, "override the chaos run's request count (0 = canonical 600)")
+	fs.Parse(args)
+	return suite(*seed, *steps)
+}
+
+func runSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "soak seed")
+	requests := fs.Int("requests", 50000, "total requests across all workers")
+	workers := fs.Int("workers", 8, "concurrent request goroutines")
+	fs.Parse(args)
+	return soak(*seed, *requests, *workers)
+}
+
+func soak(seed int64, requests, workers int) error {
+	dir, err := os.MkdirTemp("", "landlord-soak-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := check.SoakConfig{
+		Seed: seed, Requests: requests, Workers: workers,
+		Alpha: 0.6, CapacityFrac: 0.3,
+		Dir: dir, Faults: true, MaintainEvery: 200,
+	}
+	rep, err := check.RunSoak(cfg)
+	if err != nil {
+		return fmt.Errorf("soak seed=%d: %w", seed, err)
+	}
+	fmt.Printf("soak seed=%d requests=%d workers=%d: hits=%d merges=%d splits=%d injected=%d images=%d\n",
+		seed, requests, workers, rep.Stats.Hits, rep.Stats.Merges, rep.Stats.Splits,
+		rep.Injected, rep.Images)
+	return nil
+}
+
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "base seed (0 = derived from the clock)")
+	duration := fs.Duration("duration", 10*time.Minute, "how long to keep drawing seeds")
+	fs.Parse(args)
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano() % 1_000_000
+	}
+	fmt.Printf("chaos base seed %d for %v (reproduce any failure with the printed command)\n", base, *duration)
+	deadline := time.Now().Add(*duration)
+	iters := 0
+	for s := base; time.Now().Before(deadline); s++ {
+		fmt.Printf("--- seed %d\n", s)
+		if err := suite(s, 0); err != nil {
+			return err
+		}
+		if err := soak(s, 20000, 8); err != nil {
+			return err
+		}
+		iters++
+	}
+	fmt.Printf("chaos clean: %d seed(s) starting at %d\n", iters, base)
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/pkggraph"
 	"repro/internal/server"
@@ -77,16 +78,12 @@ func startDaemon(t *testing.T, bin, cfgPath string) (string, *exec.Cmd) {
 
 func waitHealthy(t *testing.T, client *server.Client) {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		err := client.Healthz() // retries 503 (recovering) internally
-		if err == nil {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon not healthy in time: %v", err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	var last error
+	if !check.Poll(15*time.Second, func() bool {
+		last = client.Healthz() // retries 503 (recovering) internally
+		return last == nil
+	}) {
+		t.Fatalf("daemon not healthy in time: %v", last)
 	}
 }
 
@@ -284,9 +281,8 @@ func TestDaemonSurvivesKill9UnderLoad(t *testing.T) {
 	}
 
 	// Kill mid-stream once enough requests are acknowledged.
-	for acked.Load() < 200 {
-		time.Sleep(2 * time.Millisecond)
-	}
+	check.Eventually(t, time.Minute, func() bool { return acked.Load() >= 200 },
+		"only %d request(s) acknowledged", acked.Load())
 	killed.Store(true)
 	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatal(err)

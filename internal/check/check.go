@@ -1,0 +1,50 @@
+// Package check is the deterministic simulation and invariant-checking
+// harness for the LANDLORD cache: seeded generators for package graphs
+// and request streams, an oracle that re-derives Algorithm 1's decision
+// after every request, a shadow checker that validates the concurrent
+// mutation stream through the commit hook, a fault-injecting filesystem
+// behind internal/persist, and a chaos driver that interleaves
+// requests, checkpoints, prunes, and crashes under a single seed.
+//
+// Everything is reproducible from one integer: a failing run prints its
+// seed, and
+//
+//	go test ./internal/check -run TestCheckReplay -seed=N
+//
+// replays the identical schedule, failing at the same step with the
+// same diagnostic. To keep that promise, diagnostics never include
+// wall-clock times, durations, pointers, or map-iteration artifacts —
+// only values derived from the seeded schedule.
+//
+// The harness is itself tested by mutation: internal/core compiles six
+// deliberate invariant breakers under -tags landlord_mutants (selected
+// via the LANDLORD_MUTANT environment variable), and the self-test
+// proves each one is caught within 1,000 generated requests.
+package check
+
+import "fmt"
+
+// Failure is one invariant violation, carrying everything needed to
+// reproduce it: the seed that generated the schedule, the step at
+// which the violation surfaced, and a deterministic diagnostic.
+type Failure struct {
+	// Seed is the schedule's seed; replaying it reproduces the failure
+	// bit for bit.
+	Seed int64
+	// Step is the zero-based request index at which the violation was
+	// detected.
+	Step int
+	// Diagnostic describes the violated invariant in seed-stable terms.
+	Diagnostic string
+}
+
+// Error renders the failure with its reproduction command.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("check: seed=%d step=%d: %s\nreproduce: go test ./internal/check -run TestCheckReplay -seed=%d",
+		f.Seed, f.Step, f.Diagnostic, f.Seed)
+}
+
+// failf builds a Failure at the given seed and step.
+func failf(seed int64, step int, format string, args ...any) *Failure {
+	return &Failure{Seed: seed, Step: step, Diagnostic: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFaultFSWriteFail(t *testing.T) {
+	ffs := NewFaultFS(FaultPlan{FailWriteAt: 2})
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("cccc")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	f.Close()
+	if got := string(readAll(t, f.Name())); got != "aaaacccc" {
+		t.Fatalf("file contents %q; the failed write must leave no bytes", got)
+	}
+	if n := ffs.Injected(); n != 1 {
+		t.Fatalf("Injected() = %d, want 1", n)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	ffs := NewFaultFS(FaultPlan{ShortWriteAt: 1})
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "s"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write reported %d bytes, want 5", n)
+	}
+	f.Close()
+	if got := string(readAll(t, f.Name())); got != "01234" {
+		t.Fatalf("file contents %q, want the torn half", got)
+	}
+}
+
+func TestFaultFSSyncFail(t *testing.T) {
+	ffs := NewFaultFS(FaultPlan{FailSyncAt: 2})
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "y"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("data")) // op 1
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: got %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("next sync must succeed: %v", err)
+	}
+}
+
+// TestFaultFSCrash pins the two crash models: kill keeps every written
+// byte; power loss keeps synced bytes plus a bounded torn tail — and
+// either way the dead process's filesystem refuses further work.
+func TestFaultFSCrash(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode CrashMode
+		torn int64
+		want int
+	}{
+		{"kill-keeps-all", CrashKill, 0, 16},
+		{"power-synced-only", CrashPower, 0, 8},
+		{"power-torn-tail", CrashPower, 3, 11},
+		{"power-torn-capped", CrashPower, 99, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ffs := NewFaultFS(FaultPlan{})
+			path := filepath.Join(t.TempDir(), "c")
+			f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("synced__"))
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("unsynced"))
+			if err := ffs.Crash(tc.mode, tc.torn); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(readAll(t, path)); got != tc.want {
+				t.Fatalf("%d bytes survived the crash, want %d", got, tc.want)
+			}
+			if _, err := ffs.Open(path); err == nil {
+				t.Fatal("post-crash operation succeeded; the dead filesystem must refuse work")
+			}
+			if _, err := f.Write([]byte("x")); err == nil {
+				t.Fatal("write on a pre-crash handle succeeded after the crash")
+			}
+		})
+	}
+}
+
+func TestEventuallyPolls(t *testing.T) {
+	n := 0
+	if !Poll(testTimeout, func() bool { n++; return n >= 3 }) {
+		t.Fatal("Poll gave up before the condition held")
+	}
+	if Poll(1, func() bool { return false }) {
+		t.Fatal("Poll reported success for a condition that never holds")
+	}
+}
+
+const testTimeout = 2e9 // 2s in nanoseconds, avoids importing time

@@ -1,0 +1,107 @@
+package check
+
+import (
+	"math/rand"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// SmallRepoConfig is the harness's repository shape: the same
+// hierarchical tier structure as the paper's SFT calibration
+// (DefaultGenConfig) scaled down to 240 packages, small enough that a
+// few hundred requests exercise every code path — hits, merges near
+// the α boundary, conflicts, evictions — without making a single
+// oracle step expensive.
+func SmallRepoConfig() pkggraph.GenConfig {
+	cfg := pkggraph.DefaultGenConfig()
+	cfg.CoreFamilies = 2
+	cfg.FrameworkFamilies = 6
+	cfg.LibraryFamilies = 18
+	cfg.ApplicationFamilies = 34
+	cfg.VersionsPerFamily = 4
+	return cfg
+}
+
+// SmallRepo generates the harness repository for a seed.
+func SmallRepo(seed int64) *pkggraph.Repo {
+	return pkggraph.MustGenerate(SmallRepoConfig(), seed)
+}
+
+// Stream generates the harness request stream: a seeded mixture of
+//
+//   - dependency-closure specs (the paper's primary scheme),
+//   - uniform-random specs (the adversarial Figure 7 scheme: contents
+//     with no dependency structure, which defeats merging), and
+//   - repeats of previously issued specs, so hits occur at a
+//     controllable rate.
+//
+// The same seed always yields the same sequence.
+type Stream struct {
+	rng *rand.Rand
+	dep *workload.DepClosure
+	uni *workload.UniformRandom
+
+	// RepeatProb is the probability a request repeats an earlier spec
+	// (driving the hit path); UniformProb the probability a fresh spec
+	// is drawn from the uniform-random scheme instead of the
+	// dependency scheme.
+	RepeatProb  float64
+	UniformProb float64
+
+	pool []spec.Spec
+}
+
+// NewStream creates a Stream over repo with the harness defaults: 45%
+// repeats, 25% of fresh specs adversarially structureless, initial
+// selections of 1..6 packages before closure (sized to the small
+// repository).
+func NewStream(repo *pkggraph.Repo, seed int64) *Stream {
+	dep := workload.NewDepClosure(repo, seed)
+	dep.MinInitial, dep.MaxInitial = 1, 6
+	uni := workload.NewUniformRandom(repo, seed)
+	uni.SetCardinality(1, 6)
+	return &Stream{
+		rng:         rand.New(rand.NewSource(seed + 2)),
+		dep:         dep,
+		uni:         uni,
+		RepeatProb:  0.45,
+		UniformProb: 0.25,
+	}
+}
+
+// Next returns the next specification in the stream.
+func (g *Stream) Next() spec.Spec {
+	if len(g.pool) > 0 && g.rng.Float64() < g.RepeatProb {
+		return g.pool[g.rng.Intn(len(g.pool))]
+	}
+	var s spec.Spec
+	if g.rng.Float64() < g.UniformProb {
+		s = g.uni.Next()
+	} else {
+		s = g.dep.Next()
+	}
+	// Bound the repeat pool so long streams keep revisiting a stable
+	// working set instead of diluting the hit rate to zero.
+	const poolCap = 256
+	if len(g.pool) < poolCap {
+		g.pool = append(g.pool, s)
+	} else {
+		g.pool[g.rng.Intn(poolCap)] = s
+	}
+	return s
+}
+
+// Anchored wraps a Stream so every spec includes anchor — the setup
+// for the α = 1 degeneracy check, which needs all specs to pairwise
+// intersect so d < 1 always holds.
+type Anchored struct {
+	Inner  *Stream
+	Anchor pkggraph.PkgID
+}
+
+// Next returns the inner stream's next spec with the anchor unioned in.
+func (g *Anchored) Next() spec.Spec {
+	return g.Inner.Next().Union(spec.New([]pkggraph.PkgID{g.Anchor}))
+}

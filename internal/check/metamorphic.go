@@ -1,0 +1,186 @@
+package check
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// This file holds the metamorphic relations: properties that do not
+// say what one run must produce, but how two related runs must relate.
+// They catch bugs a single-run oracle cannot — an implementation that
+// is self-consistently wrong in both runs still has to be wrong in the
+// mathematically mandated direction.
+
+// genRequests materializes a fixed request sequence so related runs
+// replay the identical workload.
+func genRequests(seed int64, n int) []spec.Spec {
+	repo := SmallRepo(seed)
+	stream := NewStream(repo, seed+1)
+	reqs := make([]spec.Spec, n)
+	for i := range reqs {
+		reqs[i] = stream.Next()
+	}
+	return reqs
+}
+
+// run replays reqs through a fresh manager and returns it.
+func run(seed int64, alpha float64, capacity int64, reqs []spec.Spec) (*core.Manager, *Failure) {
+	repo := SmallRepo(seed)
+	m, err := core.NewManager(repo, core.Config{Alpha: alpha, Capacity: capacity})
+	if err != nil {
+		return nil, failf(seed, 0, "manager: %v", err)
+	}
+	for i, s := range reqs {
+		if _, err := m.Request(s); err != nil {
+			return nil, failf(seed, i, "request: %v", err)
+		}
+	}
+	return m, nil
+}
+
+// AlphaMonotonicity checks that raising the merge threshold never
+// decreases the hit count on a fixed workload with unlimited capacity:
+// a larger α merges at least as aggressively, so every image only
+// grows, and a spec contained at low α is contained at high α.
+// (Finite capacity voids the relation — bigger merged images evict
+// more — which is why the paper's capacity experiments sweep α
+// separately.)
+func AlphaMonotonicity(seed int64, steps int, alphas []float64) *Failure {
+	reqs := genRequests(seed, steps)
+	prevHits, prevAlpha := int64(-1), 0.0
+	for _, alpha := range alphas {
+		m, f := run(seed, alpha, 0, reqs)
+		if f != nil {
+			return f
+		}
+		hits := m.Stats().Hits
+		if hits < prevHits {
+			return failf(seed, steps, "α=%g yields %d hits but α=%g yielded %d (hit rate must be non-decreasing in α under unlimited capacity)",
+				alpha, hits, prevAlpha, prevHits)
+		}
+		prevHits, prevAlpha = hits, alpha
+	}
+	return nil
+}
+
+// HitPermutationInvariance checks that hits are observers: with
+// unlimited capacity, deleting the hit requests from the workload and
+// replaying their specs afterwards — in any shuffled order — must (a)
+// still hit every one of them and (b) leave the exact same image
+// contents. A hit that mutated contents, or a decision that depended
+// on access recency rather than contents, breaks the relation.
+func HitPermutationInvariance(seed int64, steps int, alpha float64) *Failure {
+	reqs := genRequests(seed, steps)
+
+	m1, f := run(seed, alpha, 0, nil)
+	if f != nil {
+		return f
+	}
+	var misses, hitSpecs []spec.Spec
+	for i, s := range reqs {
+		res, err := m1.Request(s)
+		if err != nil {
+			return failf(seed, i, "request: %v", err)
+		}
+		if res.Op == core.OpHit {
+			hitSpecs = append(hitSpecs, s)
+		} else {
+			misses = append(misses, s)
+		}
+	}
+
+	m2, f := run(seed, alpha, 0, misses)
+	if f != nil {
+		return f
+	}
+	rng := rand.New(rand.NewSource(seed + 3))
+	rng.Shuffle(len(hitSpecs), func(i, j int) { hitSpecs[i], hitSpecs[j] = hitSpecs[j], hitSpecs[i] })
+	for i, s := range hitSpecs {
+		res, err := m2.Request(s)
+		if err != nil {
+			return failf(seed, i, "replaying hit: %v", err)
+		}
+		if res.Op != core.OpHit {
+			return failf(seed, i, "request that hit in the original order got %v when replayed after all misses (hit outcome depends on interleaving)", res.Op)
+		}
+	}
+
+	if f := sameContents(seed, steps, m1, m2); f != nil {
+		return f
+	}
+	return nil
+}
+
+// sameContents compares the two managers' image specs as multisets.
+func sameContents(seed int64, step int, a, b *core.Manager) *Failure {
+	if a.Len() != b.Len() {
+		return failf(seed, step, "original order holds %d images, permuted order %d (cache contents depend on hit ordering)", a.Len(), b.Len())
+	}
+	want := make(map[string]int, a.Len())
+	for _, img := range a.Images() {
+		want[img.Spec.String()]++
+	}
+	for _, img := range b.Images() {
+		if want[img.Spec.String()] == 0 {
+			return failf(seed, step, "permuted order produced image %v absent from the original order's cache", img.Spec)
+		}
+		want[img.Spec.String()]--
+	}
+	return nil
+}
+
+// DegenerateLRU checks the α = 0 degeneracy: with merging disabled the
+// manager must behave as a plain LRU of exact request specs — zero
+// merges, and every cached image identical to some requested spec.
+func DegenerateLRU(seed int64, steps int, capacityFrac float64) *Failure {
+	repo := SmallRepo(seed)
+	reqs := genRequests(seed, steps)
+	m, f := run(seed, 0, simCapacity(repo, capacityFrac), reqs)
+	if f != nil {
+		return f
+	}
+	if merges := m.Stats().Merges; merges != 0 {
+		return failf(seed, steps, "α=0 performed %d merge(s); must degenerate to pure LRU", merges)
+	}
+	requested := make(map[string]bool, len(reqs))
+	for _, s := range reqs {
+		requested[s.String()] = true
+	}
+	for _, img := range m.Images() {
+		if !requested[img.Spec.String()] {
+			return failf(seed, steps, "α=0 cached image %d whose spec matches no request (images must be verbatim requests under pure LRU)", img.ID)
+		}
+	}
+	return nil
+}
+
+// DegenerateGlob checks the α = 1 degeneracy: when every spec shares
+// an anchor package (so all pairwise Jaccard distances are < 1), no
+// conflicts apply, and capacity is unlimited, the cache must collapse
+// to a single glob image containing every requested package.
+func DegenerateGlob(seed int64, steps int) *Failure {
+	repo := SmallRepo(seed)
+	stream := &Anchored{Inner: NewStream(repo, seed+1), Anchor: 0}
+	m, err := core.NewManager(repo, core.Config{Alpha: 1})
+	if err != nil {
+		return failf(seed, 0, "manager: %v", err)
+	}
+	union := spec.Spec{}
+	for i := 0; i < steps; i++ {
+		s := stream.Next()
+		if _, err := m.Request(s); err != nil {
+			return failf(seed, i, "request: %v", err)
+		}
+		union = union.Union(s)
+	}
+	if m.Len() != 1 {
+		return failf(seed, steps, "α=1 with anchored specs left %d images; must collapse to a single glob", m.Len())
+	}
+	glob := m.Images()[0]
+	if !union.SubsetOf(glob.Spec) {
+		return failf(seed, steps, "α=1 glob image is missing requested packages")
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+//go:build landlord_mutants
+
+package check
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMutantSim runs under -tags landlord_mutants with LANDLORD_MUTANT
+// naming one seeded bug in internal/core (see core/mutant_on.go). It
+// asserts the harness DETECTS the mutant: the canonical simulation
+// suite must report a Failure within its 1000 requests. It runs the
+// suite twice and requires the two failures to be byte-identical —
+// the reproducibility the printed seed promises.
+//
+// TestMutantsAreDetected drives this from a normal build; the
+// MUTANT_FAILURE lines below are its machine-readable channel.
+func TestMutantSim(t *testing.T) {
+	mutant := os.Getenv("LANDLORD_MUTANT")
+	if mutant == "" {
+		t.Skip("LANDLORD_MUTANT not set")
+	}
+
+	detect := func() (string, int) {
+		requests := 0
+		for _, cfg := range Suite(*seedFlag) {
+			rep, f := RunSim(cfg)
+			requests += rep.Steps
+			if f != nil {
+				return f.Error(), requests
+			}
+		}
+		return "", requests
+	}
+
+	first, n1 := detect()
+	if first == "" {
+		t.Fatalf("mutant %q survived %d requests undetected", mutant, n1)
+	}
+	second, _ := detect()
+	if first != second {
+		t.Fatalf("mutant %q failure is not reproducible under seed %d:\n first: %s\nsecond: %s",
+			mutant, *seedFlag, first, second)
+	}
+	t.Logf("mutant %q detected within %d requests", mutant, n1)
+	fmt.Printf("MUTANT_FAILURE %s: %s\n", mutant, first)
+}

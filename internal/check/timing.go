@@ -1,0 +1,41 @@
+package check
+
+import (
+	"testing"
+	"time"
+)
+
+// Eventually polls cond until it returns true, failing t if timeout
+// elapses first. It replaces fixed time.Sleep waits in tests that
+// observe asynchronous progress (daemon startup, background load):
+// polling converges as fast as the condition allows on fast machines
+// and keeps slow CI machines from flaking, where a tuned sleep does
+// neither.
+//
+// The poll interval starts at 1ms and backs off to 50ms so a condition
+// that is already true costs almost nothing.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("condition not met within "+timeout.String()+": "+format, args...)
+	}
+}
+
+// Poll is Eventually without the test dependency: it reports whether
+// cond became true within timeout.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	interval := time.Millisecond
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(interval)
+		if interval < 50*time.Millisecond {
+			interval *= 2
+		}
+	}
+}

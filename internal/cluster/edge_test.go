@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// badPolicy returns a fixed (possibly invalid) site index.
+type badPolicy struct{ idx int }
+
+func (p badPolicy) Pick(job spec.Spec, sites []*Site) int { return p.idx }
+func (p badPolicy) Name() string                          { return "bad" }
+
+// TestClusterConstructionEdges drives the degenerate assemblies
+// table-style: no sites, nil policy, a policy pointing outside the
+// site list. Each must fail loudly instead of scheduling into thin
+// air.
+func TestClusterConstructionEdges(t *testing.T) {
+	repo := flatRepo(t, 8, 10)
+	site, err := NewSite(repo, SiteConfig{Name: "s0", Core: core.Config{Alpha: 0.5}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		sites   []*Site
+		policy  Policy
+		newErr  string // non-empty: New must fail with this substring
+		pickErr string // non-empty: Submit must fail with this substring
+	}{
+		{name: "empty cluster", sites: nil, policy: &RoundRobin{}, newErr: "no sites"},
+		{name: "nil policy", sites: []*Site{site}, policy: nil, newErr: "nil policy"},
+		{name: "policy picks negative site", sites: []*Site{site}, policy: badPolicy{-1}, pickErr: "invalid site"},
+		{name: "policy picks site out of range", sites: []*Site{site}, policy: badPolicy{1}, pickErr: "invalid site"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.sites, tc.policy)
+			if tc.newErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.newErr) {
+					t.Fatalf("New: err = %v, want substring %q", err, tc.newErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			_, err = c.Submit(sp(0, 1))
+			if err == nil || !strings.Contains(err.Error(), tc.pickErr) {
+				t.Fatalf("Submit: err = %v, want substring %q", err, tc.pickErr)
+			}
+		})
+	}
+}
+
+// TestSingleWorkerAtCapacity pins the scratch-overflow contract for a
+// site with one worker whose scratch cannot hold the working set: like
+// the head-node cache, the worker may hold ONE oversized image (jobs
+// must run somewhere) but never two, and every alternation retransfers.
+func TestSingleWorkerAtCapacity(t *testing.T) {
+	repo := flatRepo(t, 12, 10)
+	for _, tc := range []struct {
+		name     string
+		capacity int64
+		jobs     []spec.Spec
+		wantImgs int
+		wantEvic int64
+		wantXfer int64 // total transferred bytes
+	}{
+		{
+			// Each 3-package image (30B) exceeds the 20B scratch: the
+			// worker still runs every job, holding exactly the one
+			// oversized current image.
+			name: "image larger than scratch", capacity: 20,
+			jobs:     []spec.Spec{sp(0, 1, 2), sp(3, 4, 5), sp(0, 1, 2)},
+			wantImgs: 1, wantEvic: 2, wantXfer: 90,
+		},
+		{
+			// Exact fit: the second image evicts the first, the third
+			// evicts the second — LRU thrash, full retransfers.
+			name: "exact fit thrash", capacity: 30,
+			jobs:     []spec.Spec{sp(0, 1, 2), sp(3, 4, 5), sp(0, 1, 2)},
+			wantImgs: 1, wantEvic: 2, wantXfer: 90,
+		},
+		{
+			// Room for both images: the repeat is a local hit.
+			name: "both fit", capacity: 60,
+			jobs:     []spec.Spec{sp(0, 1, 2), sp(3, 4, 5), sp(0, 1, 2)},
+			wantImgs: 2, wantEvic: 0, wantXfer: 60,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// α=0 keeps images identical to jobs, so the byte math is
+			// exact; unlimited head capacity keeps image IDs stable.
+			site, err := NewSite(repo, SiteConfig{
+				Name: "edge", Core: core.Config{Alpha: 0},
+				Workers: 1, WorkerCapacity: tc.capacity,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, job := range tc.jobs {
+				if _, err := site.Submit(job); err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+			}
+			w := site.Workers[0]
+			if got := w.CachedImages(); got != tc.wantImgs {
+				t.Errorf("worker holds %d image(s), want %d", got, tc.wantImgs)
+			}
+			if got := w.Stats().Evictions; got != tc.wantEvic {
+				t.Errorf("evictions = %d, want %d", got, tc.wantEvic)
+			}
+			if got := w.Stats().TransferredBytes; got != tc.wantXfer {
+				t.Errorf("transferred %d bytes, want %d", got, tc.wantXfer)
+			}
+			if tc.wantImgs == 1 && w.CachedBytes() > tc.capacity && w.CachedImages() > 1 {
+				t.Errorf("worker over capacity with %d images; only a single oversized image may overflow", w.CachedImages())
+			}
+		})
+	}
+}
+
+// TestDeltaSyncStalePeer drives the delta-transfer bookkeeping through
+// the stale-peer paths, table-style over the ways a worker's held
+// record can rot: the image merged forward under its ID (ship the
+// diff), the peer silently lost its copy (full retransfer — the record
+// must not be trusted), and the peer's copy drifted to a version the
+// record does not describe (full retransfer).
+func TestDeltaSyncStalePeer(t *testing.T) {
+	base := sp(0, 1, 2)     // 30 bytes
+	grown := sp(0, 1, 2, 3) // merges into base's image: d = 1/4 < α
+	for _, tc := range []struct {
+		name string
+		// corrupt runs between the merge-forward submit and the final
+		// re-submit of `grown`, putting the peer in the stale state; id
+		// is the merged image's ID.
+		corrupt  func(s *DeltaSite, id uint64)
+		wantXfer int64 // bytes the final Submit(grown) must ship
+	}{
+		{
+			// No corruption: the worker holds the current version, the
+			// final submit ships nothing.
+			name: "current copy", corrupt: func(s *DeltaSite, id uint64) {}, wantXfer: 0,
+		},
+		{
+			// The peer lost the copy (head-initiated invalidation, or a
+			// crashed scratch disk): the held record is dropped and the
+			// full image ships again.
+			name: "peer lost its copy",
+			corrupt: func(s *DeltaSite, id uint64) {
+				s.Workers[0].Invalidate(id)
+			},
+			wantXfer: 40,
+		},
+		{
+			// The peer's copy drifted to a version the site never
+			// recorded (an out-of-band transfer): the record mismatch
+			// must force a full retransfer, not a bogus delta.
+			name: "version drift",
+			corrupt: func(s *DeltaSite, id uint64) {
+				s.Workers[0].Run(id, 99, 40)
+			},
+			wantXfer: 40,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			repo := flatRepo(t, 12, 10)
+			site, err := NewDeltaSite(repo, SiteConfig{
+				Name: "delta", Core: core.Config{Alpha: 0.5}, Workers: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := site.Submit(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Transferred != 30 {
+				t.Fatalf("initial transfer = %d bytes, want the full 30", res.Transferred)
+			}
+			res, err = site.Submit(grown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Request.Op != core.OpMerge {
+				t.Fatalf("second submit performed %v, want merge (the delta scenario's premise)", res.Request.Op)
+			}
+			if res.Transferred != 10 {
+				t.Fatalf("merge-forward shipped %d bytes, want the 10-byte delta", res.Transferred)
+			}
+
+			tc.corrupt(site, res.Request.ImageID)
+
+			res, err = site.Submit(grown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Request.Op != core.OpHit {
+				t.Fatalf("final submit performed %v, want hit", res.Request.Op)
+			}
+			if res.Transferred != tc.wantXfer {
+				t.Errorf("final transfer = %d bytes, want %d", res.Transferred, tc.wantXfer)
+			}
+			if got, want := site.DeltaBytes(), 40+tc.wantXfer; got != want {
+				t.Errorf("DeltaBytes = %d, want %d", got, want)
+			}
+		})
+	}
+}

@@ -91,12 +91,22 @@ func Load(path string) (Site, error) {
 	if err != nil {
 		return Site{}, err
 	}
+	site, err := Parse(data)
+	if err != nil {
+		return Site{}, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return site, nil
+}
+
+// Parse decodes and validates a configuration from raw bytes. Missing
+// optional fields take their defaults.
+func Parse(data []byte) (Site, error) {
 	site := Default()
 	if err := json.Unmarshal(data, &site); err != nil {
-		return Site{}, fmt.Errorf("config: parsing %s: %w", path, err)
+		return Site{}, fmt.Errorf("parsing: %w", err)
 	}
 	if err := site.Validate(); err != nil {
-		return Site{}, fmt.Errorf("config: %s: %w", path, err)
+		return Site{}, err
 	}
 	return site, nil
 }

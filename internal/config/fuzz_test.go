@@ -1,0 +1,45 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigLoad throws arbitrary bytes at the configuration parser:
+// it must never panic, anything it accepts must validate, and an
+// accepted configuration must survive a marshal/parse round trip —
+// a config the daemon loaded can always be written back out and
+// reloaded identically.
+func FuzzConfigLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"addr":":9090","alpha":0.6,"capacity_gb":50}`))
+	f.Add([]byte(`{"alpha":1.5}`))
+	f.Add([]byte(`{"state_dir":"/tmp/x","fsync":"always","wal_segment_mb":4,"checkpoint_every_requests":100}`))
+	f.Add([]byte(`{"prune_every_requests":50,"prune_utilization":0.7,"prune_min_served":2}`))
+	f.Add([]byte(`{"single_version_families":["python","gcc"],"max_inflight":8}`))
+	f.Add([]byte(`{"fsync":"sometimes"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		site, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := site.Validate(); err != nil {
+			t.Fatalf("Parse accepted a config Validate rejects: %v", err)
+		}
+		// PersistOptions must assemble without panicking for any valid
+		// config (Validate guarantees the fsync policy parses).
+		_ = site.PersistOptions()
+		out, err := json.Marshal(site)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\nconfig: %s", err, out)
+		}
+		if again, err := json.Marshal(back); err != nil || string(again) != string(out) {
+			t.Fatalf("round trip changed config:\n got %s\nwant %s (err %v)", again, out, err)
+		}
+	})
+}

@@ -142,7 +142,7 @@ func TestConcurrentOracleEquivalence(t *testing.T) {
 				// Quiescent point: full structural invariants, byte
 				// accounting, and counter partition.
 				cm.WithExclusive(func(m *Manager) {
-					if err := m.checkInvariants(); err != nil {
+					if err := m.CheckIntegrity(); err != nil {
 						t.Fatalf("round %d invariants: %v", round, err)
 					}
 				})

@@ -337,7 +337,9 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 
 	// Phase 1: an existing image satisfies s.
 	if img := m.findSuperset(s, sig, ev); img != nil {
-		img.lastUse = m.clock
+		if !mutantEnabled("touch") {
+			img.lastUse = m.clock
+		}
 		img.served(s)
 		m.stats.Hits++
 		m.commit(Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: img.lastUse, RequestBytes: reqBytes})
@@ -462,6 +464,8 @@ func (m *Manager) findSuperset(s spec.Spec, sig similarity.Signature, ev *teleme
 		}
 		if s.SubsetOf(img.Spec) {
 			best = img
+		} else if mutantEnabled("superset") && s.Intersect(img.Spec).Len() >= s.Len()-1 {
+			best = img
 		}
 	}
 	if ev != nil {
@@ -496,6 +500,10 @@ type candidate struct {
 // accept/reject counts and every candidate under α with its exact
 // distance.
 func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *telemetry.Event) *Image {
+	alpha := m.cfg.Alpha
+	if mutantEnabled("threshold") {
+		alpha += 0.2
+	}
 	var cands []candidate
 	for _, img := range m.images {
 		if img == nil {
@@ -514,7 +522,7 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *tel
 			}
 		}
 		d := similarity.JaccardDistance(s, img.Spec)
-		if d < m.cfg.Alpha {
+		if d < alpha {
 			cands = append(cands, candidate{img, d})
 		}
 	}
@@ -528,7 +536,7 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *tel
 		}
 	}
 	for _, c := range cands {
-		if !m.cfg.Conflicts.Conflicts(s, c.img.Spec) {
+		if mutantEnabled("conflict") || !m.cfg.Conflicts.Conflicts(s, c.img.Spec) {
 			return c.img
 		}
 	}
@@ -542,16 +550,24 @@ func (m *Manager) evict(keep uint64) (int, int64) {
 	if m.cfg.Capacity <= 0 {
 		return 0, 0
 	}
+	limit := m.cfg.Capacity
+	if mutantEnabled("capacity") {
+		limit += limit / 4
+	}
 	var n int
 	var bytes int64
-	for m.total > m.cfg.Capacity {
+	for m.total > limit {
 		var victim *Image
 		vi := -1
 		for i, img := range m.images {
 			if img == nil || img.ID == keep {
 				continue
 			}
-			if victim == nil || img.lastUse < victim.lastUse {
+			older := victim == nil || img.lastUse < victim.lastUse
+			if victim != nil && mutantEnabled("lru") {
+				older = img.lastUse > victim.lastUse
+			}
+			if older {
 				victim = img
 				vi = i
 			}

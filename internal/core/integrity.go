@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// CheckIntegrity validates the Manager's internal consistency: the
+// image slice and byID index agree, cached sizes and the byte total
+// match a recomputation from the repository, specs are canonical,
+// LRU stamps never run ahead of the clock, MinHash signatures are
+// fresh, and the operation counters partition the request count. Any
+// violation is a bug regardless of the workload that produced it.
+//
+// The simulation harness (internal/check) calls this after every
+// mutation it drives; it is cheap enough (one pass over the cache) to
+// run continuously in tests but is not intended for the serving path.
+//
+// Callers holding a ConcurrentManager must go through
+// ConcurrentManager.CheckIntegrity, which quiesces the cache first.
+func (m *Manager) CheckIntegrity() error {
+	var total int64
+	live := 0
+	seen := make(map[uint64]bool)
+	for _, img := range m.images {
+		if img == nil {
+			continue
+		}
+		live++
+		if seen[img.ID] {
+			return fmt.Errorf("duplicate image ID %d in slice", img.ID)
+		}
+		seen[img.ID] = true
+		if m.byID[img.ID] != img {
+			return fmt.Errorf("byID[%d] does not point at the slice entry", img.ID)
+		}
+		if img.Spec.Empty() {
+			return fmt.Errorf("image %d has an empty spec", img.ID)
+		}
+		if got := img.Spec.Size(m.repo); got != img.Size {
+			return fmt.Errorf("image %d cached size %d != recomputed %d", img.ID, img.Size, got)
+		}
+		ids := img.Spec.IDs()
+		if !sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+			return fmt.Errorf("image %d spec not sorted", img.ID)
+		}
+		if img.lastUse > m.clock {
+			return fmt.Errorf("image %d lastUse %d beyond clock %d", img.ID, img.lastUse, m.clock)
+		}
+		if m.hasher != nil {
+			want := m.hasher.Sign(img.Spec)
+			for i := range want {
+				if img.sig[i] != want[i] {
+					return fmt.Errorf("image %d signature stale at position %d", img.ID, i)
+				}
+			}
+		}
+		total += img.Size
+	}
+	if live != len(m.byID) {
+		return fmt.Errorf("live images %d != byID size %d", live, len(m.byID))
+	}
+	if total != m.total {
+		return fmt.Errorf("cached total %d != recomputed %d", m.total, total)
+	}
+	st := m.stats
+	if st.Hits+st.Inserts+st.Merges != st.Requests {
+		return fmt.Errorf("ops %d+%d+%d do not partition %d requests", st.Hits, st.Inserts, st.Merges, st.Requests)
+	}
+	return nil
+}
+
+// CheckIntegrity runs Manager.CheckIntegrity with the cache quiescent
+// (read lock plus hitMu), so concurrent traffic cannot produce
+// torn reads of the structures being validated.
+func (c *ConcurrentManager) CheckIntegrity() error {
+	var err error
+	c.WithShared(func(m *Manager) { err = m.CheckIntegrity() })
+	return err
+}
+
+// Capacity returns the configured byte capacity (zero or negative
+// means unlimited).
+func (m *Manager) Capacity() int64 { return m.cfg.Capacity }
+
+// Conflicts returns the configured conflict policy (never nil after
+// NewManager).
+func (m *Manager) Conflicts() spec.ConflictPolicy { return m.cfg.Conflicts }
+
+// Clock returns the manager's logical clock: the Seq stamped on the
+// most recent request.
+func (m *Manager) Clock() uint64 { return m.clock }
+
+// MinHashEnabled reports whether the approximate candidate prefilter
+// is active. The invariant oracle (internal/check) refuses such
+// managers: the prefilter may legitimately drop merge candidates the
+// exact algorithm would take, so exact re-derivation only applies to
+// exact-mode managers.
+func (m *Manager) MinHashEnabled() bool { return m.hasher != nil }
+
+// LastUse returns the logical-clock timestamp of the image's last
+// hit, merge, or insert — its LRU position.
+func (img *Image) LastUse() uint64 { return img.lastUse }
+
+// SetCommitHook replaces the commit hook. Harnesses use it to stack a
+// validating hook (internal/check's shadow checker) in front of an
+// already-installed durability hook; like SetTracer it must be called
+// before the manager serves traffic (or under WithExclusive on a
+// ConcurrentManager).
+func (m *Manager) SetCommitHook(h CommitHook) { m.cfg.Commit = h }
+
+// CommitHook returns the installed commit hook (nil when disabled).
+func (m *Manager) CommitHook() CommitHook { return m.cfg.Commit }

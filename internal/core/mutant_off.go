@@ -1,0 +1,11 @@
+//go:build !landlord_mutants
+
+package core
+
+// mutantEnabled reports whether a named invariant mutant is active.
+// In normal builds it is a constant false the compiler erases, so the
+// mutant hooks in core.go cost nothing. Build with -tags
+// landlord_mutants (see mutant_on.go) to select a mutant at run time;
+// internal/check's self-test does exactly that to prove the harness
+// detects each class of violation.
+func mutantEnabled(string) bool { return false }

@@ -75,7 +75,7 @@ func TestReplayEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if err := live.checkInvariants(); err != nil {
+	if err := live.CheckIntegrity(); err != nil {
 		t.Fatalf("live manager invariants: %v", err)
 	}
 
@@ -85,7 +85,7 @@ func TestReplayEquivalence(t *testing.T) {
 			t.Fatalf("replaying mutation %d (%+v): %v", i, mut, err)
 		}
 	}
-	if err := replayed.checkInvariants(); err != nil {
+	if err := replayed.CheckIntegrity(); err != nil {
 		t.Fatalf("replayed manager invariants: %v", err)
 	}
 	got, want := replayed.ExportState(), live.ExportState()
@@ -150,7 +150,7 @@ func TestApplyMutationErrors(t *testing.T) {
 		}
 	}
 	// Failed applications must not have corrupted anything.
-	if err := m.checkInvariants(); err != nil {
+	if err := m.CheckIntegrity(); err != nil {
 		t.Fatalf("invariants after rejected mutations: %v", err)
 	}
 	if m.Len() != 1 {

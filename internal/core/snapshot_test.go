@@ -104,7 +104,7 @@ func TestRestoreCapacityOverflow(t *testing.T) {
 	if r := request(t, small, sp(3)); r.Op != OpHit {
 		t.Fatalf("most-recent restored image was evicted (op %v)", r.Op)
 	}
-	if err := small.checkInvariants(); err != nil {
+	if err := small.CheckIntegrity(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -149,7 +149,7 @@ func TestSnapshotPruneSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("snapshot %d changed in round trip:\n before %+v\n after  %+v", i, snaps[i], again[i])
 		}
 	}
-	if err := m2.checkInvariants(); err != nil {
+	if err := m2.CheckIntegrity(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -170,7 +170,7 @@ func TestImportStateRoundTrip(t *testing.T) {
 	if err := m2.ImportState(st); err != nil {
 		t.Fatalf("ImportState: %v", err)
 	}
-	if err := m2.checkInvariants(); err != nil {
+	if err := m2.CheckIntegrity(); err != nil {
 		t.Fatal(err)
 	}
 	if got := m2.ExportState(); !reflect.DeepEqual(got, st) {

@@ -49,7 +49,7 @@ func TestSoakInvariants(t *testing.T) {
 				if err := m2.Restore(snaps); err != nil {
 					t.Fatalf("config %d step %d: Restore: %v", ci, step, err)
 				}
-				if err := m2.checkInvariants(); err != nil {
+				if err := m2.CheckIntegrity(); err != nil {
 					t.Fatalf("config %d step %d: restored manager: %v", ci, step, err)
 				}
 				if m2.TotalData() != m.TotalData() || m2.Len() != m.Len() {
@@ -67,7 +67,7 @@ func TestSoakInvariants(t *testing.T) {
 					t.Fatalf("config %d step %d: Request: %v", ci, step, err)
 				}
 			}
-			if err := m.checkInvariants(); err != nil {
+			if err := m.CheckIntegrity(); err != nil {
 				t.Fatalf("config %d step %d: %v", ci, step, err)
 			}
 		}
@@ -160,7 +160,7 @@ func TestSoakConcurrent(t *testing.T) {
 				t.Fatalf("config %d round %d aborted", ci, round)
 			}
 			cm.WithExclusive(func(m *Manager) {
-				if err := m.checkInvariants(); err != nil {
+				if err := m.CheckIntegrity(); err != nil {
 					t.Fatalf("config %d round %d: %v", ci, round, err)
 				}
 			})

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -33,17 +32,24 @@ type Checkpoint struct {
 // a temporary file in the same directory, is fsynced, renamed into
 // place, and the directory is fsynced so the rename itself is durable.
 func WriteCheckpointFile(path string, ck Checkpoint) error {
+	return writeCheckpointFile(OSFS{}, path, ck)
+}
+
+// writeCheckpointFile is WriteCheckpointFile over an arbitrary FS; the
+// store routes its checkpoints through here so fault injection covers
+// the temp-write/sync/rename/dir-sync sequence too.
+func writeCheckpointFile(fsys FS, path string, ck Checkpoint) error {
 	payload, err := json.Marshal(&ck)
 	if err != nil {
 		return fmt.Errorf("persist: encoding checkpoint: %w", err)
 	}
 	data := appendFrame(nil, payload)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -55,17 +61,22 @@ func WriteCheckpointFile(path string, ck Checkpoint) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // ReadCheckpointFile reads and validates a checkpoint written by
 // WriteCheckpointFile. Trailing garbage after the single frame is
 // rejected: a checkpoint is exactly one record.
 func ReadCheckpointFile(path string) (Checkpoint, error) {
-	f, err := os.Open(path)
+	return readCheckpointFile(OSFS{}, path)
+}
+
+// readCheckpointFile is ReadCheckpointFile over an arbitrary FS.
+func readCheckpointFile(fsys FS, path string) (Checkpoint, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return Checkpoint{}, err
 	}
@@ -88,8 +99,8 @@ func ReadCheckpointFile(path string) (Checkpoint, error) {
 // syncDir fsyncs a directory so a just-renamed file's directory entry
 // is durable. Failures are returned; on filesystems that reject
 // directory syncs (some network mounts) callers may ignore them.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

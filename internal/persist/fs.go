@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the store needs. Production uses OSFS;
+// internal/check substitutes a fault-injecting implementation that
+// fails writes, truncates at sync boundaries, and simulates kill-9
+// crashes at seeded operation counts — so every durability claim in
+// this package is tested against the failures it is supposed to
+// survive, not just the happy path.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile mirrors os.OpenFile; the store only uses the flag
+	// combinations os.O_CREATE|os.O_WRONLY|os.O_EXCL (new WAL segment)
+	// and read-only opens via Open.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Stat(name string) (fs.FileInfo, error)
+	// CreateTemp mirrors os.CreateTemp: an exclusive fresh file in dir
+	// whose name derives from pattern.
+	CreateTemp(dir, pattern string) (File, error)
+}
+
+// File is the handle surface the store needs; *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OSFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+var _ File = (*os.File)(nil)

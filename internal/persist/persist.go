@@ -96,6 +96,9 @@ type Options struct {
 	SyncPolicy FsyncPolicy
 	// SyncInterval bounds staleness under FsyncInterval (default 100ms).
 	SyncInterval time.Duration
+	// FS is the filesystem the store operates on (default OSFS). Tests
+	// substitute a fault-injecting implementation (internal/check).
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
 	}
 	return o
 }

@@ -30,8 +30,8 @@ type Store struct {
 	opts Options
 
 	mu       sync.Mutex
-	f        *os.File // open append segment; nil before Recover / after Close
-	seq      uint64   // sequence number of the open segment
+	f        File   // open append segment; nil before Recover / after Close
+	seq      uint64 // sequence number of the open segment
 	segBytes int64
 	lastSync time.Time
 	sticky   error
@@ -61,10 +61,11 @@ var errNotRecovered = errors.New("persist: store not recovered; call Recover bef
 // Open prepares a store over dir, creating it if needed. No files are
 // opened until Recover.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, opts: opts.withDefaults()}
+	st := &Store{dir: dir, opts: opts}
 	st.flushCond = sync.NewCond(&st.mu)
 	return st, nil
 }
@@ -136,7 +137,7 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 
 // scan lists segment and checkpoint sequence numbers, ascending.
 func (st *Store) scan() (segs, ckpts []uint64, err error) {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.opts.FS.ReadDir(st.dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,7 +179,7 @@ func (st *Store) Recover(repo *pkggraph.Repo, cfg core.Config) (*core.Manager, *
 	var ckptSeq uint64
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		seq := ckpts[i]
-		ck, err := ReadCheckpointFile(st.ckptPath(seq))
+		ck, err := readCheckpointFile(st.opts.FS, st.ckptPath(seq))
 		if err != nil {
 			rep.warn("checkpoint %d unreadable: %v", seq, err)
 			continue
@@ -220,7 +221,7 @@ func (st *Store) Recover(repo *pkggraph.Repo, cfg core.Config) (*core.Manager, *
 			continue // compacted into the checkpoint; stale file
 		}
 		rep.SegmentsScanned++
-		f, err := os.Open(st.segPath(seq))
+		f, err := st.opts.FS.Open(st.segPath(seq))
 		if err != nil {
 			rep.CorruptSegments++
 			rep.warn("segment %d unreadable: %v", seq, err)
@@ -252,7 +253,7 @@ func (st *Store) Recover(repo *pkggraph.Repo, cfg core.Config) (*core.Manager, *
 	// Open a fresh segment for post-recovery commits; earlier segments
 	// stay until the next checkpoint compacts them.
 	st.seq = maxSeq + 1
-	f, err := os.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := st.opts.FS.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -400,7 +401,7 @@ func (st *Store) rotateLocked() error {
 	}
 	st.markDurableLocked(st.appendSeq)
 	st.seq++
-	f, err := os.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := st.opts.FS.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: opening segment %d: %w", st.seq, err)
 	}
@@ -435,7 +436,7 @@ func (st *Store) Checkpoint(state core.ManagerState) (CheckpointInfo, error) {
 	}
 	now := time.Now()
 	path := st.ckptPath(st.seq)
-	if err := WriteCheckpointFile(path, Checkpoint{
+	if err := writeCheckpointFile(st.opts.FS, path, Checkpoint{
 		SavedUnixNano: now.UnixNano(),
 		WALSeq:        st.seq,
 		State:         state,
@@ -443,7 +444,7 @@ func (st *Store) Checkpoint(state core.ManagerState) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	info := CheckpointInfo{Seq: st.seq, Images: len(state.Images)}
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := st.opts.FS.Stat(path); err == nil {
 		info.Bytes = fi.Size()
 	}
 	st.lastCkptUnixNano.Store(now.UnixNano())
@@ -455,12 +456,12 @@ func (st *Store) Checkpoint(state core.ManagerState) (CheckpointInfo, error) {
 	if segs, ckpts, err := st.scan(); err == nil {
 		for _, seq := range segs {
 			if seq < info.Seq {
-				os.Remove(st.segPath(seq))
+				st.opts.FS.Remove(st.segPath(seq))
 			}
 		}
 		for _, seq := range ckpts {
 			if seq < info.Seq {
-				os.Remove(st.ckptPath(seq))
+				st.opts.FS.Remove(st.ckptPath(seq))
 			}
 		}
 	}

@@ -48,6 +48,55 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzSpecParse drives the parser against a realistic generated
+// repository (the tiered shape the harness uses) instead of FuzzParse's
+// two-package toy: family lookup, version disambiguation, and the
+// closure machinery all run on accepted input. Any accepted spec must
+// round-trip, stay canonical, and yield a closure that contains it.
+func FuzzSpecParse(f *testing.F) {
+	gen := pkggraph.DefaultGenConfig()
+	gen.CoreFamilies = 2
+	gen.FrameworkFamilies = 6
+	gen.LibraryFamilies = 18
+	gen.ApplicationFamilies = 34
+	repo := pkggraph.MustGenerate(gen, 1)
+	f.Add(repo.Package(0).Key() + "\n")
+	f.Add(repo.Package(0).Key() + "\n" + repo.Package(pkggraph.PkgID(repo.Len()-1)).Key() + "\n")
+	f.Add("# closure roots\n" + repo.Package(pkggraph.PkgID(repo.Len()/2)).Key() + "\n")
+	f.Add("no/such/package\n")
+	f.Add("\x00\n\xff\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseString(input, repo)
+		if err != nil {
+			return
+		}
+		ids := s.IDs()
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("non-canonical spec from %q", input)
+			}
+		}
+		closure := repo.Closure(ids)
+		if len(closure) < len(ids) {
+			t.Fatalf("closure of %d packages has only %d members", len(ids), len(closure))
+		}
+		if repo.SetSize(closure) < repo.SetSize(ids) {
+			t.Fatalf("closure smaller than its roots")
+		}
+		var sb stringsBuilder
+		if err := s.Write(&sb, repo); err != nil {
+			t.Fatalf("Write failed on accepted spec: %v", err)
+		}
+		back, err := ParseString(sb.String(), repo)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if !back.Equal(s) || back.Hash() != s.Hash() {
+			t.Fatalf("round trip changed spec: %v vs %v", back.IDs(), s.IDs())
+		}
+	})
+}
+
 // stringsBuilder is a minimal io.Writer over a string (avoids
 // importing strings just for Builder in a fuzz file).
 type stringsBuilder struct{ buf []byte }

@@ -93,6 +93,14 @@ func NewUniformRandom(repo *pkggraph.Repo, seed int64) *UniformRandom {
 	}
 }
 
+// SetCardinality bounds the initial selection size of the embedded
+// dependency-scheme generator (whose closure length sets this
+// generator's cardinalities). Harnesses over small repositories use it
+// to keep specs proportionate.
+func (g *UniformRandom) SetCardinality(min, max int) {
+	g.inner.MinInitial, g.inner.MaxInitial = min, max
+}
+
 // Next returns a structureless image with dependency-scheme cardinality.
 func (g *UniformRandom) Next() spec.Spec {
 	n := g.inner.Next().Len()
