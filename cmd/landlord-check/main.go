@@ -1,17 +1,22 @@
 // Command landlord-check drives the deterministic simulation and
 // invariant-checking harness (internal/check) from the command line:
 //
-//	landlord-check sim   -seed 1 [-steps 600]
-//	landlord-check soak  -seed 1 [-requests 50000] [-workers 8]
-//	landlord-check chaos -duration 10m [-seed 0]
+//	landlord-check sim      -seed 1 [-steps 600]
+//	landlord-check soak     -seed 1 [-requests 50000] [-workers 8]
+//	landlord-check netchaos -seed 1 [-steps 240]
+//	landlord-check chaos    -duration 10m [-seed 0]
 //
 // sim runs the canonical deterministic suite — two in-memory
 // simulations plus a persistent chaos run with checkpoints, prune
 // passes, injected filesystem faults and crash/recovery cycles — under
 // one seed. soak hammers one ConcurrentManager from many goroutines
 // with injected persist faults; run the binary built with -race for
-// full effect. chaos loops the whole harness over consecutive seeds
-// until the duration expires (the nightly soak).
+// full effect. netchaos drives a real HTTP server through a
+// fault-injecting transport (resets, truncation, latency, blackholes)
+// on top of disk faults and crashes, auditing the acked-request,
+// shed, and degraded-mode invariants. chaos loops the whole harness
+// over consecutive seeds until the duration expires (the nightly
+// soak).
 //
 // Every failure prints the seed and the exact `go test` command that
 // reproduces it bit-for-bit; the process exits non-zero.
@@ -37,6 +42,8 @@ func main() {
 		err = runSim(os.Args[2:])
 	case "soak":
 		err = runSoak(os.Args[2:])
+	case "netchaos":
+		err = runNetChaos(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	default:
@@ -50,11 +57,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|chaos> [flags]
 
-  sim   -seed N [-steps N]               deterministic suite + persistent chaos run
-  soak  -seed N [-requests N] [-workers N]  concurrent soak with injected persist faults
-  chaos -duration D [-seed N]            loop sim+soak over consecutive seeds (0 = from clock)`)
+  sim      -seed N [-steps N]               deterministic suite + persistent chaos run
+  soak     -seed N [-requests N] [-workers N]  concurrent soak with injected persist faults
+  netchaos -seed N [-steps N]               HTTP server under network + disk chaos
+  chaos    -duration D [-seed N]            loop sim+soak+netchaos over consecutive seeds (0 = from clock)`)
 }
 
 // suite runs the canonical deterministic schedule for one seed: the
@@ -130,6 +138,34 @@ func soak(seed int64, requests, workers int) error {
 	return nil
 }
 
+func runNetChaos(args []string) error {
+	fs := flag.NewFlagSet("netchaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "netchaos seed")
+	steps := fs.Int("steps", 0, "override the request count (0 = canonical 240)")
+	fs.Parse(args)
+	return netchaos(*seed, *steps)
+}
+
+func netchaos(seed int64, steps int) error {
+	dir, err := os.MkdirTemp("", "landlord-netchaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := check.NetChaosDefault(seed, dir)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	rep, f := check.RunNetChaos(cfg)
+	if f != nil {
+		return f
+	}
+	fmt.Printf("netchaos seed=%d steps=%d: acked=%d sheds=%d degraded=%d circuit_fast=%d net_errors=%d net_injected=%d disk_injected=%d crashes=%d heals=%d\n",
+		seed, rep.Steps, rep.Acked, rep.Sheds, rep.Degraded, rep.CircuitFast,
+		rep.NetErrors, rep.NetInjected, rep.DiskInjected, rep.Crashes, rep.Heals)
+	return nil
+}
+
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "base seed (0 = derived from the clock)")
@@ -148,6 +184,9 @@ func runChaos(args []string) error {
 			return err
 		}
 		if err := soak(s, 20000, 8); err != nil {
+			return err
+		}
+		if err := netchaos(s, 0); err != nil {
 			return err
 		}
 		iters++

@@ -80,10 +80,14 @@ func waitHealthy(t *testing.T, client *server.Client) {
 	t.Helper()
 	var last error
 	if !check.Poll(15*time.Second, func() bool {
-		last = client.Healthz() // retries 503 (recovering) internally
+		// Readiness, not liveness: /v1/healthz answers 200 the moment the
+		// listener is up, but /v1/readyz keeps 503ing until WAL recovery
+		// finishes (and through degraded mode), which is the state these
+		// tests must wait out.
+		last = client.Ready()
 		return last == nil
 	}) {
-		t.Fatalf("daemon not healthy in time: %v", last)
+		t.Fatalf("daemon not ready in time: %v", last)
 	}
 }
 

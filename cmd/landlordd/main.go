@@ -23,6 +23,15 @@
 // recovers the previous state — serving 503 until recovery completes —
 // so a crashed or restarted daemon does not re-pay the image build I/O
 // its cache already absorbed.
+//
+// Overload and failure protection (internal/resilience) is config
+// driven: shed_rate/shed_burst/shed_queue_depth arm token-bucket +
+// queue-depth admission control (429 + Retry-After before the cache
+// lock is touched), and degraded_probe_interval_ms schedules the
+// self-heal probe that brings a daemon whose WAL has gone sticky back
+// from read-only degraded mode. /v1/healthz is pure liveness (always
+// 200); /v1/readyz reports readiness and 503s while degraded or
+// recovering.
 package main
 
 import (
@@ -186,6 +195,16 @@ func main() {
 		srv.SetMaxInflight(site.MaxInflight)
 		log.Printf("landlordd: bounding concurrent cache requests at %d (max_inflight)", site.MaxInflight)
 	}
+	if site.ShedderEnabled() {
+		srv.SetAdmission(site.ShedderConfig())
+		log.Printf("landlordd: admission control on (shed_rate=%g shed_burst=%d shed_queue_depth=%d)",
+			site.ShedRate, site.ShedBurst, site.ShedQueueDepth)
+	}
+	stopProbe := func() {}
+	if store != nil && site.DegradedProbeInterval() > 0 {
+		stopProbe = srv.StartDegradedProbe(site.DegradedProbeInterval())
+		log.Printf("landlordd: degraded-mode heal probe every %v", site.DegradedProbeInterval())
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -248,6 +267,7 @@ func main() {
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("landlordd: drain incomplete: %v", err)
 		}
+		stopProbe()
 		if store != nil {
 			// Seal the durable state: checkpoint the drained cache, so
 			// the next start recovers instantly from a compact log.

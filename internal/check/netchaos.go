@@ -1,0 +1,332 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pkggraph"
+	"repro/internal/resilience"
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+// NetChaosConfig parameterizes one network-fault chaos run: a real
+// HTTP server over a persistent store, driven through a client whose
+// transport injects seeded connection resets, truncated bodies,
+// latency, and blackholes — on top of the usual disk faults and
+// crash/recovery cycles.
+//
+// Unlike RunSim, the report is not bit-for-bit reproducible (retry
+// counts depend on real scheduling); the contract is the invariants:
+// every request the client saw acknowledged is served as a hit after
+// every crash and recovery, a shed (429) never moves the request
+// counter, and a degraded server refuses what it cannot make durable.
+// The fault schedule itself is seeded, so a failure's seed replays the
+// same schedule shape.
+type NetChaosConfig struct {
+	Seed  int64
+	Steps int // client requests to issue
+	Alpha float64
+	// Dir roots the persistent store (required).
+	Dir string
+	// Net is the transport fault plan; zero probabilities mean a clean
+	// network.
+	Net resilience.ChaosPlan
+	// DiskFaults arms a seeded FaultPlan each process life.
+	DiskFaults bool
+	// CrashEvery is the mean gap, in requests, between crash/recovery
+	// cycles (0 disables; a final crash always runs).
+	CrashEvery int
+}
+
+// NetChaosReport summarizes one run's observed traffic.
+type NetChaosReport struct {
+	Steps        int
+	Acked        int // client-visible 200s on /v1/request
+	Sheds        int // 429s observed
+	Degraded     int // 503s observed while the store was failing
+	CircuitFast  int // calls failed fast by the client breaker
+	NetErrors    int   // calls lost to injected transport faults
+	NetInjected  int64 // faults the transport injected
+	DiskInjected int   // faults the filesystem injected
+	Crashes      int
+	Heals        int
+}
+
+// NetChaosDefault is the canonical network-chaos configuration for a
+// seed: moderate fault rates on every class, disk faults armed, a
+// crash roughly every 60 requests.
+func NetChaosDefault(seed int64, dir string) NetChaosConfig {
+	return NetChaosConfig{
+		Seed: seed, Steps: 240, Alpha: 0.6, Dir: dir,
+		Net: resilience.ChaosPlan{
+			Seed:         seed + 3,
+			ResetBeforeP: 0.05,
+			ResetAfterP:  0.03,
+			BlackholeP:   0.01,
+			TruncateP:    0.03,
+			LatencyP:     0.15,
+			MaxLatency:   2 * time.Millisecond,
+		},
+		DiskFaults: true,
+		CrashEvery: 60,
+	}
+}
+
+// ackedReq is one client-acknowledged request: the durability contract
+// says its spec must be served as a hit by every future process life.
+type ackedReq struct {
+	keys []string
+	step int
+}
+
+// RunNetChaos executes the network chaos schedule and audits the
+// acked-request invariant after every crash. It returns a nil Failure
+// on a clean run.
+func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
+	if cfg.Dir == "" {
+		return NetChaosReport{}, failf(cfg.Seed, 0, "netchaos: Dir is required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	repo := SmallRepo(cfg.Seed)
+	stream := NewStream(repo, cfg.Seed+1)
+	mcfg := core.Config{Alpha: cfg.Alpha} // unlimited capacity: acked specs can never be evicted
+
+	var rep NetChaosReport
+	var (
+		ffs    *FaultFS
+		store  *persist.Store
+		srv    *server.Server
+		ts     *httptest.Server
+		client *server.Client // through the chaos transport
+		audit  *server.Client // clean path for invariant audits
+	)
+	acked := make(map[string]ackedReq) // keyed by joined package keys
+
+	chaos := resilience.NewChaosTransport(http.DefaultTransport, cfg.Net)
+
+	// bootLife opens the store and recovers the server under one fault
+	// plan. An error here can be an injected boot-time fault, which the
+	// caller retries with a clean plan.
+	bootLife := func(plan FaultPlan) error {
+		ffs = NewFaultFS(plan)
+		var err error
+		store, err = persist.Open(cfg.Dir, persist.Options{
+			FS:           ffs,
+			SyncPolicy:   persist.FsyncAlways,
+			SegmentBytes: 16 << 10,
+		})
+		if err != nil {
+			return err
+		}
+		srv, _, err = server.NewPersistent(repo, mcfg, store, 25)
+		return err
+	}
+
+	boot := func(step int) *Failure {
+		var plan FaultPlan
+		if cfg.DiskFaults {
+			plan = simPlan(rng)
+		}
+		if err := bootLife(plan); err != nil {
+			// The armed fault fired during boot (open, replay, or the
+			// post-replay checkpoint). A fault-free reboot must succeed:
+			// the WAL on disk is still a recoverable history.
+			rep.DiskInjected += ffs.Injected()
+			if err := bootLife(FaultPlan{}); err != nil {
+				return failf(cfg.Seed, step, "netchaos: clean recovery failed: %v", err)
+			}
+		}
+		// Admission control generous enough that steady traffic flows,
+		// tight enough that bursts (the audit loop, retry storms) shed.
+		srv.SetAdmission(resilience.ShedderConfig{Rate: 2000, Burst: 64})
+		ts = httptest.NewServer(srv.Handler())
+
+		client = server.NewClient(ts.URL, &http.Client{Transport: chaos})
+		client.MaxRetries = 3
+		client.RetryBase = time.Millisecond
+		client.RetryCap = 4 * time.Millisecond
+		client.SetJitter(rng.Float64)
+		client.SetBreaker(resilience.NewBreaker(resilience.BreakerConfig{
+			Failures: 5, OpenFor: 5 * time.Millisecond,
+		}))
+		client.SetRetryBudget(resilience.NewRetryBudget(0.5, 20))
+
+		audit = server.NewClient(ts.URL, ts.Client())
+		audit.RetryBase = time.Millisecond
+		audit.RetryCap = 4 * time.Millisecond
+		return nil
+	}
+
+	// auditAcked re-requests every acknowledged spec through the clean
+	// client: each must be served as a hit — the image it was acked
+	// against (or a superset) survived the crash.
+	auditAcked := func(step int) *Failure {
+		if err := audit.Ready(); err != nil {
+			return failf(cfg.Seed, step, "netchaos: server not ready after recovery: %v", err)
+		}
+		for _, a := range acked {
+			res, err := requestNoShed(audit, a.keys)
+			if err != nil {
+				return failf(cfg.Seed, step, "netchaos: acked request from step %d unservable after recovery: %v", a.step, err)
+			}
+			if res.Op != "hit" {
+				return failf(cfg.Seed, step,
+					"netchaos: acked request from step %d lost: post-recovery op %q (spec %s)",
+					a.step, res.Op, strings.Join(a.keys, ","))
+			}
+		}
+		return nil
+	}
+
+	crash := func(step int) *Failure {
+		mode := CrashKill
+		if rng.Float64() < 0.5 {
+			mode = CrashPower
+		}
+		if err := ffs.Crash(mode, rng.Int63n(64)); err != nil {
+			return failf(cfg.Seed, step, "netchaos: crashing: %v", err)
+		}
+		ts.Close()
+		rep.Crashes++
+		rep.DiskInjected += ffs.Injected()
+		if f := boot(step); f != nil {
+			return f
+		}
+		return auditAcked(step)
+	}
+
+	if f := boot(0); f != nil {
+		return rep, f
+	}
+	defer func() {
+		ts.Close()
+		store.Close()
+	}()
+
+	event := func(mean int) bool {
+		return mean > 0 && rng.Float64() < 1/float64(mean)
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		if event(cfg.CrashEvery) {
+			if f := crash(step); f != nil {
+				return rep, f
+			}
+		}
+		// Self-healing: when the store has gone sticky (injected disk
+		// fault), probe. FaultFS faults are one-shot, so a heal usually
+		// lands; a heal that hits another armed fault stays degraded and
+		// is retried next time.
+		if store.Err() != nil {
+			if err := srv.ProbeDegradedNow(); err == nil {
+				rep.Heals++
+				if !srv.Ready() {
+					return rep, failf(cfg.Seed, step, "netchaos: healed server not ready")
+				}
+			}
+		}
+
+		if step%10 == 9 {
+			// Exercise the idempotent retry path too.
+			if _, err := statsCtx(client); err != nil {
+				classify(err, &rep)
+			}
+			continue
+		}
+
+		keys := keysOf(repo, stream.Next())
+		before := srv.StatsNow().Requests
+		ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+		res, err := client.RequestCtx(ctx, keys, false)
+		cancel()
+		rep.Steps++
+		if err != nil {
+			if isStatus(err, http.StatusTooManyRequests) {
+				// Shed invariant: a 429 never moves the request counter.
+				if after := srv.StatsNow().Requests; after != before {
+					return rep, failf(cfg.Seed, step,
+						"netchaos: shed request mutated the cache (requests %d -> %d)", before, after)
+				}
+			}
+			classify(err, &rep)
+			continue
+		}
+		if res.Op == "" {
+			return rep, failf(cfg.Seed, step, "netchaos: 200 with empty op")
+		}
+		rep.Acked++
+		acked[strings.Join(keys, ",")] = ackedReq{keys: keys, step: step}
+	}
+
+	// Final crash: every run ends with a recovery audit.
+	if f := crash(cfg.Steps); f != nil {
+		return rep, f
+	}
+	rep.NetInjected = chaos.Injected()
+	rep.DiskInjected += ffs.Injected()
+	return rep, nil
+}
+
+// requestNoShed submits through the audit client, absorbing admission
+// 429s (the shedder's token bucket refills within milliseconds; a
+// bounded number of polite retries always lands).
+func requestNoShed(c *server.Client, keys []string) (server.RequestResponse, error) {
+	var res server.RequestResponse
+	var err error
+	for i := 0; i < 50; i++ {
+		res, err = c.Request(keys, false)
+		if !isStatus(err, http.StatusTooManyRequests) {
+			return res, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return res, err
+}
+
+// statsCtx fetches /v1/stats under a bounded deadline.
+func statsCtx(c *server.Client) (server.StatsResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	var out server.StatsResponse
+	err := c.DoCtx(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// classify buckets a failed call for the report.
+func classify(err error, rep *NetChaosReport) {
+	switch {
+	case server.IsCircuitOpen(err):
+		rep.CircuitFast++
+	case isStatus(err, http.StatusTooManyRequests):
+		rep.Sheds++
+	case isStatus(err, http.StatusServiceUnavailable):
+		rep.Degraded++
+	default:
+		rep.NetErrors++
+	}
+}
+
+// isStatus reports whether err is a *server.StatusError with the given
+// code.
+func isStatus(err error, status int) bool {
+	var se *server.StatusError
+	return errors.As(err, &se) && se.Status == status
+}
+
+// keysOf renders a spec as the package keys the HTTP API accepts.
+func keysOf(repo *pkggraph.Repo, s spec.Spec) []string {
+	ids := s.IDs()
+	keys := make([]string, 0, len(ids))
+	for _, id := range ids {
+		keys = append(keys, repo.Package(id).Key())
+	}
+	return keys
+}

@@ -152,6 +152,12 @@ type Site struct {
 
 	next int // round-robin dispatch cursor
 	jobs int64
+
+	// Worker health circuits (health.go): nil until SetHealthPolicy.
+	healthPolicy   HealthPolicy
+	health         []workerHealth
+	coldMigrations int64
+	circuitOpens   int64
 }
 
 // NewSite builds a site over repo.
@@ -178,14 +184,15 @@ type SiteResult struct {
 	Transferred int64 // bytes shipped head node -> worker for this job
 }
 
-// Submit prepares an image for the job and runs it on the next worker.
+// Submit prepares an image for the job and runs it on the next worker
+// whose circuit admits it (see SetHealthPolicy; without a policy the
+// rotation is plain round-robin).
 func (s *Site) Submit(job spec.Spec) (SiteResult, error) {
 	res, err := s.Manager.Request(job)
 	if err != nil {
 		return SiteResult{}, err
 	}
-	w := s.Workers[s.next]
-	s.next = (s.next + 1) % len(s.Workers)
+	w := s.pickWorker()
 	s.jobs++
 	transferred := w.Run(res.ImageID, res.ImageVersion, res.ImageSize)
 	return SiteResult{

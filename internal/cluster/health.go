@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/resilience"
+)
+
+// HealthPolicy configures per-worker circuit breaking at a site. The
+// cluster model has no wall clock — simulations must be reproducible —
+// so the cool-down is measured in site jobs: an open worker rejoins
+// the rotation (half-open, as a probe) after the site has dispatched
+// CooldownJobs jobs elsewhere.
+type HealthPolicy struct {
+	// Failures is the number of consecutive job failures that opens a
+	// worker's circuit (default 3).
+	Failures int
+	// CooldownJobs is how many site jobs the circuit stays open before
+	// the worker is probed again (default 10).
+	CooldownJobs int64
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.Failures <= 0 {
+		p.Failures = 3
+	}
+	if p.CooldownJobs <= 0 {
+		p.CooldownJobs = 10
+	}
+	return p
+}
+
+// workerHealth is one worker's circuit, driven by reported job
+// outcomes and the site's job counter.
+type workerHealth struct {
+	state    resilience.BreakerState
+	fails    int   // consecutive failures while closed
+	openedAt int64 // site job count when the circuit opened
+}
+
+// SetHealthPolicy enables worker circuit breaking: job outcomes
+// reported via ReportJobSuccess/ReportJobFailure open and close
+// per-worker circuits, and Submit cold-migrates jobs off open-circuit
+// workers. Call before submitting; the zero-value site runs without
+// health tracking (every worker always eligible).
+func (s *Site) SetHealthPolicy(p HealthPolicy) {
+	s.healthPolicy = p.withDefaults()
+	s.health = make([]workerHealth, len(s.Workers))
+}
+
+// ReportJobFailure records that the job dispatched to worker id failed
+// at the worker (its daemon unreachable, image corrupt on arrival —
+// any outcome the batch system attributes to the node). Enough
+// consecutive failures open the worker's circuit; a failure during a
+// half-open probe re-opens it immediately.
+func (s *Site) ReportJobFailure(id int) error {
+	h, err := s.workerHealth(id)
+	if err != nil || h == nil {
+		return err
+	}
+	switch h.state {
+	case resilience.BreakerClosed:
+		h.fails++
+		if h.fails >= s.healthPolicy.Failures {
+			s.openCircuit(h)
+		}
+	case resilience.BreakerHalfOpen:
+		s.openCircuit(h)
+	}
+	return nil
+}
+
+// ReportJobSuccess records a successful job on worker id: a closed
+// circuit forgets accumulated failures, a half-open probe success
+// closes the circuit.
+func (s *Site) ReportJobSuccess(id int) error {
+	h, err := s.workerHealth(id)
+	if err != nil || h == nil {
+		return err
+	}
+	switch h.state {
+	case resilience.BreakerClosed:
+		h.fails = 0
+	case resilience.BreakerHalfOpen:
+		h.state = resilience.BreakerClosed
+		h.fails = 0
+	}
+	return nil
+}
+
+// WorkerCircuit returns worker id's circuit state (always closed when
+// no health policy is installed).
+func (s *Site) WorkerCircuit(id int) (resilience.BreakerState, error) {
+	h, err := s.workerHealth(id)
+	if err != nil || h == nil {
+		return resilience.BreakerClosed, err
+	}
+	s.maybeHalfOpen(h)
+	return h.state, nil
+}
+
+// ColdMigrations counts jobs rerouted off an open-circuit worker: the
+// job runs, but on a node that likely has a cold image cache, so the
+// transfer cost resurfaces. This is the price of routing around
+// failures, surfaced so operators can see circuit churn in transfer
+// accounting.
+func (s *Site) ColdMigrations() int64 { return s.coldMigrations }
+
+func (s *Site) workerHealth(id int) (*workerHealth, error) {
+	if s.health == nil {
+		return nil, nil
+	}
+	if id < 0 || id >= len(s.health) {
+		return nil, fmt.Errorf("cluster: site %q has no worker %d", s.Name, id)
+	}
+	return &s.health[id], nil
+}
+
+func (s *Site) openCircuit(h *workerHealth) {
+	h.state = resilience.BreakerOpen
+	h.fails = 0
+	h.openedAt = s.jobs
+	s.circuitOpens++
+}
+
+// maybeHalfOpen promotes an open circuit whose cool-down has elapsed:
+// the worker becomes eligible again, and its next job is the probe.
+func (s *Site) maybeHalfOpen(h *workerHealth) {
+	if h.state == resilience.BreakerOpen && s.jobs-h.openedAt >= s.healthPolicy.CooldownJobs {
+		h.state = resilience.BreakerHalfOpen
+	}
+}
+
+// pickWorker advances the round-robin cursor to the next worker whose
+// circuit admits a job. Skipping an open-circuit worker is a cold
+// migration. When every circuit is open, the cursor's worker is used
+// anyway: a site cannot refuse its job stream, it can only place
+// badly — and the forced dispatch doubles as a probe.
+func (s *Site) pickWorker() *Worker {
+	n := len(s.Workers)
+	idx := s.next
+	s.next = (s.next + 1) % n
+	if s.health == nil {
+		return s.Workers[idx]
+	}
+	migrated := false
+	for off := 0; off < n; off++ {
+		i := (idx + off) % n
+		h := &s.health[i]
+		s.maybeHalfOpen(h)
+		if h.state != resilience.BreakerOpen {
+			if migrated {
+				s.coldMigrations++
+				// Advance past the worker we settled on, not the one we
+				// started from, so the rotation does not immediately
+				// re-land on the open circuit.
+				s.next = (i + 1) % n
+			}
+			return s.Workers[i]
+		}
+		migrated = true
+	}
+	// All circuits open: force the original placement as a probe.
+	s.health[idx].state = resilience.BreakerHalfOpen
+	return s.Workers[idx]
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+func healthSite(t testing.TB, workers int) *Site {
+	t.Helper()
+	site, err := NewSite(flatRepo(t, 4, 100), SiteConfig{
+		Name: "s", Core: core.Config{Alpha: 0.5}, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// TestWorkerCircuitColdMigration: consecutive failures open a worker's
+// circuit, the rotation routes around it (counting cold migrations),
+// and after the job-count cool-down the worker is probed back in.
+func TestWorkerCircuitColdMigration(t *testing.T) {
+	site := healthSite(t, 3)
+	site.SetHealthPolicy(HealthPolicy{Failures: 2, CooldownJobs: 3})
+
+	submit := func() int {
+		t.Helper()
+		res, err := site.Submit(sp(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Worker
+	}
+
+	if w := submit(); w != 0 {
+		t.Fatalf("first job on worker %d, want 0", w)
+	}
+
+	// Worker 1's daemon dies: two consecutive failures open its circuit.
+	if err := site.ReportJobFailure(1); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerClosed {
+		t.Fatalf("circuit = %v after one failure, want closed", st)
+	}
+	if err := site.ReportJobFailure(1); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerOpen {
+		t.Fatalf("circuit = %v after %d failures, want open", 2, st)
+	}
+
+	// The rotation skips worker 1 while its circuit is open, then the
+	// cool-down (3 site jobs) elapses and worker 1 takes a probe job.
+	want := []int{2, 0, 2, 0, 1}
+	for i, w := range want {
+		if got := submit(); got != w {
+			t.Fatalf("job %d on worker %d, want %d (routing around the open circuit)", i, got, w)
+		}
+	}
+	if got := site.ColdMigrations(); got != 2 {
+		t.Errorf("cold migrations = %d, want 2", got)
+	}
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerHalfOpen {
+		t.Fatalf("probed worker circuit = %v, want half-open", st)
+	}
+
+	// The probe succeeds: the circuit closes and the worker rejoins the
+	// rotation for good.
+	if err := site.ReportJobSuccess(1); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerClosed {
+		t.Fatalf("post-probe circuit = %v, want closed", st)
+	}
+
+	rep := mustReport(t, site)
+	if rep.PerSite[0].ColdMigrations != 2 || rep.PerSite[0].CircuitOpens != 1 {
+		t.Errorf("report: migrations %d opens %d, want 2 and 1",
+			rep.PerSite[0].ColdMigrations, rep.PerSite[0].CircuitOpens)
+	}
+	if rep.ColdMigrations != 2 {
+		t.Errorf("aggregate cold migrations = %d, want 2", rep.ColdMigrations)
+	}
+}
+
+// TestWorkerProbeFailureReopens: a failure during the half-open probe
+// re-opens the circuit immediately, no failure accumulation.
+func TestWorkerProbeFailureReopens(t *testing.T) {
+	site := healthSite(t, 2)
+	site.SetHealthPolicy(HealthPolicy{Failures: 1, CooldownJobs: 1})
+
+	site.ReportJobFailure(1)
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerOpen {
+		t.Fatalf("circuit = %v, want open (Failures=1)", st)
+	}
+	// Two jobs elapse the 1-job cool-down; worker 1 probes and fails.
+	site.Submit(sp(0))
+	site.Submit(sp(0))
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerHalfOpen {
+		t.Fatalf("circuit = %v after cool-down, want half-open", st)
+	}
+	site.ReportJobFailure(1)
+	if st, _ := site.WorkerCircuit(1); st != resilience.BreakerOpen {
+		t.Fatalf("circuit = %v after failed probe, want open", st)
+	}
+	if site.circuitOpens != 2 {
+		t.Errorf("circuit opens = %d, want 2", site.circuitOpens)
+	}
+}
+
+// TestAllCircuitsOpenForcesDispatch: a site never refuses its job
+// stream — with every circuit open, the original placement is forced
+// and doubles as the probe.
+func TestAllCircuitsOpenForcesDispatch(t *testing.T) {
+	site := healthSite(t, 1)
+	site.SetHealthPolicy(HealthPolicy{Failures: 1, CooldownJobs: 100})
+
+	site.ReportJobFailure(0)
+	res, err := site.Submit(sp(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Worker != 0 {
+		t.Fatalf("forced dispatch on worker %d, want 0", res.Worker)
+	}
+	if st, _ := site.WorkerCircuit(0); st != resilience.BreakerHalfOpen {
+		t.Fatalf("forced dispatch left circuit %v, want half-open (it is the probe)", st)
+	}
+	if site.ColdMigrations() != 0 {
+		t.Errorf("forced dispatch counted as a migration")
+	}
+	if err := site.ReportJobSuccess(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := site.WorkerCircuit(0); st != resilience.BreakerClosed {
+		t.Fatalf("circuit = %v after probe success, want closed", st)
+	}
+}
+
+// TestHealthPolicyOptional: without SetHealthPolicy, outcome reports
+// are accepted no-ops and every circuit reads closed.
+func TestHealthPolicyOptional(t *testing.T) {
+	site := healthSite(t, 2)
+	if err := site.ReportJobFailure(0); err != nil {
+		t.Fatalf("report without policy: %v", err)
+	}
+	if st, err := site.WorkerCircuit(0); err != nil || st != resilience.BreakerClosed {
+		t.Fatalf("circuit without policy = %v (%v), want closed", st, err)
+	}
+	site.SetHealthPolicy(HealthPolicy{})
+	if err := site.ReportJobFailure(7); err == nil {
+		t.Fatal("unknown worker id accepted")
+	}
+	if site.healthPolicy.Failures != 3 || site.healthPolicy.CooldownJobs != 10 {
+		t.Errorf("defaults = %+v", site.healthPolicy)
+	}
+}
+
+func mustReport(t testing.TB, sites ...*Site) Report {
+	t.Helper()
+	c, err := New(sites, &RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Report()
+}

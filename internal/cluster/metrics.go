@@ -39,4 +39,8 @@ func (s *Site) RegisterMetrics(reg *telemetry.Registry) {
 		func() float64 { return float64(s.WorkerTransferredBytes()) }, label)
 	reg.GaugeFunc("landlord_site_local_hit_rate", "Fraction of jobs reusing a worker-local image copy",
 		func() float64 { return s.WorkerLocalHitRate() }, label)
+	reg.GaugeFunc("landlord_site_cold_migrations", "Jobs rerouted off open-circuit workers",
+		func() float64 { return float64(s.coldMigrations) }, label)
+	reg.GaugeFunc("landlord_site_circuit_opens", "Worker circuit-open transitions at the site",
+		func() float64 { return float64(s.circuitOpens) }, label)
 }

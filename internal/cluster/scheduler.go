@@ -99,6 +99,9 @@ type Report struct {
 	WorkerTransferredBytes int64
 	// WorkerLocalHitRate is the job-weighted local reuse rate.
 	WorkerLocalHitRate float64
+	// ColdMigrations counts jobs rerouted off open-circuit workers
+	// (zero without a health policy).
+	ColdMigrations int64
 	// PerSite holds one row per site.
 	PerSite []SiteReport
 }
@@ -113,6 +116,8 @@ type SiteReport struct {
 	HeadBytesWritten   int64
 	WorkerTransferred  int64
 	WorkerLocalHitRate float64
+	ColdMigrations     int64
+	CircuitOpens       int64
 }
 
 // RunStream submits every job in the stream and returns the aggregate
@@ -141,11 +146,14 @@ func (c *Cluster) Report() Report {
 			HeadBytesWritten:   st.BytesWritten,
 			WorkerTransferred:  s.WorkerTransferredBytes(),
 			WorkerLocalHitRate: s.WorkerLocalHitRate(),
+			ColdMigrations:     s.coldMigrations,
+			CircuitOpens:       s.circuitOpens,
 		}
 		rep.PerSite = append(rep.PerSite, sr)
 		rep.Jobs += sr.Jobs
 		rep.HeadBytesWritten += sr.HeadBytesWritten
 		rep.WorkerTransferredBytes += sr.WorkerTransferred
+		rep.ColdMigrations += sr.ColdMigrations
 		for _, w := range s.Workers {
 			jobs += w.stats.Jobs
 			hits += w.stats.LocalHits

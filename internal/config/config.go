@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pkggraph"
+	"repro/internal/resilience"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -70,6 +71,33 @@ type Site struct {
 	CheckpointEveryRequests int `json:"checkpoint_every_requests"`
 	// WALSegmentMB rotates WAL segments at this size (default 4 MB).
 	WALSegmentMB int `json:"wal_segment_mb"`
+
+	// Admission control (internal/resilience): requests beyond the
+	// token-bucket rate or the queue depth are refused with 429 +
+	// Retry-After before they consume a connection or the cache lock.
+	// ShedRate is admitted requests/second (0 disables rate shedding);
+	// ShedBurst the bucket burst (default: the rate); ShedQueueDepth
+	// the maximum concurrently admitted requests (0 = unbounded).
+	ShedRate       float64 `json:"shed_rate"`
+	ShedBurst      int     `json:"shed_burst"`
+	ShedQueueDepth int     `json:"shed_queue_depth"`
+
+	// DegradedProbeIntervalMS is how often a daemon whose WAL has gone
+	// sticky attempts a heal probe (fresh segment + full checkpoint).
+	// Only meaningful with StateDir; 0 disables self-healing (default
+	// 1000ms).
+	DegradedProbeIntervalMS int `json:"degraded_probe_interval_ms"`
+
+	// Client resilience defaults for tooling built against this site:
+	// the retry-budget deposit ratio (retries per initial request a
+	// sustained brown-out may cost, default 0.2) and the circuit
+	// breaker around every exchange (consecutive failures to open,
+	// cool-down, half-open probe count). Zero values take the
+	// internal/resilience defaults.
+	RetryBudget     float64 `json:"retry_budget"`
+	BreakerFailures int     `json:"breaker_failures"`
+	BreakerOpenMS   int     `json:"breaker_open_ms"`
+	BreakerProbes   int     `json:"breaker_probes"`
 }
 
 // Default returns the configuration the daemon uses with no file.
@@ -77,10 +105,11 @@ func Default() Site {
 	alpha := 0.8
 	minhash := true
 	return Site{
-		Addr:     ":8080",
-		Alpha:    &alpha,
-		RepoSeed: 1,
-		MinHash:  &minhash,
+		Addr:                    ":8080",
+		Alpha:                   &alpha,
+		RepoSeed:                1,
+		MinHash:                 &minhash,
+		DegradedProbeIntervalMS: 1000,
 	}
 }
 
@@ -148,7 +177,58 @@ func (s Site) Validate() error {
 	if s.WALSegmentMB < 0 {
 		return fmt.Errorf("wal_segment_mb must be non-negative")
 	}
+	if s.ShedRate < 0 {
+		return fmt.Errorf("shed_rate must be non-negative")
+	}
+	if s.ShedBurst < 0 {
+		return fmt.Errorf("shed_burst must be non-negative")
+	}
+	if s.ShedQueueDepth < 0 {
+		return fmt.Errorf("shed_queue_depth must be non-negative")
+	}
+	if s.ShedBurst > 0 && s.ShedRate <= 0 {
+		return fmt.Errorf("shed_burst without shed_rate has no effect; set shed_rate")
+	}
+	if s.DegradedProbeIntervalMS < 0 {
+		return fmt.Errorf("degraded_probe_interval_ms must be non-negative")
+	}
+	if s.RetryBudget < 0 || s.RetryBudget > 1 {
+		return fmt.Errorf("retry_budget %v out of range [0,1]", s.RetryBudget)
+	}
+	if s.BreakerFailures < 0 || s.BreakerOpenMS < 0 || s.BreakerProbes < 0 {
+		return fmt.Errorf("breaker_* values must be non-negative")
+	}
 	return nil
+}
+
+// ShedderEnabled reports whether the site configures admission control.
+func (s Site) ShedderEnabled() bool {
+	return s.ShedRate > 0 || s.ShedQueueDepth > 0
+}
+
+// ShedderConfig assembles the admission-control configuration. Only
+// meaningful when ShedderEnabled.
+func (s Site) ShedderConfig() resilience.ShedderConfig {
+	return resilience.ShedderConfig{
+		Rate:       s.ShedRate,
+		Burst:      s.ShedBurst,
+		QueueDepth: s.ShedQueueDepth,
+	}
+}
+
+// DegradedProbeInterval is the heal-probe cadence (0 = disabled).
+func (s Site) DegradedProbeInterval() time.Duration {
+	return time.Duration(s.DegradedProbeIntervalMS) * time.Millisecond
+}
+
+// BreakerConfig assembles the client circuit-breaker configuration the
+// site recommends; zero fields take the resilience defaults.
+func (s Site) BreakerConfig() resilience.BreakerConfig {
+	return resilience.BreakerConfig{
+		Failures: s.BreakerFailures,
+		OpenFor:  time.Duration(s.BreakerOpenMS) * time.Millisecond,
+		Probes:   s.BreakerProbes,
+	}
 }
 
 // PersistOptions assembles the durability options for the state

@@ -89,6 +89,73 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := Load(writeConfig(t, `{"max_inflight": -4}`)); err == nil {
 		t.Error("negative max_inflight accepted")
 	}
+	if _, err := Load(writeConfig(t, `{"shed_rate": -1}`)); err == nil {
+		t.Error("negative shed_rate accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"shed_burst": -1}`)); err == nil {
+		t.Error("negative shed_burst accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"shed_queue_depth": -1}`)); err == nil {
+		t.Error("negative shed_queue_depth accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"shed_burst": 10}`)); err == nil {
+		t.Error("shed_burst without shed_rate accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"degraded_probe_interval_ms": -1}`)); err == nil {
+		t.Error("negative degraded_probe_interval_ms accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"retry_budget": 1.5}`)); err == nil {
+		t.Error("retry_budget > 1 accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"breaker_open_ms": -1}`)); err == nil {
+		t.Error("negative breaker_open_ms accepted")
+	}
+}
+
+func TestResilienceConfig(t *testing.T) {
+	s, err := Load(writeConfig(t, `{
+		"shed_rate": 500,
+		"shed_burst": 100,
+		"shed_queue_depth": 64,
+		"degraded_probe_interval_ms": 250,
+		"retry_budget": 0.3,
+		"breaker_failures": 4,
+		"breaker_open_ms": 2000,
+		"breaker_probes": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ShedderEnabled() {
+		t.Fatal("shedder not enabled")
+	}
+	sc := s.ShedderConfig()
+	if sc.Rate != 500 || sc.Burst != 100 || sc.QueueDepth != 64 {
+		t.Fatalf("shedder config: %+v", sc)
+	}
+	if s.DegradedProbeInterval() != 250*time.Millisecond {
+		t.Errorf("probe interval = %v, want 250ms", s.DegradedProbeInterval())
+	}
+	bc := s.BreakerConfig()
+	if bc.Failures != 4 || bc.OpenFor != 2*time.Second || bc.Probes != 2 {
+		t.Fatalf("breaker config: %+v", bc)
+	}
+	if s.RetryBudget != 0.3 {
+		t.Errorf("retry_budget = %v, want 0.3", s.RetryBudget)
+	}
+
+	// Defaults: no shedding, probe on at 1s, zero-value client knobs
+	// defer to internal/resilience defaults.
+	d := Default()
+	if d.ShedderEnabled() {
+		t.Error("default config sheds")
+	}
+	if d.DegradedProbeInterval() != time.Second {
+		t.Errorf("default probe interval = %v, want 1s", d.DegradedProbeInterval())
+	}
+	if bc := d.BreakerConfig(); bc.Failures != 0 || bc.OpenFor != 0 || bc.Probes != 0 {
+		t.Errorf("default breaker config not zero: %+v", bc)
+	}
 }
 
 func TestMaxInflight(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,8 +132,23 @@ func (c *ConcurrentManager) lock() {
 // another writer may have inserted a satisfying image in the window
 // between the two locks).
 func (c *ConcurrentManager) Request(s spec.Spec) (Result, error) {
+	return c.RequestCtx(context.Background(), s)
+}
+
+// RequestCtx is Request with deadline/cancellation awareness: the
+// context is checked before the fast path, before queueing on the
+// write lock, and again immediately after acquiring it — an expired
+// request aborts *before* mutating anything, never mid-merge. Once the
+// slow-path algorithm starts, it runs to completion (a half-applied
+// merge is worse than a late one); expiry between the WAL append and
+// the response is the client's problem, which is exactly why the
+// durability audit counts only acked responses.
+func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result, error) {
 	if s.Empty() {
 		return Result{}, errEmptySpec()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	m := c.m
 	// Pure pre-computation: no locks needed, Repo and Spec are
@@ -183,11 +199,49 @@ func (c *ConcurrentManager) Request(s spec.Spec) (Result, error) {
 	// Slow path: the full algorithm under exclusion. Reuses the
 	// single-threaded Request verbatim — including its own phase-1
 	// rescan — so the decision procedure has exactly one
-	// implementation.
+	// implementation. The second ctx check catches deadlines that
+	// expired while this request queued behind the write lock — the
+	// common shape under overload, and the window where aborting still
+	// costs nothing.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	c.lock()
+	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
+		return Result{}, err
+	}
 	res, err := m.Request(s)
 	c.mu.Unlock()
 	return res, err
+}
+
+// PeekHit answers "would this spec hit?" with zero mutation: no clock
+// bump, no stats, no LRU touch, no commit-hook call. It exists for
+// degraded-mode serving — when the WAL is broken the server may still
+// answer superset hits from memory, but it must not generate mutations
+// it cannot make durable. The returned Result carries Seq 0 since the
+// request was never linearized into the mutation order.
+func (c *ConcurrentManager) PeekHit(s spec.Spec) (Result, bool) {
+	if s.Empty() {
+		return Result{}, false
+	}
+	m := c.m
+	sig := m.sign(s)
+	reqBytes := s.Size(m.repo)
+	c.rlock()
+	defer c.mu.RUnlock()
+	img := m.findSuperset(s, sig, nil)
+	if img == nil {
+		return Result{}, false
+	}
+	return Result{
+		Op:           OpHit,
+		ImageID:      img.ID,
+		ImageVersion: img.Version,
+		ImageSize:    img.Size,
+		RequestBytes: reqBytes,
+	}, true
 }
 
 // WithShared runs fn with the cache quiescent for reading: the read

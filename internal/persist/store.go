@@ -46,6 +46,18 @@ type Store struct {
 	flushing   bool       // a leader's fsync is in flight
 	flushCond  *sync.Cond // on mu; signaled whenever durableSeq advances
 
+	// Taint tracking for degraded-mode serving: pending holds the
+	// image IDs of insert/merge records appended but not yet known
+	// durable (a prefix-ordered queue drained by markDurableLocked);
+	// when the store fails they move to tainted, joined by every
+	// insert/merge dropped while sticky. A tainted image exists in
+	// memory but is not guaranteed to survive a crash, so a degraded
+	// server must refuse to ack hits on it (see Tainted). Heal clears
+	// both — its full-state checkpoint re-covers everything.
+	pending []pendingRec
+	tainted map[uint64]struct{}
+	heals   int64
+
 	lastCkptUnixNano atomic.Int64
 
 	// Metric series; nil until RegisterMetrics.
@@ -53,10 +65,20 @@ type Store struct {
 	walBytes    *telemetry.Counter
 	walErrors   *telemetry.Counter
 	checkpoints *telemetry.Counter
+	healsCtr    *telemetry.Counter
 	batchHist   *telemetry.Histogram
 }
 
-var errNotRecovered = errors.New("persist: store not recovered; call Recover before Commit")
+// pendingRec is one appended-but-not-yet-durable insert/merge record.
+type pendingRec struct {
+	seq uint64 // append sequence of the record
+	id  uint64 // image whose existence the record establishes
+}
+
+var (
+	errNotRecovered = errors.New("persist: store not recovered; call Recover before Commit")
+	errClosed       = errors.New("persist: store closed")
+)
 
 // Open prepares a store over dir, creating it if needed. No files are
 // opened until Recover.
@@ -65,7 +87,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, opts: opts}
+	st := &Store{dir: dir, opts: opts, tainted: make(map[uint64]struct{})}
 	st.flushCond = sync.NewCond(&st.mu)
 	return st, nil
 }
@@ -282,21 +304,25 @@ func (st *Store) Commit(mut core.Mutation) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.sticky != nil {
+		st.taintLocked(mut)
 		return
 	}
 	if st.f == nil {
 		st.fail(errNotRecovered)
+		st.taintLocked(mut)
 		return
 	}
 	buf, err := EncodeRecord(st.buf[:0], mut)
 	st.buf = buf
 	if err != nil {
 		st.fail(fmt.Errorf("persist: encoding mutation: %w", err))
+		st.taintLocked(mut)
 		return
 	}
 	if st.segBytes > 0 && st.segBytes+int64(len(buf)) > st.opts.SegmentBytes {
 		if err := st.rotateLocked(); err != nil {
 			st.fail(err)
+			st.taintLocked(mut)
 			return
 		}
 	}
@@ -304,9 +330,14 @@ func (st *Store) Commit(mut core.Mutation) {
 	st.segBytes += int64(n)
 	if err != nil {
 		st.fail(fmt.Errorf("persist: appending WAL record: %w", err))
+		// The record may be torn on disk; not durable either way.
+		st.taintLocked(mut)
 		return
 	}
 	st.appendSeq++
+	if mut.Kind == core.MutInsert || mut.Kind == core.MutMerge {
+		st.pending = append(st.pending, pendingRec{seq: st.appendSeq, id: mut.ImageID})
+	}
 	if st.walRecords != nil {
 		st.walRecords.Inc()
 		st.walBytes.Add(int64(n))
@@ -372,21 +403,73 @@ func (st *Store) WaitDurable() error {
 	return st.sticky
 }
 
-// markDurableLocked advances the durable watermark and wakes waiters.
+// markDurableLocked advances the durable watermark, clears pending
+// taint candidates the watermark now covers, and wakes waiters.
 func (st *Store) markDurableLocked(seq uint64) {
 	if seq > st.durableSeq {
 		st.durableSeq = seq
 	}
+	i := 0
+	for i < len(st.pending) && st.pending[i].seq <= st.durableSeq {
+		i++
+	}
+	if i > 0 {
+		st.pending = append(st.pending[:0], st.pending[i:]...)
+	}
 	st.flushCond.Broadcast()
+}
+
+// taintLocked records that mut was dropped or left non-durable; only
+// insert/merge records matter — a dropped touch loses an LRU stamp,
+// and a dropped delete/split leaves the on-disk image a superset of
+// memory, both safe to serve from after a crash.
+func (st *Store) taintLocked(mut core.Mutation) {
+	if mut.Kind == core.MutInsert || mut.Kind == core.MutMerge {
+		st.tainted[mut.ImageID] = struct{}{}
+	}
 }
 
 func (st *Store) fail(err error) {
 	st.sticky = err
+	// Everything appended but not yet durable is now suspect.
+	for _, p := range st.pending {
+		st.tainted[p.id] = struct{}{}
+	}
+	st.pending = st.pending[:0]
 	if st.walErrors != nil {
 		st.walErrors.Inc()
 	}
 	// Unblock group-commit waiters; they return the sticky error.
 	st.flushCond.Broadcast()
+}
+
+// Tainted reports whether an acked response naming image id could be
+// lost in a crash: the record establishing the image was dropped or
+// never made durable. Degraded-mode serving consults this before
+// answering hits from memory.
+func (st *Store) Tainted(id uint64) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.tainted[id]; ok {
+		return true
+	}
+	// While the store is failing, appended-but-unflushed records are
+	// just as suspect as dropped ones.
+	if st.sticky != nil {
+		for _, p := range st.pending {
+			if p.id == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TaintedCount returns how many images are currently tainted.
+func (st *Store) TaintedCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.tainted)
 }
 
 // rotateLocked seals the current segment (flush + fsync + close) and
@@ -403,7 +486,13 @@ func (st *Store) rotateLocked() error {
 	st.seq++
 	f, err := st.opts.FS.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
-		return fmt.Errorf("persist: opening segment %d: %w", st.seq, err)
+		// The old segment is already sealed and closed: without a new
+		// one the store cannot log at all. Mark it failed so the
+		// degraded-mode heal probe retries the open, instead of leaving
+		// a closed handle to trip over on the next append.
+		err = fmt.Errorf("persist: opening segment %d: %w", st.seq, err)
+		st.fail(err)
+		return err
 	}
 	st.f = f
 	st.segBytes = 0
@@ -469,6 +558,92 @@ func (st *Store) Checkpoint(state core.ManagerState) (CheckpointInfo, error) {
 	return info, nil
 }
 
+// Heal attempts to recover a failed store in place: it abandons the
+// broken segment, opens a fresh one at a higher sequence, and durably
+// writes a full-state checkpoint there. The checkpoint write IS the
+// probe — it exercises create, write, fsync, and rename on the state
+// directory, so its success is direct evidence the fault cleared. On
+// success the sticky error, pending queue, and taint set are all
+// cleared: every image in memory is now covered by the checkpoint.
+// On failure the store stays failed and the error says why.
+//
+// Like Checkpoint, the caller must prevent concurrent mutations
+// between exporting state and Heal returning (the server holds the
+// manager's exclusive lock across both).
+func (st *Store) Heal(state core.ManagerState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if errors.Is(st.sticky, errClosed) {
+		return st.sticky
+	}
+	if st.f == nil && st.sticky == nil {
+		return errNotRecovered
+	}
+	// Abandon the broken segment; its handle may be beyond repair and
+	// the checkpoint below makes its contents irrelevant.
+	if st.f != nil {
+		st.f.Sync()
+		st.f.Close()
+		st.f = nil
+	}
+	st.seq++ // invalidates in-flight group-commit leaders' captures
+	f, err := st.opts.FS.OpenFile(st.segPath(st.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		err = fmt.Errorf("persist: heal: opening segment %d: %w", st.seq, err)
+		st.fail(err)
+		return err
+	}
+	now := time.Now()
+	path := st.ckptPath(st.seq)
+	if werr := writeCheckpointFile(st.opts.FS, path, Checkpoint{
+		SavedUnixNano: now.UnixNano(),
+		WALSeq:        st.seq,
+		State:         state,
+	}); werr != nil {
+		f.Close()
+		werr = fmt.Errorf("persist: heal: writing probe checkpoint: %w", werr)
+		st.fail(werr)
+		return werr
+	}
+	// Probe succeeded: the store is whole again.
+	st.f = f
+	st.segBytes = 0
+	st.lastSync = time.Now()
+	st.sticky = nil
+	st.pending = st.pending[:0]
+	st.tainted = make(map[uint64]struct{})
+	st.markDurableLocked(st.appendSeq)
+	st.heals++
+	st.lastCkptUnixNano.Store(now.UnixNano())
+	if st.healsCtr != nil {
+		st.healsCtr.Inc()
+	}
+	if st.checkpoints != nil {
+		st.checkpoints.Inc()
+	}
+	// Older files are covered by the probe checkpoint.
+	if segs, ckpts, err := st.scan(); err == nil {
+		for _, seq := range segs {
+			if seq < st.seq {
+				st.opts.FS.Remove(st.segPath(seq))
+			}
+		}
+		for _, seq := range ckpts {
+			if seq < st.seq {
+				st.opts.FS.Remove(st.ckptPath(seq))
+			}
+		}
+	}
+	return nil
+}
+
+// Heals returns how many times Heal has succeeded.
+func (st *Store) Heals() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.heals
+}
+
 // Sync forces the WAL to stable storage regardless of policy.
 func (st *Store) Sync() error {
 	st.mu.Lock()
@@ -501,7 +676,7 @@ func (st *Store) Close() error {
 	st.f = nil
 	st.seq++ // invalidate any in-flight group-commit leader's segment capture
 	if st.sticky == nil {
-		st.sticky = errors.New("persist: store closed")
+		st.sticky = errClosed
 		st.flushCond.Broadcast()
 	}
 	return err
@@ -524,6 +699,11 @@ func (st *Store) RegisterMetrics(reg *telemetry.Registry, rep *RecoveryReport) {
 	st.walBytes = reg.Counter("landlord_persist_wal_bytes_total", "Bytes appended to the WAL")
 	st.walErrors = reg.Counter("landlord_persist_wal_errors_total", "WAL append/sync failures (durability degraded)")
 	st.checkpoints = reg.Counter("landlord_persist_checkpoints_total", "Checkpoints written")
+	st.healsCtr = reg.Counter("landlord_persist_heals_total", "Successful in-place store heals (degraded-mode recovery)")
+	reg.GaugeFunc("landlord_persist_tainted_images",
+		"Images whose durability records were lost to WAL failures", func() float64 {
+			return float64(st.TaintedCount())
+		})
 	st.batchHist = reg.Histogram("landlord_persist_group_commit_records",
 		"Records made durable per group-commit fsync",
 		telemetry.ExponentialBuckets(1, 2, 10))

@@ -1,0 +1,186 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Breaker.Allow while the circuit is
+// open (or half-open with all probe slots taken): the caller should
+// fail fast without attempting the operation.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the circuit's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally; consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests test whether
+	// the dependency recovered.
+	BreakerHalfOpen
+)
+
+// String renders the state as a metric label value.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig parameterizes a circuit breaker.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip the circuit
+	// (default 5).
+	Failures int
+	// OpenFor is the cool-down before an open circuit lets probes
+	// through (default 1s).
+	OpenFor time.Duration
+	// Probes bounds concurrent half-open probes (default 1).
+	Probes int
+	// Now is the clock (nil = time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker protecting a dependency:
+// closed (normal traffic, counting consecutive failures), open (fail
+// fast for OpenFor after Failures consecutive failures), half-open
+// (after the cool-down, up to Probes concurrent probes test the
+// dependency; one success closes the circuit, one failure re-opens
+// it). Safe for concurrent use.
+//
+// Replacing retry loops with a breaker converts a dead dependency from
+// "every caller burns its full retry schedule" into "one probe per
+// cool-down"; the retry budget (budget.go) bounds the cost of the
+// flapping middle ground.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probes   int       // in-flight half-open probes
+	opens    int64     // times the circuit has opened (metrics)
+}
+
+// NewBreaker builds a breaker with defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults()}
+	b.now = nowFunc(b.cfg.Now)
+	return b
+}
+
+// Allow asks whether an attempt may proceed. On success it returns a
+// non-nil done callback that MUST be called exactly once with the
+// attempt's outcome; on ErrCircuitOpen the attempt must not be made.
+func (b *Breaker) Allow() (done func(success bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return nil, ErrCircuitOpen
+		}
+		// Cool-down elapsed: this caller becomes the first half-open
+		// probe.
+		b.state = BreakerHalfOpen
+		b.probes = 1
+		return b.probeDone, nil
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.Probes {
+			return nil, ErrCircuitOpen
+		}
+		b.probes++
+		return b.probeDone, nil
+	default:
+		return b.closedDone, nil
+	}
+}
+
+// closedDone records a closed-state attempt's outcome.
+func (b *Breaker) closedDone(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		// The circuit moved while this attempt was in flight (another
+		// attempt tripped it); its outcome no longer matters.
+		return
+	}
+	if success {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.Failures {
+		b.trip()
+	}
+}
+
+// probeDone records a half-open probe's outcome: any success closes
+// the circuit, any failure re-opens it.
+func (b *Breaker) probeDone(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.probes--
+	if success {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.trip()
+}
+
+// trip opens the circuit; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probes = 0
+	b.opens++
+}
+
+// State returns the circuit's current position, promoting open to
+// half-open when the cool-down has elapsed (so observers see the
+// same state the next Allow would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the circuit has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

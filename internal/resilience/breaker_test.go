@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 3, OpenFor: time.Second, Now: clk.Now})
+
+	// Interleaved successes reset the consecutive-failure count.
+	for i := 0; i < 10; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		done(i%3 == 0) // every third attempt succeeds, ending on one
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after interleaved failures = %v, want closed", got)
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("failing attempt %d: %v", i, err)
+		}
+		done(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow while open = %v, want ErrCircuitOpen", err)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeOrdering(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 1, OpenFor: time.Second, Probes: 1, Now: clk.Now})
+
+	done, _ := b.Allow()
+	done(false) // trip
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("expected fail-fast during cool-down")
+	}
+
+	clk.Advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cool-down = %v, want half-open", got)
+	}
+
+	// First caller past the cool-down becomes the probe; concurrent
+	// callers fail fast while the probe is in flight.
+	probeDone, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second caller should fail fast while probe in flight")
+	}
+
+	// Probe failure re-opens for a fresh cool-down.
+	probeDone(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("expected fail-fast after failed probe")
+	}
+
+	// Next cool-down: a successful probe closes the circuit.
+	clk.Advance(time.Second)
+	probeDone, err = b.Allow()
+	if err != nil {
+		t.Fatalf("second probe Allow: %v", err)
+	}
+	probeDone(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	done, err = b.Allow()
+	if err != nil {
+		t.Fatalf("Allow after close: %v", err)
+	}
+	done(true)
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerBoundedConcurrentProbes(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 1, OpenFor: time.Second, Probes: 2, Now: clk.Now})
+	done, _ := b.Allow()
+	done(false)
+	clk.Advance(time.Second)
+
+	p1, err1 := b.Allow()
+	p2, err2 := b.Allow()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("two probes should be allowed: %v, %v", err1, err2)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("third probe should fail fast")
+	}
+	// One success closes even with the other probe still in flight.
+	p1(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	// The straggler's outcome is ignored after the transition.
+	p2(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after stale probe result = %v, want closed", got)
+	}
+}
+
+func TestBreakerStaleClosedOutcomeIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 1, OpenFor: time.Second, Now: clk.Now})
+	inflight, _ := b.Allow()
+	trip, _ := b.Allow()
+	trip(false) // circuit opens while `inflight` is still out
+	inflight(false)
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens = %d, want 1 (stale outcome must not double-trip)", got)
+	}
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import "sync"
+
+// RetryBudget bounds aggregate retry volume: each initial attempt
+// deposits Ratio tokens (capped at Burst), each retry withdraws one.
+// A healthy service sees almost no withdrawals and the budget stays
+// full; a degraded service sees retries capped at ~Ratio of the
+// request rate instead of MaxRetries× — the difference between a
+// recoverable brownout and a retry storm. Safe for concurrent use.
+//
+// This is the windowless form of the classic retry-budget pattern:
+// the token bucket *is* the sliding window, sized by Burst.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+
+	spent  int64 // retries granted
+	denied int64 // retries refused
+}
+
+// NewRetryBudget builds a budget granting ratio retries per request
+// with at most burst banked. ratio <= 0 defaults to 0.2 (one retry
+// per five requests); burst <= 0 defaults to 10. The budget starts
+// full so a cold client can still retry its first failures.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.2
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{tokens: float64(burst), ratio: ratio, burst: float64(burst)}
+}
+
+// OnAttempt credits the budget for one initial (non-retry) attempt.
+func (b *RetryBudget) OnAttempt() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw asks permission for one retry; false means the budget is
+// exhausted and the caller should give up instead of retrying.
+func (b *RetryBudget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Counters returns (retries granted, retries denied).
+func (b *RetryBudget) Counters() (spent, denied int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent, b.denied
+}

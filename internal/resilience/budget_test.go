@@ -1,0 +1,58 @@
+package resilience
+
+import "testing"
+
+func TestRetryBudgetStartsFullThenExhausts(t *testing.T) {
+	b := NewRetryBudget(0.1, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("withdraw %d refused from a full budget", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdraw from empty budget granted")
+	}
+	spent, denied := b.Counters()
+	if spent != 3 || denied != 1 {
+		t.Fatalf("counters = %d/%d, want 3/1", spent, denied)
+	}
+}
+
+func TestRetryBudgetDepositsPerAttempt(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	b.Withdraw()
+	b.Withdraw() // empty
+	if b.Withdraw() {
+		t.Fatal("empty budget granted a retry")
+	}
+	// Two initial attempts deposit 0.5 each → one retry's worth.
+	b.OnAttempt()
+	if b.Withdraw() {
+		t.Fatal("0.5 tokens should not grant a retry")
+	}
+	b.OnAttempt()
+	if !b.Withdraw() {
+		t.Fatal("1.0 tokens should grant a retry")
+	}
+}
+
+func TestRetryBudgetCapsAtBurst(t *testing.T) {
+	b := NewRetryBudget(1.0, 2)
+	for i := 0; i < 100; i++ {
+		b.OnAttempt()
+	}
+	grants := 0
+	for b.Withdraw() {
+		grants++
+	}
+	if grants != 2 {
+		t.Fatalf("granted %d retries, want burst cap 2", grants)
+	}
+}
+
+func TestRetryBudgetDefaults(t *testing.T) {
+	b := NewRetryBudget(0, 0)
+	if b.ratio != 0.2 || b.burst != 10 {
+		t.Fatalf("defaults = %v/%v, want 0.2/10", b.ratio, b.burst)
+	}
+}

@@ -1,0 +1,239 @@
+package resilience
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyPlan parameterizes the in-process chaos proxy's per-connection
+// fault schedule, drawn from one seeded RNG in accept order.
+type ProxyPlan struct {
+	Seed int64
+	// RefuseP closes an accepted connection immediately (connection
+	// refused/reset as the client sees it).
+	RefuseP float64
+	// CutAfterP forwards the connection but cuts it after a seeded
+	// number of bytes in [1, CutAfterBytes] in either direction —
+	// truncated requests and truncated responses both.
+	CutAfterP     float64
+	CutAfterBytes int64
+	// DelayP stalls the connection for up to MaxDelay before the first
+	// byte is forwarded.
+	DelayP   float64
+	MaxDelay time.Duration
+}
+
+// ChaosProxy is a TCP-level fault injector between a client and a
+// backend: it listens on a local port, forwards bytes to the backend
+// address, and — per its seeded plan — refuses, delays, or cuts
+// connections mid-stream. Unlike ChaosTransport (which fabricates
+// faults inside the client process) the proxy breaks real sockets, so
+// the server-side half of every failure mode is exercised too: the
+// daemon sees aborted reads, half-written responses, and clients that
+// vanish mid-request.
+type ChaosProxy struct {
+	ln      net.Listener
+	backend string
+	plan    ProxyPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	conns    int64
+	injected int64
+	active   map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewChaosProxy starts a proxy on a fresh loopback port forwarding to
+// backend ("host:port"). Close releases the port.
+func NewChaosProxy(backend string, plan ProxyPlan) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{
+		ln: ln, backend: backend, plan: plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		active: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address for clients to dial.
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns returns how many connections have been accepted.
+func (p *ChaosProxy) Conns() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conns
+}
+
+// Injected returns how many connections had a fault injected.
+func (p *ChaosProxy) Injected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Close stops accepting, force-closes in-flight connections (idle
+// keep-alive clients would otherwise pin the proxy open), and waits
+// for the forwarding goroutines to drain.
+func (p *ChaosProxy) Close() error {
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *ChaosProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.active[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	p.mu.Unlock()
+}
+
+// connPlan is one connection's drawn schedule.
+type connPlan struct {
+	refuse bool
+	cutAt  int64 // bytes after which the connection dies (0 = never)
+	delay  time.Duration
+}
+
+func (p *ChaosProxy) drawConn() connPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns++
+	var c connPlan
+	c.refuse = p.plan.RefuseP > 0 && p.rng.Float64() < p.plan.RefuseP
+	if p.plan.CutAfterP > 0 && p.rng.Float64() < p.plan.CutAfterP {
+		max := p.plan.CutAfterBytes
+		if max <= 0 {
+			max = 4096
+		}
+		c.cutAt = 1 + p.rng.Int63n(max)
+	}
+	if p.plan.DelayP > 0 && p.rng.Float64() < p.plan.DelayP && p.plan.MaxDelay > 0 {
+		c.delay = time.Duration(p.rng.Int63n(int64(p.plan.MaxDelay)))
+	}
+	if c.refuse || c.cutAt > 0 || c.delay > 0 {
+		p.injected++
+	}
+	return c
+}
+
+func (p *ChaosProxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cp := p.drawConn()
+		p.wg.Add(1)
+		go p.serve(conn, cp)
+	}
+}
+
+// serve forwards one connection under its fault schedule.
+func (p *ChaosProxy) serve(client net.Conn, cp connPlan) {
+	defer p.wg.Done()
+	p.track(client)
+	defer p.untrack(client)
+	defer client.Close()
+	if cp.refuse {
+		return // immediate close: reset as the client sees it
+	}
+	if cp.delay > 0 {
+		time.Sleep(cp.delay)
+	}
+	backend, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.track(backend)
+	defer p.untrack(backend)
+	defer backend.Close()
+
+	// budget is the shared byte allowance across both directions; when
+	// it reaches zero both sockets are torn down mid-stream.
+	var budget *cutBudget
+	if cp.cutAt > 0 {
+		budget = &cutBudget{remain: cp.cutAt, kill: func() {
+			client.Close()
+			backend.Close()
+		}}
+	}
+	done := make(chan struct{}, 2)
+	pipe := func(dst, src net.Conn) {
+		var r io.Reader = src
+		if budget != nil {
+			r = &cutReader{inner: src, budget: budget}
+		}
+		io.Copy(dst, r)
+		// Half-close so the peer sees EOF for this direction.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go pipe(backend, client)
+	pipe(client, backend)
+	<-done
+}
+
+// cutBudget coordinates the shared byte allowance of one connection.
+type cutBudget struct {
+	mu     sync.Mutex
+	remain int64
+	kill   func()
+	dead   bool
+}
+
+// take consumes up to n bytes, returning how many are allowed; the
+// first exhaustion kills the connection.
+func (b *cutBudget) take(n int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return 0
+	}
+	if n >= b.remain {
+		n = b.remain
+		b.dead = true
+		defer b.kill()
+	}
+	b.remain -= n
+	return n
+}
+
+// cutReader forwards bytes until the budget dies.
+type cutReader struct {
+	inner  io.Reader
+	budget *cutBudget
+}
+
+func (r *cutReader) Read(p []byte) (int, error) {
+	n, err := r.inner.Read(p)
+	if n > 0 {
+		allowed := r.budget.take(int64(n))
+		if allowed < int64(n) {
+			return int(allowed), io.ErrUnexpectedEOF
+		}
+	}
+	return n, err
+}

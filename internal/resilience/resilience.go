@@ -1,0 +1,30 @@
+// Package resilience is the overload-protection toolkit for the
+// LANDLORD serving path: server-side admission control (a token-bucket
+// + queue-depth load shedder), a client-side three-state circuit
+// breaker, a windowed retry budget, and seeded network fault injection
+// (an http.RoundTripper and an in-process TCP chaos proxy).
+//
+// The paper's site service only earns its keep if it stays up under
+// the traffic it is built for: sustained HTC job streams, slow or
+// stampeding clients, flaky networks, and disks that fail mid-write.
+// The pieces here follow the standard cloud-native shapes —
+// shed-before-queue, fail-fast-when-open, budgeted retries with full
+// jitter — but are built stdlib-only and fully deterministic under
+// test: every component takes an injectable clock and every random
+// choice flows from a caller-provided source, so the chaos harness in
+// internal/check can replay a failing schedule from a single seed.
+//
+// Nothing in this package knows about the cache; internal/server
+// threads the shedder and breaker through its request path, and
+// internal/check drives the chaos transport against a live daemon.
+package resilience
+
+import "time"
+
+// nowFunc defaults a nil clock to the real one.
+func nowFunc(now func() time.Time) func() time.Time {
+	if now == nil {
+		return time.Now
+	}
+	return now
+}

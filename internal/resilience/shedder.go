@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ShedReason says why the shedder refused a request, or ShedNone when
+// it was admitted.
+type ShedReason int
+
+const (
+	// ShedNone: the request was admitted.
+	ShedNone ShedReason = iota
+	// ShedRate: the token bucket is empty — the arrival rate exceeds
+	// the configured sustained rate.
+	ShedRate
+	// ShedQueue: too many admitted requests are already queued or in
+	// flight.
+	ShedQueue
+)
+
+// String renders the reason as a metric label value.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedRate:
+		return "rate"
+	case ShedQueue:
+		return "queue"
+	default:
+		return "none"
+	}
+}
+
+// ShedderConfig parameterizes admission control.
+type ShedderConfig struct {
+	// Rate is the sustained admission rate in requests per second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket capacity — how far above Rate a short
+	// spike may go. Defaults to max(1, Rate) when zero.
+	Burst int
+	// QueueDepth bounds admitted-but-unfinished requests (queued on
+	// the inflight semaphore plus processing); <= 0 disables the bound.
+	QueueDepth int
+	// Now is the clock (nil = time.Now); injectable so admission
+	// decisions are deterministic under the seeded chaos harness.
+	Now func() time.Time
+}
+
+// Shedder is server-side admission control: a token bucket bounding
+// sustained arrival rate plus a queue-depth bound on concurrently
+// admitted requests. It sits in front of the serving path and refuses
+// work *before* it queues — the shed response (429 Retry-After) costs
+// microseconds, while an admitted request holds a connection, a
+// semaphore slot, and eventually the cache lock. Safe for concurrent
+// use.
+type Shedder struct {
+	cfg ShedderConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inflight int
+
+	shedRate  int64
+	shedQueue int64
+	admitted  int64
+}
+
+// NewShedder builds a shedder; a zero config admits everything.
+func NewShedder(cfg ShedderConfig) *Shedder {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Max(1, cfg.Rate))
+	}
+	s := &Shedder{cfg: cfg, now: nowFunc(cfg.Now)}
+	s.tokens = float64(cfg.Burst)
+	s.last = s.now()
+	return s
+}
+
+// Admit decides one request. Admitted requests get a non-nil release
+// function that MUST be called exactly once when the request finishes
+// (it frees the queue-depth slot); refused requests get a nil release
+// and the reason.
+func (s *Shedder) Admit() (release func(), reason ShedReason) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.QueueDepth > 0 && s.inflight >= s.cfg.QueueDepth {
+		s.shedQueue++
+		return nil, ShedQueue
+	}
+	if s.cfg.Rate > 0 {
+		now := s.now()
+		s.tokens = math.Min(float64(s.cfg.Burst),
+			s.tokens+now.Sub(s.last).Seconds()*s.cfg.Rate)
+		s.last = now
+		if s.tokens < 1 {
+			s.shedRate++
+			return nil, ShedRate
+		}
+		s.tokens--
+	}
+	s.inflight++
+	s.admitted++
+	return s.release, ShedNone
+}
+
+func (s *Shedder) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// RetryAfter suggests how long a shed client should wait before
+// retrying: long enough for one token to accrue (rate sheds) or one
+// second (queue sheds — the server cannot predict drain time). Always
+// at least one second, since the value is served in a Retry-After
+// header with second granularity.
+func (s *Shedder) RetryAfter(reason ShedReason) time.Duration {
+	if reason == ShedRate && s.cfg.Rate > 0 {
+		d := time.Duration(float64(time.Second) / s.cfg.Rate)
+		if d > time.Second {
+			return d.Round(time.Second)
+		}
+	}
+	return time.Second
+}
+
+// Inflight returns the number of currently admitted, unfinished
+// requests.
+func (s *Shedder) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Counters returns (admitted, shed-by-rate, shed-by-queue) totals.
+func (s *Shedder) Counters() (admitted, rate, queue int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitted, s.shedRate, s.shedQueue
+}

@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestShedderZeroConfigAdmitsEverything(t *testing.T) {
+	s := NewShedder(ShedderConfig{})
+	for i := 0; i < 1000; i++ {
+		release, reason := s.Admit()
+		if reason != ShedNone || release == nil {
+			t.Fatalf("admit %d: reason=%v release nil=%v", i, reason, release == nil)
+		}
+		release()
+	}
+	admitted, rate, queue := s.Counters()
+	if admitted != 1000 || rate != 0 || queue != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 1000/0/0", admitted, rate, queue)
+	}
+}
+
+func TestShedderRateLimit(t *testing.T) {
+	clk := newFakeClock()
+	s := NewShedder(ShedderConfig{Rate: 10, Burst: 5, Now: clk.Now})
+
+	// Burst drains after 5 immediate admissions.
+	for i := 0; i < 5; i++ {
+		release, reason := s.Admit()
+		if reason != ShedNone {
+			t.Fatalf("burst admit %d shed: %v", i, reason)
+		}
+		release()
+	}
+	if _, reason := s.Admit(); reason != ShedRate {
+		t.Fatalf("6th immediate admit: reason=%v, want ShedRate", reason)
+	}
+
+	// 100ms at 10 rps accrues exactly one token.
+	clk.Advance(100 * time.Millisecond)
+	release, reason := s.Admit()
+	if reason != ShedNone {
+		t.Fatalf("post-refill admit shed: %v", reason)
+	}
+	release()
+	if _, reason := s.Admit(); reason != ShedRate {
+		t.Fatalf("second post-refill admit: reason=%v, want ShedRate", reason)
+	}
+
+	// Refill never exceeds Burst.
+	clk.Advance(time.Hour)
+	admitted := 0
+	for {
+		release, reason := s.Admit()
+		if reason != ShedNone {
+			break
+		}
+		admitted++
+		release()
+	}
+	if admitted != 5 {
+		t.Fatalf("after long idle admitted %d, want Burst=5", admitted)
+	}
+}
+
+func TestShedderQueueDepth(t *testing.T) {
+	s := NewShedder(ShedderConfig{QueueDepth: 3})
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		release, reason := s.Admit()
+		if reason != ShedNone {
+			t.Fatalf("admit %d shed: %v", i, reason)
+		}
+		releases = append(releases, release)
+	}
+	if _, reason := s.Admit(); reason != ShedQueue {
+		t.Fatalf("4th admit: reason=%v, want ShedQueue", reason)
+	}
+	if got := s.Inflight(); got != 3 {
+		t.Fatalf("Inflight = %d, want 3", got)
+	}
+
+	// Releasing one slot re-opens admission.
+	releases[0]()
+	release, reason := s.Admit()
+	if reason != ShedNone {
+		t.Fatalf("post-release admit shed: %v", reason)
+	}
+	release()
+	for _, r := range releases[1:] {
+		r()
+	}
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("Inflight after drain = %d, want 0", got)
+	}
+}
+
+func TestShedderRetryAfter(t *testing.T) {
+	// Fast rate: floor of one second (header granularity).
+	s := NewShedder(ShedderConfig{Rate: 100})
+	if d := s.RetryAfter(ShedRate); d != time.Second {
+		t.Fatalf("RetryAfter(rate, fast) = %v, want 1s", d)
+	}
+	// Slow rate: one token period.
+	slow := NewShedder(ShedderConfig{Rate: 0.25})
+	if d := slow.RetryAfter(ShedRate); d != 4*time.Second {
+		t.Fatalf("RetryAfter(rate, slow) = %v, want 4s", d)
+	}
+	if d := s.RetryAfter(ShedQueue); d != time.Second {
+		t.Fatalf("RetryAfter(queue) = %v, want 1s", d)
+	}
+}

@@ -32,6 +32,7 @@ func NewPersistent(repo *pkggraph.Repo, cfg core.Config, store *persist.Store, c
 	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: core.Concurrent(mgr), store: store, ckptEvery: checkpointEvery}
 	s.registerCacheMetrics()
 	s.registerContentionMetrics()
+	s.registerResilienceMetrics()
 	store.RegisterMetrics(reg, rep)
 	if rep.RecordsReplayed > 0 {
 		if _, err := store.Checkpoint(mgr.ExportState()); err != nil {
@@ -121,11 +122,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// RecoveringHandler serves 503 for every route while the daemon
-// replays its WAL at startup, so load balancers and clients (whose
-// GETs retry on 503) hold off instead of seeing connection errors.
+// RecoveringHandler serves the daemon's startup window while it
+// replays its WAL: liveness (/v1/healthz) answers 200 — the process
+// is up and must not be restarted mid-replay — while readiness
+// (/v1/readyz) and every serving route answer 503 with Retry-After,
+// so load balancers and clients (whose GETs retry on 503) hold off
+// instead of seeing connection errors.
 func RecoveringHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": "recovering"})
+			return
+		}
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 	})

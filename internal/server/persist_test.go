@@ -140,11 +140,12 @@ func TestCheckpointWithoutStore(t *testing.T) {
 }
 
 // TestRecoveringHandler: the startup placeholder serves 503 with a
-// Retry-After hint on every route.
+// Retry-After hint on every serving route, but liveness stays 200 —
+// a daemon replaying its WAL is alive and must not be restarted.
 func TestRecoveringHandler(t *testing.T) {
 	ts := httptest.NewServer(RecoveringHandler())
 	defer ts.Close()
-	for _, path := range []string{"/v1/healthz", "/v1/request", "/metrics"} {
+	for _, path := range []string{"/v1/readyz", "/v1/request", "/metrics"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -157,22 +158,31 @@ func TestRecoveringHandler(t *testing.T) {
 			t.Errorf("%s: no Retry-After header", path)
 		}
 	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/v1/healthz: status = %d, want 200 (liveness holds through recovery)", resp.StatusCode)
+	}
 }
 
 // TestClientRetriesDuringRecovery: a GET that first hits the
 // recovering placeholder succeeds once the real handler takes over,
-// with backoff sleeps instead of user-visible failures.
+// with backoff sleeps instead of user-visible failures. Readiness is
+// the route that 503s through recovery (liveness stays 200).
 func TestClientRetriesDuringRecovery(t *testing.T) {
 	recovering := RecoveringHandler()
 	var fails int
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if fails < 2 {
 			fails++
 			recovering.ServeHTTP(w, r)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
@@ -180,8 +190,9 @@ func TestClientRetriesDuringRecovery(t *testing.T) {
 	client := NewClient(ts.URL, ts.Client())
 	var slept []time.Duration
 	client.sleep = func(d time.Duration) { slept = append(slept, d) }
-	if err := client.Healthz(); err != nil {
-		t.Fatalf("Healthz with retries: %v", err)
+	client.SetJitter(func() float64 { return 1 }) // pin to the ceiling for the assertion
+	if err := client.Ready(); err != nil {
+		t.Fatalf("Ready with retries: %v", err)
 	}
 	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
 	if !reflect.DeepEqual(slept, want) {

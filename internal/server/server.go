@@ -16,7 +16,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/pkggraph"
+	"repro/internal/resilience"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
@@ -54,6 +57,13 @@ type Server struct {
 	ckptEvery int
 	sinceCkpt atomic.Int64
 	ckptBusy  atomic.Bool
+
+	// Overload protection (resilience.go): optional admission control
+	// installed by SetAdmission, and the serve-state machine
+	// (healthy/shedding/degraded/recovering) driving /v1/readyz,
+	// degraded-mode serving, and the state:* events.
+	shedder *resilience.Shedder
+	health  health
 }
 
 // New creates a Server with a fresh Manager. The server installs its
@@ -71,6 +81,7 @@ func New(repo *pkggraph.Repo, cfg core.Config) (*Server, error) {
 	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: cmgr}
 	s.registerCacheMetrics()
 	s.registerContentionMetrics()
+	s.registerResilienceMetrics()
 	return s, nil
 }
 
@@ -283,6 +294,7 @@ func (s *Server) Handler() http.Handler {
 		"/v1/snapshot":   s.handleSnapshot,
 		"/v1/restore":    s.handleRestore,
 		"/v1/healthz":    s.handleHealthz,
+		"/v1/readyz":     s.handleReadyz,
 		"/v1/events":     s.handleEvents,
 		"/metrics":       s.handleMetrics,
 	} {
@@ -333,6 +345,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"images": len(snaps)})
 }
 
+// handleHealthz is liveness: 200 for as long as the process can answer
+// HTTP at all, including while recovering or degraded. Supervisors
+// restart on liveness failures; a degraded-but-healing daemon must not
+// be restarted out of its heal. Readiness lives at /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -342,12 +358,29 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Admission control runs before anything queues: a shed response
+	// costs microseconds and a Retry-After, an admitted request holds a
+	// connection, a semaphore slot, and eventually the cache lock.
+	if s.shedder != nil {
+		release, reason := s.shedder.Admit()
+		if release == nil {
+			s.noteShed()
+			retry := s.shedder.RetryAfter(reason)
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "overloaded: shedding by %s", reason)
+			return
+		}
+		defer release()
+		s.noteAdmit()
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, "server at max_inflight and client gave up: %v", r.Context().Err())
+		case <-ctx.Done():
+			writeError(w, http.StatusServiceUnavailable, "server at max_inflight and client gave up: %v", ctx.Err())
 			return
 		}
 	}
@@ -376,9 +409,29 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		sp = spec.New(ids)
 	}
 
-	res, err := s.cmgr.Request(sp)
+	// Degraded mode: while the store is failing, mutations cannot be
+	// made durable, so the cache goes read-only — superset hits on
+	// untainted images are answered from memory with zero mutation
+	// (PeekHit bumps no clock, writes no stats, drops no WAL record),
+	// everything else is refused. This is the invariant the chaos
+	// harness audits: a degraded server never acks state recovery
+	// cannot rebuild.
+	if s.store != nil && s.store.Err() != nil {
+		s.noteDegraded()
+		s.serveDegraded(w, sp)
+		return
+	}
+
+	res, err := s.cmgr.RequestCtx(ctx, sp)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "request failed: %v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the cache mutated: %v", err)
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "client gave up: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "request failed: %v", err)
+		}
 		return
 	}
 	s.maybeCheckpoint()
@@ -386,10 +439,21 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		// Group-commit barrier: the request's WAL records must be on
 		// stable storage before the acknowledgement (under fsync=always;
 		// a no-op otherwise). Called with no cache locks held, so one
-		// leader's fsync covers every request in flight. A sticky
-		// durability error does not fail the request — the cache serves
-		// from memory and Err/metrics surface the degradation.
-		s.store.WaitDurable()
+		// leader's fsync covers every request in flight.
+		if err := s.store.WaitDurable(); err != nil {
+			// Durability failed under this request's feet. Refuse to ack
+			// anything the WAL lost: inserts/merges are gone, and even a
+			// hit is unsafe if the image it names was never made durable.
+			s.noteDegraded()
+			if res.Op == core.OpHit && !s.store.Tainted(res.ImageID) {
+				s.writeDegradedHit(w, res, sp.Len())
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable,
+				"durability lost before acknowledgement (%s of image %d not persisted): %v",
+				res.Op, res.ImageID, err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, RequestResponse{
 		Op:           res.Op.String(),
@@ -400,6 +464,34 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		BytesWritten: res.BytesWritten,
 		Evicted:      res.Evicted,
 		Packages:     sp.Len(),
+	})
+}
+
+// serveDegraded answers a /v1/request while the store is failing.
+func (s *Server) serveDegraded(w http.ResponseWriter, sp spec.Spec) {
+	res, ok := s.cmgr.PeekHit(sp)
+	if ok && !s.store.Tainted(res.ImageID) {
+		s.writeDegradedHit(w, res, sp.Len())
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(DegradedHeader, "1")
+	writeError(w, http.StatusServiceUnavailable,
+		"degraded: durability lost (%v); serving read-only until healed", s.store.Err())
+}
+
+// writeDegradedHit acks a hit that is safe despite the failing store:
+// the image's existence is already durable and a lost LRU touch
+// cannot violate recovery.
+func (s *Server) writeDegradedHit(w http.ResponseWriter, res core.Result, packages int) {
+	w.Header().Set(DegradedHeader, "1")
+	writeJSON(w, http.StatusOK, RequestResponse{
+		Op:           res.Op.String(),
+		ImageID:      res.ImageID,
+		ImageVersion: res.ImageVersion,
+		ImageSize:    res.ImageSize,
+		RequestBytes: res.RequestBytes,
+		Packages:     packages,
 	})
 }
 
