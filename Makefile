@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz check cover crash-test examples experiments clean
+.PHONY: all build vet test test-short race bench fuzz check lint-metrics cover crash-test examples experiments clean
 
-all: build vet test
+all: build vet lint-metrics test
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ check:
 	$(GO) test -race -short -count=1 ./internal/check
 	$(GO) test -run 'TestMutants|TestMutantFailure' -count=1 ./internal/check
 	$(GO) run ./cmd/landlord-check sim -seed 1
+	$(GO) run ./cmd/landlord-check tracesim -seed 1
+
+# Static metric-registration audit: the same family registered under
+# two kinds or two help strings renders a /metrics exposition
+# Prometheus rejects; the registry only catches it at runtime on paths
+# that execute. Fails the build on any conflict.
+lint-metrics:
+	$(GO) run ./cmd/landlord-lint -root .
 
 # Coverage profile across every package (atomic mode: the concurrent
 # suites are the interesting part).

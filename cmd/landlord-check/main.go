@@ -3,8 +3,9 @@
 //
 //	landlord-check sim      -seed 1 [-steps 600]
 //	landlord-check soak     -seed 1 [-requests 50000] [-workers 8]
-//	landlord-check netchaos -seed 1 [-steps 240]
-//	landlord-check chaos    -duration 10m [-seed 0]
+//	landlord-check netchaos -seed 1 [-steps 240] [-trace-dump path]
+//	landlord-check tracesim -seed 1 [-steps 48] [-trace-dump path]
+//	landlord-check chaos    -duration 10m [-seed 0] [-trace-dump path]
 //
 // sim runs the canonical deterministic suite — two in-memory
 // simulations plus a persistent chaos run with checkpoints, prune
@@ -14,15 +15,23 @@
 // full effect. netchaos drives a real HTTP server through a
 // fault-injecting transport (resets, truncation, latency, blackholes)
 // on top of disk faults and crashes, auditing the acked-request,
-// shed, and degraded-mode invariants. chaos loops the whole harness
-// over consecutive seeds until the duration expires (the nightly
-// soak).
+// shed, and degraded-mode invariants. tracesim runs the deterministic
+// span-tracing coverage harness: a serially driven HTTP server whose
+// tracer runs on a logical clock, auditing that the retained trace
+// dump covers every canonical stage and replays byte-identically.
+// chaos loops the whole harness over consecutive seeds until the
+// duration expires (the nightly soak).
+//
+// -trace-dump writes the failing run's tail-sampling trace ring to the
+// given path as JSON, so CI can upload where-the-latency-went context
+// alongside the reproduction seed.
 //
 // Every failure prints the seed and the exact `go test` command that
 // reproduces it bit-for-bit; the process exits non-zero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +53,8 @@ func main() {
 		err = runSoak(os.Args[2:])
 	case "netchaos":
 		err = runNetChaos(os.Args[2:])
+	case "tracesim":
+		err = runTraceSim(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	default:
@@ -57,12 +68,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|tracesim|chaos> [flags]
 
   sim      -seed N [-steps N]               deterministic suite + persistent chaos run
   soak     -seed N [-requests N] [-workers N]  concurrent soak with injected persist faults
-  netchaos -seed N [-steps N]               HTTP server under network + disk chaos
-  chaos    -duration D [-seed N]            loop sim+soak+netchaos over consecutive seeds (0 = from clock)`)
+  netchaos -seed N [-steps N] [-trace-dump P]  HTTP server under network + disk chaos
+  tracesim -seed N [-steps N] [-trace-dump P]  deterministic span-trace coverage + replay audit
+  chaos    -duration D [-seed N] [-trace-dump P]  loop sim+soak+netchaos+tracesim over consecutive seeds (0 = from clock)`)
 }
 
 // suite runs the canonical deterministic schedule for one seed: the
@@ -138,15 +150,35 @@ func soak(seed int64, requests, workers int) error {
 	return nil
 }
 
+// writeTraceDump writes a failure's tail-sampling trace ring to path
+// as JSON, so CI uploads latency context alongside the repro seed.
+// A failure without a dump (or an empty path) writes nothing.
+func writeTraceDump(path string, f *check.Failure) {
+	if path == "" || f == nil || len(f.TraceDump) == 0 {
+		return
+	}
+	b, err := json.MarshalIndent(f.TraceDump, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "landlord-check: encoding trace dump: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "landlord-check: writing trace dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "landlord-check: wrote %d trace(s) to %s\n", len(f.TraceDump), path)
+}
+
 func runNetChaos(args []string) error {
 	fs := flag.NewFlagSet("netchaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "netchaos seed")
 	steps := fs.Int("steps", 0, "override the request count (0 = canonical 240)")
+	dump := fs.String("trace-dump", "", "on failure, write the server's trace ring to this path as JSON")
 	fs.Parse(args)
-	return netchaos(*seed, *steps)
+	return netchaos(*seed, *steps, *dump)
 }
 
-func netchaos(seed int64, steps int) error {
+func netchaos(seed int64, steps int, dump string) error {
 	dir, err := os.MkdirTemp("", "landlord-netchaos-")
 	if err != nil {
 		return err
@@ -158,6 +190,7 @@ func netchaos(seed int64, steps int) error {
 	}
 	rep, f := check.RunNetChaos(cfg)
 	if f != nil {
+		writeTraceDump(dump, f)
 		return f
 	}
 	fmt.Printf("netchaos seed=%d steps=%d: acked=%d sheds=%d degraded=%d circuit_fast=%d net_errors=%d net_injected=%d disk_injected=%d crashes=%d heals=%d\n",
@@ -166,10 +199,41 @@ func netchaos(seed int64, steps int) error {
 	return nil
 }
 
+func runTraceSim(args []string) error {
+	fs := flag.NewFlagSet("tracesim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "tracesim seed")
+	steps := fs.Int("steps", 0, "override the request count (0 = canonical 48)")
+	dump := fs.String("trace-dump", "", "on failure, write the server's trace ring to this path as JSON")
+	fs.Parse(args)
+	return tracesim(*seed, *steps, *dump)
+}
+
+func tracesim(seed int64, steps int, dump string) error {
+	dir, err := os.MkdirTemp("", "landlord-tracesim-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := check.TraceSimDefault(seed, dir)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	rep, f := check.RunTraceSim(cfg)
+	if f != nil {
+		writeTraceDump(dump, f)
+		return f
+	}
+	fmt.Printf("tracesim seed=%d steps=%d: acked=%d cluster_jobs=%d traces_started=%d kept=%d propagated=%d stages=%d/%d\n",
+		seed, rep.Steps, rep.Acked, rep.ClusterJobs, rep.Started, rep.Kept,
+		rep.Propagated, len(rep.StagesCovered), len(rep.StagesCovered)+len(rep.MissingStages))
+	return nil
+}
+
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "base seed (0 = derived from the clock)")
 	duration := fs.Duration("duration", 10*time.Minute, "how long to keep drawing seeds")
+	dump := fs.String("trace-dump", "", "on failure, write the failing run's trace ring to this path as JSON")
 	fs.Parse(args)
 	base := *seed
 	if base == 0 {
@@ -186,7 +250,10 @@ func runChaos(args []string) error {
 		if err := soak(s, 20000, 8); err != nil {
 			return err
 		}
-		if err := netchaos(s, 0); err != nil {
+		if err := netchaos(s, 0, *dump); err != nil {
+			return err
+		}
+		if err := tracesim(s, 0, *dump); err != nil {
 			return err
 		}
 		iters++

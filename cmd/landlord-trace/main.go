@@ -1,0 +1,358 @@
+// Command landlord-trace renders critical-path latency breakdowns from
+// the server's span-trace ring:
+//
+//	landlord-trace stages [-in file | -url base]           per-stage critical-path table
+//	landlord-trace top    [-in file | -url base] [-n 10]   slowest traces with their dominant stage
+//	landlord-trace show   -id <16-hex> [-in file | -url base]   one trace as an indented span tree
+//
+// Input is either a file (-in; "-" reads stdin) holding a JSON array of
+// traces — the GET /v1/trace payload or a landlord-check -trace-dump
+// artifact — or JSONL with one trace per line, or a live server
+// (-url http://host:port), which is queried for its full ring.
+//
+// "Where does the p99 go?" is the stages table: each span's self time
+// (its duration minus its children's) is attributed to its stage, so
+// the table reads directly as "62% of the retained tail is fsync
+// wait". The ring is tail-sampled (slowest plus all errors/sheds), so
+// the breakdown describes exactly the traffic worth explaining.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stages":
+		err = runStages(os.Args[2:], os.Stdout)
+	case "top":
+		err = runTop(os.Args[2:], os.Stdout)
+	case "show":
+		err = runShow(os.Args[2:], os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "landlord-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: landlord-trace <stages|top|show> [flags]
+
+  stages [-in file | -url base]            per-stage critical-path table over all traces
+  top    [-in file | -url base] [-n N]     N slowest traces and their dominant stage
+  show   -id <16-hex> [-in file | -url base]   one trace as an indented span tree
+
+  -in accepts a JSON array (GET /v1/trace payload, -trace-dump artifact)
+  or JSONL with one trace per line; "-" reads stdin. -url queries a
+  live server's trace ring.`)
+}
+
+// sourceFlags registers the shared input flags on fs.
+func sourceFlags(fs *flag.FlagSet) (in, url *string) {
+	in = fs.String("in", "", `trace dump file: JSON array or JSONL ("-" = stdin)`)
+	url = fs.String("url", "", "live server base URL (queries GET /v1/trace)")
+	return in, url
+}
+
+// loadTraces reads traces from the configured source.
+func loadTraces(in, url string) ([]telemetry.Trace, error) {
+	switch {
+	case in != "" && url != "":
+		return nil, fmt.Errorf("-in and -url are mutually exclusive")
+	case url != "":
+		return server.NewClient(url, http.DefaultClient).Traces(0)
+	case in == "":
+		return nil, fmt.Errorf("need -in or -url")
+	}
+	var r io.Reader
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return decodeTraces(r)
+}
+
+// decodeTraces accepts both dump shapes: a single JSON array (the
+// GET /v1/trace payload, a -trace-dump artifact) or JSONL with one
+// trace object per line.
+func decodeTraces(r io.Reader) ([]telemetry.Trace, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("reading traces: %w", err)
+	}
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty trace input")
+	}
+	if trimmed[0] == '[' {
+		var out []telemetry.Trace
+		if err := json.Unmarshal(trimmed, &out); err != nil {
+			return nil, fmt.Errorf("decoding trace array: %w", err)
+		}
+		return out, nil
+	}
+	var out []telemetry.Trace
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	for {
+		var tr telemetry.Trace
+		if err := dec.Decode(&tr); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding trace %d: %w", len(out), err)
+		}
+		out = append(out, tr)
+	}
+}
+
+// stageAgg accumulates one stage's critical-path contribution.
+type stageAgg struct {
+	stage string
+	count int
+	self  int64 // total self time (span duration minus children)
+	max   int64 // largest single self time
+}
+
+// selfTimes computes each span's self time: its duration minus the
+// summed durations of its direct children. Self times sum exactly to
+// the root span's duration, so per-stage totals are a true partition
+// of where the time went.
+func selfTimes(tr *telemetry.Trace) []int64 {
+	self := make([]int64, len(tr.Spans))
+	for i, sp := range tr.Spans {
+		self[i] = sp.End - sp.Start
+	}
+	for _, sp := range tr.Spans {
+		if sp.Parent >= 0 && int(sp.Parent) < len(self) {
+			self[sp.Parent] -= sp.End - sp.Start
+		}
+	}
+	for i := range self {
+		if self[i] < 0 {
+			self[i] = 0
+		}
+	}
+	return self
+}
+
+// aggregate folds every trace's self times into per-stage rows, sorted
+// by total self time descending.
+func aggregate(traces []telemetry.Trace) (rows []stageAgg, total int64) {
+	byStage := map[string]*stageAgg{}
+	for i := range traces {
+		self := selfTimes(&traces[i])
+		for j, sp := range traces[i].Spans {
+			agg := byStage[sp.Stage]
+			if agg == nil {
+				agg = &stageAgg{stage: sp.Stage}
+				byStage[sp.Stage] = agg
+			}
+			agg.count++
+			agg.self += self[j]
+			if self[j] > agg.max {
+				agg.max = self[j]
+			}
+			total += self[j]
+		}
+	}
+	for _, agg := range byStage {
+		rows = append(rows, *agg)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].self != rows[j].self {
+			return rows[i].self > rows[j].self
+		}
+		return rows[i].stage < rows[j].stage
+	})
+	return rows, total
+}
+
+func runStages(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stages", flag.ExitOnError)
+	in, url := sourceFlags(fs)
+	fs.Parse(args)
+	traces, err := loadTraces(*in, *url)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces in input")
+	}
+	rows, total := aggregate(traces)
+	fmt.Fprintf(w, "%d trace(s), %s total critical-path time\n\n", len(traces), fmtDur(total))
+	fmt.Fprintf(w, "%-18s %8s %12s %8s %12s %12s\n", "STAGE", "SPANS", "SELF", "SHARE", "AVG", "MAX")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.self) / float64(total)
+		}
+		fmt.Fprintf(w, "%-18s %8d %12s %7.1f%% %12s %12s\n",
+			r.stage, r.count, fmtDur(r.self), share,
+			fmtDur(r.self/int64(r.count)), fmtDur(r.max))
+	}
+	return nil
+}
+
+// dominantStage returns the stage with the largest self time in the
+// trace and its share of the trace's total.
+func dominantStage(tr *telemetry.Trace) (string, float64) {
+	self := selfTimes(tr)
+	var total, best int64
+	bestStage := ""
+	for i, sp := range tr.Spans {
+		total += self[i]
+		if self[i] > best || (self[i] == best && bestStage == "") {
+			best, bestStage = self[i], sp.Stage
+		}
+	}
+	if total == 0 {
+		return bestStage, 0
+	}
+	return bestStage, 100 * float64(best) / float64(total)
+}
+
+func runTop(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	in, url := sourceFlags(fs)
+	n := fs.Int("n", 10, "number of traces to list")
+	fs.Parse(args)
+	traces, err := loadTraces(*in, *url)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces in input")
+	}
+	sort.SliceStable(traces, func(i, j int) bool {
+		return traces[i].DurationNanos > traces[j].DurationNanos
+	})
+	if *n > 0 && len(traces) > *n {
+		traces = traces[:*n]
+	}
+	fmt.Fprintf(w, "%-16s %10s %-10s %6s %-6s %s\n", "TRACE", "DURATION", "OUTCOME", "SPANS", "KEPT", "DOMINANT STAGE")
+	for i := range traces {
+		tr := &traces[i]
+		stage, share := dominantStage(tr)
+		fmt.Fprintf(w, "%-16s %10s %-10s %6d %-6s %s (%.0f%%)\n",
+			tr.ID, fmtDur(tr.DurationNanos), tr.Outcome, len(tr.Spans), tr.Kept, stage, share)
+	}
+	return nil
+}
+
+func runShow(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in, url := sourceFlags(fs)
+	id := fs.String("id", "", "trace ID (16 hex digits)")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("show: -id is required")
+	}
+	want, err := telemetry.ParseTraceID(*id)
+	if err != nil {
+		return err
+	}
+	if *url != "" && *in == "" {
+		tr, err := server.NewClient(*url, http.DefaultClient).TraceByID(want)
+		if err != nil {
+			return err
+		}
+		printTree(w, &tr)
+		return nil
+	}
+	traces, err := loadTraces(*in, *url)
+	if err != nil {
+		return err
+	}
+	for i := range traces {
+		if traces[i].ID == want {
+			printTree(w, &traces[i])
+			return nil
+		}
+	}
+	return fmt.Errorf("trace %s not found in %d trace(s)", want, len(traces))
+}
+
+// printTree renders one trace as an indented span tree with self
+// times and attributes.
+func printTree(w io.Writer, tr *telemetry.Trace) {
+	fmt.Fprintf(w, "trace %s outcome=%s duration=%s spans=%d kept=%s",
+		tr.ID, tr.Outcome, fmtDur(tr.DurationNanos), len(tr.Spans), tr.Kept)
+	if tr.RemoteParent != 0 {
+		fmt.Fprintf(w, " remote_parent=%d", tr.RemoteParent-1)
+	}
+	if tr.Err != "" {
+		fmt.Fprintf(w, " err=%q", tr.Err)
+	}
+	fmt.Fprintln(w)
+
+	children := make([][]int, len(tr.Spans))
+	for i, sp := range tr.Spans {
+		if i == 0 {
+			continue
+		}
+		if sp.Parent >= 0 && int(sp.Parent) < len(tr.Spans) {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		}
+	}
+	self := selfTimes(tr)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := tr.Spans[i]
+		attrs := ""
+		for _, a := range sp.Attrs {
+			if a.Str != "" {
+				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Str)
+			} else {
+				attrs += fmt.Sprintf(" %s=%d", a.Key, a.Num)
+			}
+		}
+		fmt.Fprintf(w, "  %s%-*s %10s (self %s)%s\n",
+			strings.Repeat("  ", depth), 20-2*depth, sp.Stage,
+			fmtDur(sp.End-sp.Start), fmtDur(self[i]), attrs)
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	if len(tr.Spans) > 0 {
+		walk(0, 0)
+	}
+}
+
+// fmtDur renders nanoseconds compactly (µs under 1ms, ms under 10s).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return d.Truncate(time.Millisecond).String()
+	}
+}

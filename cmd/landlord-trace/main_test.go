@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// fixture builds a two-trace dump with a known critical path: the
+// slow trace spends 60 of its 100 units in fsync_wait, so the stages
+// table must rank fsync_wait first.
+func fixture() []telemetry.Trace {
+	return []telemetry.Trace{
+		{
+			ID: 0xabc, Outcome: "insert", DurationNanos: 100, Kept: telemetry.KeptSlow,
+			Spans: []telemetry.Span{
+				{Stage: telemetry.StageRequest, Parent: telemetry.SpanNone, Start: 0, End: 100},
+				{Stage: telemetry.StageInsert, Parent: 0, Start: 10, End: 40,
+					Attrs: []telemetry.Attr{{Key: "bytes_written", Num: 512}}},
+				{Stage: telemetry.StageWALAppend, Parent: 1, Start: 20, End: 30},
+				{Stage: telemetry.StageFsyncWait, Parent: 0, Start: 40, End: 100},
+			},
+		},
+		{
+			ID: 0xdef, Outcome: "hit", DurationNanos: 20, Kept: telemetry.KeptSlow,
+			Spans: []telemetry.Span{
+				{Stage: telemetry.StageRequest, Parent: telemetry.SpanNone, Start: 0, End: 20},
+				{Stage: telemetry.StageHit, Parent: 0, Start: 5, End: 15},
+			},
+		},
+	}
+}
+
+func TestSelfTimesPartitionRoot(t *testing.T) {
+	tr := fixture()[0]
+	self := selfTimes(&tr)
+	// request: 100 - (30 insert + 60 fsync) = 10; insert: 30 - 10 wal = 20.
+	want := []int64{10, 20, 10, 60}
+	var sum int64
+	for i, got := range self {
+		if got != want[i] {
+			t.Fatalf("self[%d] (%s) = %d, want %d", i, tr.Spans[i].Stage, got, want[i])
+		}
+		sum += got
+	}
+	if sum != tr.DurationNanos {
+		t.Fatalf("self times sum to %d, want the trace duration %d", sum, tr.DurationNanos)
+	}
+}
+
+func TestStagesTableRanksDominantStage(t *testing.T) {
+	path := writeDump(t, "dump.json", fixture(), false)
+	var out strings.Builder
+	if err := runStages([]string{"-in", path}, &out); err != nil {
+		t.Fatalf("stages: %v", err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	// Summary, blank line, column header, then rows: the first row
+	// must be fsync_wait with a 50% share (60 of 120 total self units).
+	if len(lines) < 5 {
+		t.Fatalf("short output:\n%s", got)
+	}
+	first := lines[3]
+	if !strings.HasPrefix(first, telemetry.StageFsyncWait) {
+		t.Fatalf("top row %q, want %s first\noutput:\n%s", first, telemetry.StageFsyncWait, got)
+	}
+	if !strings.Contains(first, "50.0%") {
+		t.Fatalf("fsync_wait row %q missing 50.0%% share", first)
+	}
+}
+
+func TestTopListsSlowestFirstWithDominantStage(t *testing.T) {
+	path := writeDump(t, "dump.jsonl", fixture(), true)
+	var out strings.Builder
+	if err := runTop([]string{"-in", path, "-n", "1"}, &out); err != nil {
+		t.Fatalf("top: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "0000000000000abc") {
+		t.Fatalf("top output missing slowest trace id:\n%s", got)
+	}
+	if strings.Contains(got, "0000000000000def") {
+		t.Fatalf("-n 1 leaked the second trace:\n%s", got)
+	}
+	if !strings.Contains(got, "fsync_wait (60%)") {
+		t.Fatalf("top output missing dominant stage share:\n%s", got)
+	}
+}
+
+func TestShowRendersSpanTree(t *testing.T) {
+	path := writeDump(t, "dump.json", fixture(), false)
+	var out strings.Builder
+	if err := runShow([]string{"-in", path, "-id", "0000000000000abc"}, &out); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"outcome=insert", "wal_append", "bytes_written=512"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("show output missing %q:\n%s", want, got)
+		}
+	}
+	// wal_append is nested two levels deep: more indented than insert.
+	walLine, insertLine := "", ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "wal_append") {
+			walLine = line
+		}
+		if strings.Contains(line, "insert") && !strings.Contains(line, "outcome") {
+			insertLine = line
+		}
+	}
+	if indent(walLine) <= indent(insertLine) {
+		t.Fatalf("wal_append not nested under insert:\n%s", got)
+	}
+	if err := runShow([]string{"-in", path, "-id", "00000000000000ff"}, &out); err == nil {
+		t.Fatalf("show of an absent id succeeded")
+	}
+}
+
+func TestDecodeTracesBothShapes(t *testing.T) {
+	array := writeDump(t, "a.json", fixture(), false)
+	jsonl := writeDump(t, "b.jsonl", fixture(), true)
+	for _, path := range []string{array, jsonl} {
+		got, err := loadTraces(path, "")
+		if err != nil {
+			t.Fatalf("loadTraces(%s): %v", path, err)
+		}
+		if len(got) != 2 || got[0].ID != 0xabc || len(got[0].Spans) != 4 {
+			t.Fatalf("loadTraces(%s): got %d traces, first %+v", path, len(got), got[0])
+		}
+	}
+	if _, err := loadTraces("", ""); err == nil {
+		t.Fatalf("loadTraces with no source succeeded")
+	}
+	if _, err := loadTraces("x", "http://y"); err == nil {
+		t.Fatalf("loadTraces with both sources succeeded")
+	}
+}
+
+// writeDump writes the traces as a JSON array or JSONL file.
+func writeDump(t *testing.T, name string, traces []telemetry.Trace, jsonl bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var b []byte
+	if jsonl {
+		for _, tr := range traces {
+			line, err := json.Marshal(tr)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			b = append(b, line...)
+			b = append(b, '\n')
+		}
+	} else {
+		var err error
+		b, err = json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func indent(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " "))
+}

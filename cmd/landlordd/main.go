@@ -52,6 +52,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // maintenanceInterval converts a request-count prune schedule into a
@@ -216,6 +217,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Runtime metrics (goroutines, heap, GC pauses, uptime) are polled
+	// on the maintenance cadence rather than at scrape time, so a slow
+	// collector can never stall /metrics. The poller always runs; the
+	// prune-driven maintenance pass below stays config-gated.
+	runtimeMetrics := telemetry.NewRuntimeCollector(srv.Registry())
+	go func() {
+		interval := maintenanceInterval(site.PruneEveryRequests)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				runtimeMetrics.Poll()
+			}
+		}
+	}()
 
 	if site.PruneEveryRequests > 0 {
 		interval := maintenanceInterval(site.PruneEveryRequests)

@@ -22,7 +22,11 @@
 // proves each one is caught within 1,000 generated requests.
 package check
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Failure is one invariant violation, carrying everything needed to
 // reproduce it: the seed that generated the schedule, the step at
@@ -36,6 +40,12 @@ type Failure struct {
 	Step int
 	// Diagnostic describes the violated invariant in seed-stable terms.
 	Diagnostic string
+	// TraceDump, when the failing harness ran a span-traced server, is
+	// the server's tail-sampling trace ring at the moment of failure —
+	// where the latency went in the requests leading up to the
+	// violation. CI uploads it as an artifact alongside the repro seed.
+	// It is advisory context, not part of the deterministic diagnostic.
+	TraceDump []telemetry.Trace
 }
 
 // Error renders the failure with its reproduction command.

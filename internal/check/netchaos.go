@@ -49,10 +49,10 @@ type NetChaosConfig struct {
 // NetChaosReport summarizes one run's observed traffic.
 type NetChaosReport struct {
 	Steps        int
-	Acked        int // client-visible 200s on /v1/request
-	Sheds        int // 429s observed
-	Degraded     int // 503s observed while the store was failing
-	CircuitFast  int // calls failed fast by the client breaker
+	Acked        int   // client-visible 200s on /v1/request
+	Sheds        int   // 429s observed
+	Degraded     int   // 503s observed while the store was failing
+	CircuitFast  int   // calls failed fast by the client breaker
 	NetErrors    int   // calls lost to injected transport faults
 	NetInjected  int64 // faults the transport injected
 	DiskInjected int   // faults the filesystem injected
@@ -109,6 +109,15 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 		audit  *server.Client // clean path for invariant audits
 	)
 	acked := make(map[string]ackedReq) // keyed by joined package keys
+
+	// dump attaches the server's trace ring to a failure so CI can
+	// upload where-the-time-went context alongside the repro seed.
+	dump := func(f *Failure) *Failure {
+		if f != nil && srv != nil && srv.TraceRing() != nil {
+			f.TraceDump = srv.TraceRing().Dump(0)
+		}
+		return f
+	}
 
 	chaos := resilience.NewChaosTransport(http.DefaultTransport, cfg.Net)
 
@@ -204,7 +213,7 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 	}
 
 	if f := boot(0); f != nil {
-		return rep, f
+		return rep, dump(f)
 	}
 	defer func() {
 		ts.Close()
@@ -218,7 +227,7 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 	for step := 0; step < cfg.Steps; step++ {
 		if event(cfg.CrashEvery) {
 			if f := crash(step); f != nil {
-				return rep, f
+				return rep, dump(f)
 			}
 		}
 		// Self-healing: when the store has gone sticky (injected disk
@@ -229,7 +238,7 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 			if err := srv.ProbeDegradedNow(); err == nil {
 				rep.Heals++
 				if !srv.Ready() {
-					return rep, failf(cfg.Seed, step, "netchaos: healed server not ready")
+					return rep, dump(failf(cfg.Seed, step, "netchaos: healed server not ready"))
 				}
 			}
 		}
@@ -252,15 +261,15 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 			if isStatus(err, http.StatusTooManyRequests) {
 				// Shed invariant: a 429 never moves the request counter.
 				if after := srv.StatsNow().Requests; after != before {
-					return rep, failf(cfg.Seed, step,
-						"netchaos: shed request mutated the cache (requests %d -> %d)", before, after)
+					return rep, dump(failf(cfg.Seed, step,
+						"netchaos: shed request mutated the cache (requests %d -> %d)", before, after))
 				}
 			}
 			classify(err, &rep)
 			continue
 		}
 		if res.Op == "" {
-			return rep, failf(cfg.Seed, step, "netchaos: 200 with empty op")
+			return rep, dump(failf(cfg.Seed, step, "netchaos: 200 with empty op"))
 		}
 		rep.Acked++
 		acked[strings.Join(keys, ",")] = ackedReq{keys: keys, step: step}
@@ -268,7 +277,7 @@ func RunNetChaos(cfg NetChaosConfig) (NetChaosReport, *Failure) {
 
 	// Final crash: every run ends with a recovery audit.
 	if f := crash(cfg.Steps); f != nil {
-		return rep, f
+		return rep, dump(f)
 	}
 	rep.NetInjected = chaos.Injected()
 	rep.DiskInjected += ffs.Injected()

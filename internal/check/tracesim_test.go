@@ -1,0 +1,69 @@
+package check
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTraceSimCoverage is the acceptance check for the span-tracing
+// stack: one seeded run against a real persistent HTTP server must
+// retain a trace dump whose span trees cover every canonical stage,
+// and at least one kept trace must have continued a propagated
+// X-Landlord-Trace header.
+func TestTraceSimCoverage(t *testing.T) {
+	rep, f := RunTraceSim(TraceSimDefault(*seedFlag, t.TempDir()))
+	if f != nil {
+		t.Fatalf("%v", f)
+	}
+	if rep.Kept == 0 || len(rep.Dump) != rep.Kept {
+		t.Fatalf("inconsistent dump: kept=%d len=%d", rep.Kept, len(rep.Dump))
+	}
+	want := telemetry.CanonicalStages()
+	if len(rep.StagesCovered) < len(want) {
+		t.Fatalf("covered %d stages, want %d: %v", len(rep.StagesCovered), len(want), rep.StagesCovered)
+	}
+	if rep.Propagated == 0 {
+		t.Fatalf("no kept trace carried a remote parent")
+	}
+	// Every kept trace has a root request span and a consistent tree:
+	// parents precede children and durations are non-negative.
+	for _, tr := range rep.Dump {
+		if len(tr.Spans) == 0 || tr.Spans[0].Stage != telemetry.StageRequest {
+			t.Fatalf("trace %s: missing root request span", tr.ID)
+		}
+		for i, sp := range tr.Spans {
+			if i == 0 {
+				continue
+			}
+			if sp.Parent < 0 || int(sp.Parent) >= i {
+				t.Fatalf("trace %s span %d (%s): parent %d out of order", tr.ID, i, sp.Stage, sp.Parent)
+			}
+			if sp.End < sp.Start {
+				t.Fatalf("trace %s span %d (%s): negative duration", tr.ID, i, sp.Stage)
+			}
+		}
+	}
+}
+
+// TestTraceSimDeterministic proves the replay contract: two runs of
+// the same seed produce byte-identical reports, including the full
+// trace-ring dump — every span boundary, attribute, and trace ID.
+func TestTraceSimDeterministic(t *testing.T) {
+	run := func() []byte {
+		rep, f := RunTraceSim(TraceSimDefault(7, t.TempDir()))
+		if f != nil {
+			t.Fatalf("%v", f)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed trace dumps differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pkggraph"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // workerImage is one locally cached image copy.
@@ -158,7 +159,18 @@ type Site struct {
 	health         []workerHealth
 	coldMigrations int64
 	circuitOpens   int64
+
+	// spans, when set via SetSpanTracer, records one trace per
+	// submitted job: the core phases plus the head-to-worker dispatch
+	// hop. Nil keeps submission untraced.
+	spans *telemetry.SpanTracer
 }
+
+// SetSpanTracer installs span tracing on the site. Sites embedded in a
+// server share the server's tracer so job traces land in the same
+// tail-sampling ring. Call before submitting; not safe to change while
+// jobs are in flight.
+func (s *Site) SetSpanTracer(t *telemetry.SpanTracer) { s.spans = t }
 
 // NewSite builds a site over repo.
 func NewSite(repo *pkggraph.Repo, cfg SiteConfig) (*Site, error) {
@@ -188,13 +200,37 @@ type SiteResult struct {
 // whose circuit admits it (see SetHealthPolicy; without a policy the
 // rotation is plain round-robin).
 func (s *Site) Submit(job spec.Spec) (SiteResult, error) {
-	res, err := s.Manager.Request(job)
+	return s.SubmitTrace("", job)
+}
+
+// SubmitTrace is Submit continuing a propagated trace: wire is the
+// X-Landlord-Trace header value from the upstream hop ("" or malformed
+// starts a fresh trace). The job's trace covers the core request
+// phases plus a cluster_dispatch span for the head-to-worker image
+// shipment — the per-hop wire format ROADMAP item 2 (networked
+// cluster dispatch) will carry over HTTP. With no span tracer
+// installed, tracing is skipped entirely.
+func (s *Site) SubmitTrace(wire string, job spec.Spec) (SiteResult, error) {
+	var at *telemetry.ActiveTrace
+	if s.spans != nil {
+		id, parent, ok := telemetry.ParseTraceHeader(wire)
+		if !ok {
+			id, parent = 0, 0
+		}
+		at = s.spans.Start(id, parent)
+	}
+	res, err := s.Manager.RequestTraced(job, at)
 	if err != nil {
+		at.Finish("error", err.Error(), 0)
 		return SiteResult{}, err
 	}
+	ds := at.Begin(telemetry.StageClusterDispatch, at.Root())
 	w := s.pickWorker()
 	s.jobs++
 	transferred := w.Run(res.ImageID, res.ImageVersion, res.ImageSize)
+	at.AttrInt(ds, "worker", int64(w.ID))
+	at.EndInt(ds, "transferred_bytes", transferred)
+	at.Finish(res.Op.String(), "", res.Seq)
 	return SiteResult{
 		Site:        s.Name,
 		Worker:      w.ID,

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Policy selects the site a job is routed to. Implementations must be
@@ -81,11 +83,24 @@ func New(sites []*Site, policy Policy) (*Cluster, error) {
 
 // Submit routes one job to a site and executes it.
 func (c *Cluster) Submit(job spec.Spec) (SiteResult, error) {
+	return c.SubmitCtx(context.Background(), job)
+}
+
+// SubmitCtx is Submit with trace propagation: an ActiveTrace attached
+// to ctx (telemetry.ContextWithTrace) is carried to the chosen site in
+// the X-Landlord-Trace wire format, so the site's job trace links back
+// to the submitter's span — the same hop shape a networked dispatch
+// (ROADMAP 2) will use over HTTP.
+func (c *Cluster) SubmitCtx(ctx context.Context, job spec.Spec) (SiteResult, error) {
 	i := c.policy.Pick(job, c.Sites)
 	if i < 0 || i >= len(c.Sites) {
 		return SiteResult{}, fmt.Errorf("cluster: policy %q picked invalid site %d", c.policy.Name(), i)
 	}
-	return c.Sites[i].Submit(job)
+	wire := ""
+	if at := telemetry.TraceFromContext(ctx); at != nil {
+		wire = telemetry.FormatTraceHeader(at.TraceID(), at.Root())
+	}
+	return c.Sites[i].SubmitTrace(wire, job)
 }
 
 // Report aggregates cluster-wide accounting after a stream has run.

@@ -151,6 +151,10 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 		return Result{}, err
 	}
 	m := c.m
+	// Span tracing rides the context: the server attaches the request's
+	// ActiveTrace and every layer below records into it. A nil trace
+	// (untraced callers, benchmarks) costs one branch per span site.
+	at := telemetry.TraceFromContext(ctx)
 	// Pure pre-computation: no locks needed, Repo and Spec are
 	// immutable.
 	sig := m.sign(s)
@@ -160,11 +164,20 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 	var ev *telemetry.Event
 	if m.cfg.Tracer != nil {
 		start = time.Now()
-		ev = &telemetry.Event{SpecPackages: s.Len(), RequestBytes: reqBytes}
+		ev = &telemetry.Event{SpecPackages: s.Len(), RequestBytes: reqBytes, TraceID: at.TraceID()}
 	}
 
+	rlSpan := at.Begin(telemetry.StageLockWaitRead, at.Root())
 	c.rlock()
-	if img := m.findSuperset(s, sig, ev); img != nil {
+	at.End(rlSpan)
+	scanSpan := at.Begin(telemetry.StageSupersetScan, at.Root())
+	img := m.findSuperset(s, sig, ev)
+	if ev != nil {
+		at.AttrInt(scanSpan, "scanned", int64(ev.SupersetScanned))
+	}
+	at.End(scanSpan)
+	if img != nil {
+		hitSpan := at.Begin(telemetry.StageHit, at.Root())
 		c.hitMu.Lock()
 		m.clock++
 		clock := m.clock
@@ -184,8 +197,11 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
 		// The hook must run before hitMu is released so the WAL sees
 		// touches in clock order (see the linearization guarantee above).
+		ws := at.Begin(telemetry.StageWALAppend, hitSpan)
 		m.commit(Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: clock, RequestBytes: reqBytes})
+		at.End(ws)
 		c.hitMu.Unlock()
+		at.EndInt(hitSpan, "image_id", int64(img.ID))
 		c.readHits.Add(1)
 		if ev != nil {
 			ev.Seq = res.Seq
@@ -206,12 +222,14 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	wlSpan := at.Begin(telemetry.StageLockWaitWrite, at.Root())
 	c.lock()
+	at.End(wlSpan)
 	if err := ctx.Err(); err != nil {
 		c.mu.Unlock()
 		return Result{}, err
 	}
-	res, err := m.Request(s)
+	res, err := m.RequestTraced(s, at)
 	c.mu.Unlock()
 	return res, err
 }

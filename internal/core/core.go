@@ -314,6 +314,15 @@ func (m *Manager) sign(s spec.Spec) similarity.Signature {
 // request's whole lifecycle is emitted before returning; with a nil
 // Tracer no per-request instrumentation state is allocated or updated.
 func (m *Manager) Request(s spec.Spec) (Result, error) {
+	return m.RequestTraced(s, nil)
+}
+
+// RequestTraced is Request with span-level latency attribution: each
+// phase of Algorithm 1 (superset scan, merge scan, hit/merge/insert
+// bookkeeping, WAL append, eviction) is recorded as a child span of at.
+// A nil at costs one branch per span site — the uninstrumented fast
+// path stays allocation-free.
+func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result, error) {
 	if s.Empty() {
 		return Result{}, errEmptySpec()
 	}
@@ -330,27 +339,43 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 			Seq:          m.clock,
 			SpecPackages: s.Len(),
 			RequestBytes: reqBytes,
+			TraceID:      at.TraceID(),
 		}
 	}
 
 	sig := m.sign(s)
 
 	// Phase 1: an existing image satisfies s.
-	if img := m.findSuperset(s, sig, ev); img != nil {
+	scanSpan := at.Begin(telemetry.StageSupersetScan, at.Root())
+	img := m.findSuperset(s, sig, ev)
+	if ev != nil {
+		at.AttrInt(scanSpan, "scanned", int64(ev.SupersetScanned))
+	}
+	at.End(scanSpan)
+	if img != nil {
+		hitSpan := at.Begin(telemetry.StageHit, at.Root())
 		if !mutantEnabled("touch") {
 			img.lastUse = m.clock
 		}
 		img.served(s)
 		m.stats.Hits++
-		m.commit(Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: img.lastUse, RequestBytes: reqBytes})
+		m.commitSpan(at, hitSpan, Mutation{Kind: MutTouch, ImageID: img.ID, LastUse: img.lastUse, RequestBytes: reqBytes})
 		res := Result{Seq: m.clock, Op: OpHit, ImageID: img.ID, ImageVersion: img.Version, ImageSize: img.Size, RequestBytes: reqBytes}
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
+		at.EndInt(hitSpan, "image_id", int64(img.ID))
 		m.trace(ev, res, start)
 		return res, nil
 	}
 
 	// Phase 2: merge into a close-enough image.
-	if img := m.findMergeTarget(s, sig, ev); img != nil {
+	mergeScan := at.Begin(telemetry.StageMergeScan, at.Root())
+	img = m.findMergeTarget(s, sig, ev)
+	if ev != nil {
+		at.AttrInt(mergeScan, "candidates", int64(len(ev.Candidates)))
+	}
+	at.End(mergeScan)
+	if img != nil {
+		mergeSpan := at.Begin(telemetry.StageMerge, at.Root())
 		merged := img.Spec.Union(s)
 		m.total -= img.Size
 		img.Spec = merged
@@ -366,7 +391,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		m.stats.Merges++
 		m.stats.BytesWritten += img.Size // the merged image is rewritten whole
 		if m.cfg.Commit != nil {
-			m.commit(Mutation{
+			m.commitSpan(at, mergeSpan, Mutation{
 				Kind: MutMerge, ImageID: img.ID, LastUse: img.lastUse,
 				Version: img.Version, Merges: img.Merges,
 				RequestBytes: reqBytes, Packages: m.keysOf(img.Spec),
@@ -381,14 +406,16 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 			RequestBytes: reqBytes,
 			BytesWritten: img.Size,
 		}
-		res.Evicted, res.EvictedBytes = m.evict(img.ID)
+		at.EndInt(mergeSpan, "bytes_written", img.Size)
+		res.Evicted, res.EvictedBytes = m.evictTraced(at, img.ID)
 		m.stats.ContainerEffSum += res.ContainerEfficiency()
 		m.trace(ev, res, start)
 		return res, nil
 	}
 
 	// Phase 3: insert a new image.
-	img := &Image{
+	insSpan := at.Begin(telemetry.StageInsert, at.Root())
+	img = &Image{
 		ID:      m.nextID,
 		Spec:    s,
 		Size:    reqBytes,
@@ -403,7 +430,7 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 	m.stats.Inserts++
 	m.stats.BytesWritten += img.Size
 	if m.cfg.Commit != nil {
-		m.commit(Mutation{
+		m.commitSpan(at, insSpan, Mutation{
 			Kind: MutInsert, ImageID: img.ID, LastUse: img.lastUse,
 			RequestBytes: reqBytes, Packages: m.keysOf(img.Spec),
 		})
@@ -417,10 +444,35 @@ func (m *Manager) Request(s spec.Spec) (Result, error) {
 		RequestBytes: reqBytes,
 		BytesWritten: img.Size,
 	}
-	res.Evicted, res.EvictedBytes = m.evict(img.ID)
+	at.EndInt(insSpan, "bytes_written", img.Size)
+	res.Evicted, res.EvictedBytes = m.evictTraced(at, img.ID)
 	m.stats.ContainerEffSum += res.ContainerEfficiency()
 	m.trace(ev, res, start)
 	return res, nil
+}
+
+// commitSpan is commit wrapped in a wal_append child span: the commit
+// hook is where the durability layer appends to its WAL, so its cost is
+// attributed separately from the in-memory bookkeeping around it.
+func (m *Manager) commitSpan(at *telemetry.ActiveTrace, parent telemetry.SpanRef, mut Mutation) {
+	if m.cfg.Commit == nil {
+		return
+	}
+	ws := at.Begin(telemetry.StageWALAppend, parent)
+	m.cfg.Commit.Commit(mut)
+	at.End(ws)
+}
+
+// evictTraced wraps evict in an evict span when a capacity limit makes
+// eviction possible at all.
+func (m *Manager) evictTraced(at *telemetry.ActiveTrace, keep uint64) (int, int64) {
+	if m.cfg.Capacity <= 0 {
+		return 0, 0
+	}
+	es := at.Begin(telemetry.StageEvict, at.Root())
+	n, bytes := m.evict(keep)
+	at.EndInt(es, "evicted_bytes", bytes)
+	return n, bytes
 }
 
 // errEmptySpec is the rejection both request paths share.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
 
@@ -107,5 +109,118 @@ func TestSetTracerStacksCollectors(t *testing.T) {
 	request(t, m, sp(0, 1))
 	if len(first.events) != 1 || len(second.events) != 1 {
 		t.Fatalf("stacked tracers got %d/%d events", len(first.events), len(second.events))
+	}
+}
+
+// spanStages flattens a trace's stages for coverage assertions.
+func spanStages(tr telemetry.Trace) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tr.Spans {
+		out[sp.Stage]++
+	}
+	return out
+}
+
+func TestRequestTracedRecordsAlgorithmSpans(t *testing.T) {
+	repo := flatRepo(t, 10, 1)
+	ring := telemetry.NewTraceRing(16, 16)
+	spans := telemetry.NewSpanTracer(ring)
+	// Capacity forces an eviction sweep on every mutation; the event
+	// tracer makes the scan spans carry their work-count attributes.
+	m := mgr(t, repo, Config{Alpha: 0.6, Capacity: 6, Tracer: &collectTracer{}})
+
+	run := func(s spec.Spec, outcome string) telemetry.Trace {
+		t.Helper()
+		at := spans.Start(0, 0)
+		res, err := m.RequestTraced(s, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at.Finish(res.Op.String(), "", res.Seq)
+		if res.Op.String() != outcome {
+			t.Fatalf("op %s, want %s", res.Op, outcome)
+		}
+		tr, ok := ring.Get(at.TraceID())
+		if !ok {
+			t.Fatalf("trace for %s not retained", outcome)
+		}
+		return tr
+	}
+
+	insert := run(sp(0, 1, 2, 3), "insert")
+	hit := run(sp(0, 1, 2, 3), "hit")
+	merge := run(sp(0, 1, 2, 4), "merge")
+
+	st := spanStages(insert)
+	for _, stage := range []string{telemetry.StageSupersetScan, telemetry.StageMergeScan, telemetry.StageInsert, telemetry.StageEvict} {
+		if st[stage] != 1 {
+			t.Fatalf("insert trace stages %v missing %s", st, stage)
+		}
+	}
+	st = spanStages(hit)
+	if st[telemetry.StageHit] != 1 || st[telemetry.StageSupersetScan] != 1 {
+		t.Fatalf("hit trace stages %v", st)
+	}
+	if st[telemetry.StageMergeScan] != 0 {
+		t.Fatalf("hit trace ran a merge scan: %v", st)
+	}
+	st = spanStages(merge)
+	if st[telemetry.StageMerge] != 1 || st[telemetry.StageEvict] != 1 {
+		t.Fatalf("merge trace stages %v", st)
+	}
+
+	// The scan spans carry their work counts as attributes.
+	for _, sp := range hit.Spans {
+		if sp.Stage == telemetry.StageSupersetScan {
+			if len(sp.Attrs) != 1 || sp.Attrs[0].Key != "scanned" || sp.Attrs[0].Num < 1 {
+				t.Fatalf("superset_scan attrs %+v", sp.Attrs)
+			}
+		}
+	}
+
+	// Request with a nil trace still works (the untraced path).
+	if _, err := m.RequestTraced(sp(0, 1, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Request(sp(0, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentManagerTracesLockWaits(t *testing.T) {
+	repo := flatRepo(t, 10, 1)
+	ring := telemetry.NewTraceRing(16, 16)
+	spans := telemetry.NewSpanTracer(ring)
+	cm, err := NewConcurrent(repo, Config{Alpha: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(s spec.Spec) telemetry.Trace {
+		t.Helper()
+		at := spans.Start(0, 0)
+		ctx := telemetry.ContextWithTrace(context.Background(), at)
+		res, err := cm.RequestCtx(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at.Finish(res.Op.String(), "", res.Seq)
+		tr, ok := ring.Get(at.TraceID())
+		if !ok {
+			t.Fatalf("trace not retained")
+		}
+		return tr
+	}
+
+	miss := spanStages(run(sp(0, 1, 2, 3))) // insert: read path, then write path
+	if miss[telemetry.StageLockWaitRead] != 1 || miss[telemetry.StageLockWaitWrite] != 1 {
+		t.Fatalf("insert stages %v, want both lock-wait spans", miss)
+	}
+	fast := spanStages(run(sp(0, 1, 2, 3))) // hit: read path only
+	if fast[telemetry.StageLockWaitRead] != 1 || fast[telemetry.StageLockWaitWrite] != 0 {
+		t.Fatalf("hit stages %v, want read lock wait only", fast)
+	}
+	if fast[telemetry.StageHit] != 1 {
+		t.Fatalf("fast-path hit not spanned: %v", fast)
 	}
 }

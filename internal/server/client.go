@@ -249,6 +249,13 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 	if deadline, ok := ctx.Deadline(); ok {
 		req.Header.Set(DeadlineHeader, strconv.FormatInt(deadline.UnixNano(), 10))
 	}
+	// Trace propagation: a caller holding an ActiveTrace in ctx gets
+	// its trace continued on the server side (same trace ID, this hop's
+	// root span as the remote parent).
+	if at := telemetry.TraceFromContext(ctx); at != nil {
+		req.Header.Set(telemetry.TraceHeaderName,
+			telemetry.FormatTraceHeader(at.TraceID(), at.Root()))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return true, fmt.Errorf("server client: %s %s: %w", method, path, err)
@@ -354,5 +361,24 @@ func (c *Client) Events(limit int) ([]telemetry.Event, error) {
 	}
 	var out []telemetry.Event
 	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Traces fetches the server's tail-sampling trace ring (GET /v1/trace),
+// slowest first. limit <= 0 fetches everything retained.
+func (c *Client) Traces(limit int) ([]telemetry.Trace, error) {
+	path := "/v1/trace"
+	if limit > 0 {
+		path = fmt.Sprintf("/v1/trace?limit=%d", limit)
+	}
+	var out []telemetry.Trace
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// TraceByID fetches one retained trace (GET /v1/trace/{id}).
+func (c *Client) TraceByID(id telemetry.TraceID) (telemetry.Trace, error) {
+	var out telemetry.Trace
+	err := c.do(http.MethodGet, "/v1/trace/"+id.String(), nil, &out)
 	return out, err
 }

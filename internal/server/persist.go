@@ -30,6 +30,7 @@ func NewPersistent(repo *pkggraph.Repo, cfg core.Config, store *persist.Store, c
 	// Recovery is single-threaded; the concurrent facade goes on before
 	// any goroutine can reach the manager.
 	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: core.Concurrent(mgr), store: store, ckptEvery: checkpointEvery}
+	s.initTracing()
 	s.registerCacheMetrics()
 	s.registerContentionMetrics()
 	s.registerResilienceMetrics()

@@ -281,8 +281,8 @@ func (t *toggleFS) Open(name string) (persist.File, error) { return t.inner.Open
 func (t *toggleFS) ReadDir(name string) ([]fs.DirEntry, error) {
 	return t.inner.ReadDir(name)
 }
-func (t *toggleFS) Remove(name string) error            { return t.inner.Remove(name) }
-func (t *toggleFS) Rename(oldpath, newpath string) error { return t.inner.Rename(oldpath, newpath) }
+func (t *toggleFS) Remove(name string) error              { return t.inner.Remove(name) }
+func (t *toggleFS) Rename(oldpath, newpath string) error  { return t.inner.Rename(oldpath, newpath) }
 func (t *toggleFS) Stat(name string) (fs.FileInfo, error) { return t.inner.Stat(name) }
 func (t *toggleFS) CreateTemp(dir, pattern string) (persist.File, error) {
 	return t.wrap(t.inner.CreateTemp(dir, pattern))

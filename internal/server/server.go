@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,11 @@ type Server struct {
 	repo *pkggraph.Repo
 	reg  *telemetry.Registry
 	ring *telemetry.Ring
+
+	// Span tracing (trace.go): every request is traced; the
+	// tail-sampling ring keeps the slowest and the interesting ones.
+	spans  *telemetry.SpanTracer
+	traces *telemetry.TraceRing
 
 	cmgr *core.ConcurrentManager
 	// sem, when non-nil, bounds concurrently processed /v1/request
@@ -79,6 +85,7 @@ func New(repo *pkggraph.Repo, cfg core.Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{repo: repo, reg: reg, ring: ring, cmgr: cmgr}
+	s.initTracing()
 	s.registerCacheMetrics()
 	s.registerContentionMetrics()
 	s.registerResilienceMetrics()
@@ -149,13 +156,15 @@ func newOpTracer(reg *telemetry.Registry) *opTracer {
 	return t
 }
 
-// Trace implements telemetry.Tracer.
+// Trace implements telemetry.Tracer. Traced requests stamp their
+// latency bucket with an exemplar, linking the histogram's tail
+// buckets to concrete trace IDs in the tail-sampling ring.
 func (t *opTracer) Trace(ev *telemetry.Event) {
 	h, ok := t.hists[ev.Op]
 	if !ok {
 		h = t.fallback
 	}
-	h.Observe(float64(ev.DurationNanos) / float64(time.Second))
+	h.ObserveExemplar(float64(ev.DurationNanos)/float64(time.Second), ev.TraceID)
 	if ev.Evicted > 0 {
 		t.evicted.Add(int64(ev.Evicted))
 		t.evictedByt.Add(ev.EvictedBytes)
@@ -296,6 +305,8 @@ func (s *Server) Handler() http.Handler {
 		"/v1/healthz":    s.handleHealthz,
 		"/v1/readyz":     s.handleReadyz,
 		"/v1/events":     s.handleEvents,
+		"/v1/trace":      s.handleTrace,
+		"/v1/trace/":     s.handleTrace,
 		"/metrics":       s.handleMetrics,
 	} {
 		mux.Handle(route, telemetry.Middleware(s.reg, route, h))
@@ -358,47 +369,81 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Every request is span-traced (tail sampling decides retention at
+	// the end). The trace continues a propagated X-Landlord-Trace
+	// header when present, and the response echoes this hop's context
+	// so the caller can correlate.
+	at := s.startTrace(r)
+	if at != nil {
+		w.Header().Set(telemetry.TraceHeaderName,
+			telemetry.FormatTraceHeader(at.TraceID(), at.Root()))
+	}
+	outcome, errMsg, seq := s.serveRequest(w, r, at)
+	at.Finish(outcome, errMsg, seq)
+}
+
+// serveRequest is the traced body of handleRequest. It returns the
+// trace outcome ("hit"/"merge"/"insert" for served requests, "shed",
+// "degraded", "timeout", "canceled", or "error" otherwise), the error
+// message for the trace, and the request's linearization Seq.
+func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request, at *telemetry.ActiveTrace) (string, string, uint64) {
 	// Admission control runs before anything queues: a shed response
 	// costs microseconds and a Retry-After, an admitted request holds a
 	// connection, a semaphore slot, and eventually the cache lock.
 	if s.shedder != nil {
+		adm := at.Begin(telemetry.StageAdmission, at.Root())
 		release, reason := s.shedder.Admit()
 		if release == nil {
+			at.AttrStr(adm, "decision", "shed")
+			at.End(adm)
 			s.noteShed()
 			retry := s.shedder.RetryAfter(reason)
 			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 			writeError(w, http.StatusTooManyRequests, "overloaded: shedding by %s", reason)
-			return
+			return "shed", fmt.Sprintf("overloaded: shedding by %s", reason), 0
 		}
+		at.AttrStr(adm, "decision", "admit")
+		at.End(adm)
 		defer release()
 		s.noteAdmit()
 	}
+	dls := at.Begin(telemetry.StageDeadline, at.Root())
 	ctx, cancel := requestContext(r)
 	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		at.AttrInt(dls, "present", 1)
+	} else {
+		at.AttrInt(dls, "present", 0)
+	}
+	at.End(dls)
+	// The trace rides the context from here down: the concurrent
+	// manager, the core algorithm, and the commit hook all record into
+	// it.
+	ctx = telemetry.ContextWithTrace(ctx, at)
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-ctx.Done():
 			writeError(w, http.StatusServiceUnavailable, "server at max_inflight and client gave up: %v", ctx.Err())
-			return
+			return "shed", "max_inflight queue abandoned: " + ctx.Err().Error(), 0
 		}
 	}
 	var body RequestBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
+		return "error", "decoding request: " + err.Error(), 0
 	}
 	if len(body.Packages) == 0 {
 		writeError(w, http.StatusBadRequest, "no packages in specification")
-		return
+		return "error", "no packages in specification", 0
 	}
 	ids := make([]pkggraph.PkgID, 0, len(body.Packages))
 	for _, key := range body.Packages {
 		id, ok := s.repo.Lookup(key)
 		if !ok {
 			writeError(w, http.StatusBadRequest, "unknown package %q", key)
-			return
+			return "error", fmt.Sprintf("unknown package %q", key), 0
 		}
 		ids = append(ids, id)
 	}
@@ -418,8 +463,7 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	// cannot rebuild.
 	if s.store != nil && s.store.Err() != nil {
 		s.noteDegraded()
-		s.serveDegraded(w, sp)
-		return
+		return s.serveDegraded(w, sp)
 	}
 
 	res, err := s.cmgr.RequestCtx(ctx, sp)
@@ -427,12 +471,14 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the cache mutated: %v", err)
+			return "timeout", err.Error(), 0
 		case errors.Is(err, context.Canceled):
 			writeError(w, http.StatusServiceUnavailable, "client gave up: %v", err)
+			return "canceled", err.Error(), 0
 		default:
 			writeError(w, http.StatusInternalServerError, "request failed: %v", err)
+			return "error", err.Error(), 0
 		}
-		return
 	}
 	s.maybeCheckpoint()
 	if s.store != nil {
@@ -440,19 +486,22 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		// stable storage before the acknowledgement (under fsync=always;
 		// a no-op otherwise). Called with no cache locks held, so one
 		// leader's fsync covers every request in flight.
-		if err := s.store.WaitDurable(); err != nil {
+		fss := at.Begin(telemetry.StageFsyncWait, at.Root())
+		err := s.store.WaitDurable()
+		at.End(fss)
+		if err != nil {
 			// Durability failed under this request's feet. Refuse to ack
 			// anything the WAL lost: inserts/merges are gone, and even a
 			// hit is unsafe if the image it names was never made durable.
 			s.noteDegraded()
 			if res.Op == core.OpHit && !s.store.Tainted(res.ImageID) {
 				s.writeDegradedHit(w, res, sp.Len())
-				return
+				return "degraded", "", res.Seq
 			}
 			writeError(w, http.StatusServiceUnavailable,
 				"durability lost before acknowledgement (%s of image %d not persisted): %v",
 				res.Op, res.ImageID, err)
-			return
+			return "degraded", err.Error(), res.Seq
 		}
 	}
 	writeJSON(w, http.StatusOK, RequestResponse{
@@ -465,19 +514,21 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		Evicted:      res.Evicted,
 		Packages:     sp.Len(),
 	})
+	return res.Op.String(), "", res.Seq
 }
 
 // serveDegraded answers a /v1/request while the store is failing.
-func (s *Server) serveDegraded(w http.ResponseWriter, sp spec.Spec) {
+func (s *Server) serveDegraded(w http.ResponseWriter, sp spec.Spec) (string, string, uint64) {
 	res, ok := s.cmgr.PeekHit(sp)
 	if ok && !s.store.Tainted(res.ImageID) {
 		s.writeDegradedHit(w, res, sp.Len())
-		return
+		return "degraded", "", 0
 	}
 	w.Header().Set("Retry-After", "1")
 	w.Header().Set(DegradedHeader, "1")
 	writeError(w, http.StatusServiceUnavailable,
 		"degraded: durability lost (%v); serving read-only until healed", s.store.Err())
+	return "degraded", s.store.Err().Error(), 0
 }
 
 // writeDegradedHit acks a hit that is safe despite the failing store:
@@ -579,10 +630,19 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exposes the telemetry registry in the Prometheus text
 // exposition format, so site monitoring can scrape the cache without
 // bespoke integration: the legacy cache counters plus request-latency
-// histograms and the per-route HTTP series.
+// histograms and the per-route HTTP series. OpenMetrics output — with
+// bucket exemplars linking latency buckets to trace IDs — is served
+// when the scraper asks for it (Accept: application/openmetrics-text
+// or ?exemplars=1); plain 0.0.4 scrapes stay byte-compatible.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+		r.URL.Query().Get("exemplars") == "1" {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.WriteOpenMetrics(w)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -591,7 +651,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents serves the most recent request events from the trace
 // ring buffer, oldest first. `?limit=N` bounds the response to the N
-// most recent events.
+// most recent events and `?outcome=hit|merge|insert` filters by
+// operation.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -610,7 +671,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	events := s.ring.Events(limit)
+	outcome := r.URL.Query().Get("outcome")
+	switch outcome {
+	case "", "hit", "merge", "insert":
+	default:
+		writeError(w, http.StatusBadRequest, "outcome must be one of hit, merge, insert")
+		return
+	}
+	events := s.ring.EventsWhere(outcome, limit)
 	if events == nil {
 		events = []telemetry.Event{}
 	}

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// testServiceWithServer is testService but also returns the Server so
+// tests can reach the tracer and ring directly.
+func testServiceWithServer(t testing.TB, cfg core.Config) (*Server, *Client, string) {
+	t.Helper()
+	srv, err := New(testRepo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, ts.Client()), ts.URL
+}
+
+func TestEveryRequestIsTracedAndTailSampled(t *testing.T) {
+	srv, client, _ := testServiceWithServer(t, core.Config{Alpha: 0.6})
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if srv.SpanTracer().Started() < 2 {
+		t.Fatalf("started %d traces, want >= 2", srv.SpanTracer().Started())
+	}
+	dump := srv.TraceRing().Dump(0)
+	if len(dump) < 2 {
+		t.Fatalf("ring kept %d traces", len(dump))
+	}
+	outcomes := map[string]bool{}
+	for _, tr := range dump {
+		outcomes[tr.Outcome] = true
+		if len(tr.Spans) == 0 || tr.Spans[0].Stage != telemetry.StageRequest {
+			t.Fatalf("trace %s has no root request span", tr.ID)
+		}
+	}
+	if !outcomes["insert"] || !outcomes["hit"] {
+		t.Fatalf("dump outcomes %v, want insert and hit", outcomes)
+	}
+}
+
+func TestTraceResponseHeaderAndPropagation(t *testing.T) {
+	srv, _, base := testServiceWithServer(t, core.Config{Alpha: 0.6})
+
+	body := strings.NewReader(`{"packages":["libA/1.0/p"],"close":true}`)
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/request", body)
+	req.Header.Set(telemetry.TraceHeaderName, "00000000deadbeef-00000003-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The response echoes this hop's context with the propagated ID.
+	echo := resp.Header.Get(telemetry.TraceHeaderName)
+	id, parent, ok := telemetry.ParseTraceHeader(echo)
+	if !ok || id != 0xdeadbeef || parent != 1 {
+		t.Fatalf("response header %q (id=%v parent=%d ok=%v)", echo, id, parent, ok)
+	}
+	// The retained trace records the caller's span link.
+	tr, ok := srv.TraceRing().Get(0xdeadbeef)
+	if !ok {
+		t.Fatalf("propagated trace not retained")
+	}
+	if tr.RemoteParent != 3 {
+		t.Fatalf("RemoteParent = %d, want 3", tr.RemoteParent)
+	}
+
+	// A malformed header starts a fresh trace instead of failing.
+	req2, _ := http.NewRequest(http.MethodPost, base+"/v1/request",
+		strings.NewReader(`{"packages":["libB/1.0/p"],"close":true}`))
+	req2.Header.Set(telemetry.TraceHeaderName, "not-a-trace-header")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("malformed header broke the request: %d", resp2.StatusCode)
+	}
+	if echo2 := resp2.Header.Get(telemetry.TraceHeaderName); echo2 == "" {
+		t.Fatalf("fresh trace not echoed")
+	}
+}
+
+func TestClientPropagatesContextTrace(t *testing.T) {
+	srv, client, _ := testServiceWithServer(t, core.Config{Alpha: 0.6})
+	ht := telemetry.NewSpanTracer(nil)
+	at := ht.Start(0, 0)
+	ctx := telemetry.ContextWithTrace(context.Background(), at)
+	if _, err := client.RequestCtx(ctx, []string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	want := at.TraceID()
+	at.Finish("insert", "", 0)
+	if _, ok := srv.TraceRing().Get(want); !ok {
+		t.Fatalf("server did not continue the client's trace %s", want)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	srv, client, base := testServiceWithServer(t, core.Config{Alpha: 0.6})
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := client.Traces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatalf("GET /v1/trace returned nothing")
+	}
+	got, err := client.TraceByID(traces[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != traces[0].ID || len(got.Spans) == 0 {
+		t.Fatalf("TraceByID = %+v", got)
+	}
+	// Unknown ID is a 404, bad ID a 400, bad limit a 400.
+	if _, err := client.TraceByID(telemetry.TraceID(0x1234)); err == nil {
+		t.Fatalf("ghost trace served")
+	}
+	for _, path := range []string{"/v1/trace/zzz", "/v1/trace?limit=x"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	// Limit truncates.
+	if _, err := client.Request([]string{"libB/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	limited, err := client.Traces(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 {
+		t.Fatalf("Traces(1) returned %d", len(limited))
+	}
+	_ = srv
+}
+
+func TestEventsOutcomeFilter(t *testing.T) {
+	_, client, base := testServiceWithServer(t, core.Config{Alpha: 0.6})
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(q string) (int, []telemetry.Event) {
+		resp, err := http.Get(base + "/v1/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, nil
+		}
+		var evs []telemetry.Event
+		if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, evs
+	}
+
+	if code, evs := get("?outcome=hit"); code != http.StatusOK || len(evs) != 1 || evs[0].Op != "hit" {
+		t.Fatalf("outcome=hit: code=%d evs=%+v", code, evs)
+	}
+	if code, evs := get("?outcome=insert&limit=1"); code != http.StatusOK || len(evs) != 1 || evs[0].Op != "insert" {
+		t.Fatalf("outcome=insert&limit=1: code=%d evs=%+v", code, evs)
+	}
+	if code, evs := get(""); code != http.StatusOK || len(evs) != 2 {
+		t.Fatalf("unfiltered: code=%d evs=%+v", code, evs)
+	}
+	if code, _ := get("?outcome=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus outcome accepted: %d", code)
+	}
+	// Events carry the trace ID that links them to the ring.
+	if _, evs := get("?outcome=hit"); len(evs) == 1 && evs[0].TraceID == 0 {
+		t.Fatalf("event missing trace id: %+v", evs[0])
+	}
+}
+
+func TestMetricsExemplarsAreOptIn(t *testing.T) {
+	_, client, base := testServiceWithServer(t, core.Config{Alpha: 0.6})
+	if _, err := client.Request([]string{"libA/1.0/p"}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(accept, query string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, base+"/metrics"+query, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	plain, plainCT := fetch("", "")
+	if strings.Contains(plain, "# {") || strings.Contains(plain, "# EOF") {
+		t.Fatalf("plain scrape contains OpenMetrics syntax")
+	}
+	if strings.Contains(plainCT, "openmetrics") {
+		t.Fatalf("plain scrape content type %q", plainCT)
+	}
+
+	for _, mode := range []struct{ accept, query string }{
+		{"application/openmetrics-text; version=1.0.0", ""},
+		{"", "?exemplars=1"},
+	} {
+		om, ct := fetch(mode.accept, mode.query)
+		if !strings.Contains(ct, "application/openmetrics-text") {
+			t.Fatalf("openmetrics content type %q (accept=%q query=%q)", ct, mode.accept, mode.query)
+		}
+		if !strings.HasSuffix(om, "# EOF\n") {
+			t.Fatalf("openmetrics scrape missing EOF")
+		}
+		if !strings.Contains(om, `trace_id="`) {
+			t.Fatalf("openmetrics scrape has no exemplars:\n%s", om[:min(len(om), 2000)])
+		}
+		// The exemplar's trace ID must reference a retained trace.
+		scr, err := telemetry.ParseText(strings.NewReader(om))
+		if err != nil {
+			t.Fatalf("own scrape unparseable: %v", err)
+		}
+		if len(scr.Exemplars) == 0 {
+			t.Fatalf("parsed scrape has no exemplars")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// BenchmarkNilTraceSpanSite measures the disabled-tracing cost of one
+// instrumented site: a Begin/AttrInt/End triple on a nil ActiveTrace.
+// This is the price every call site pays when tracing is off — it must
+// stay allocation-free and a few nanoseconds.
+func BenchmarkNilTraceSpanSite(b *testing.B) {
+	var at *ActiveTrace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref := at.Begin(StageSupersetScan, at.Root())
+		at.AttrInt(ref, "scanned", int64(i))
+		at.End(ref)
+	}
+}
+
+// BenchmarkActiveTraceRequest measures a full traced request shape —
+// start, five spans with attributes, finish into a discard sink —
+// with the pooled ActiveTrace reused across iterations.
+func BenchmarkActiveTraceRequest(b *testing.B) {
+	tr := NewSpanTracer(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := tr.Start(0, 0)
+		adm := at.Begin(StageAdmission, at.Root())
+		at.AttrStr(adm, "decision", "admit")
+		at.End(adm)
+		scan := at.Begin(StageSupersetScan, at.Root())
+		at.EndInt(scan, "scanned", 40)
+		hit := at.Begin(StageHit, at.Root())
+		wal := at.Begin(StageWALAppend, hit)
+		at.End(wal)
+		at.EndInt(hit, "image_id", 7)
+		fs := at.Begin(StageFsyncWait, at.Root())
+		at.End(fs)
+		at.Finish("hit", "", uint64(i))
+	}
+}
+
+// BenchmarkTraceRingKeep measures tail-sampling retention cost once
+// the ring is full (the steady state: most traces lose the min-replace
+// comparison and are dropped without copying).
+func BenchmarkTraceRingKeep(b *testing.B) {
+	ring := NewTraceRing(64, 64)
+	tr := NewSpanTracer(ring)
+	for i := 0; i < 128; i++ {
+		at := tr.Start(0, 0)
+		at.Finish("hit", "", uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := tr.Start(0, 0)
+		ref := at.Begin(StageSupersetScan, at.Root())
+		at.End(ref)
+		at.Finish("hit", "", uint64(i))
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarLandsInRightBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("landlord_test_seconds", "test", []float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.05, TraceID(0xbeef)) // bucket index 1 (le=0.1)
+	h.ObserveExemplar(5, TraceID(0xcafe))    // +Inf bucket (index 3)
+	h.ObserveExemplar(0.5, 0)                // zero trace id: counted, no exemplar
+
+	if ex := h.BucketExemplar(1); ex == nil || ex.TraceID != 0xbeef || ex.Value != 0.05 {
+		t.Fatalf("bucket 1 exemplar %+v", ex)
+	}
+	if ex := h.BucketExemplar(3); ex == nil || ex.TraceID != 0xcafe {
+		t.Fatalf("+Inf exemplar %+v", ex)
+	}
+	if ex := h.BucketExemplar(2); ex != nil {
+		t.Fatalf("bucket 2 has unexpected exemplar %+v", ex)
+	}
+	if ex := h.BucketExemplar(99); ex != nil {
+		t.Fatalf("out-of-range bucket returned %+v", ex)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count %d, want 3 (zero-id observation must still count)", got)
+	}
+	// Last write wins within a bucket.
+	h.ObserveExemplar(0.06, TraceID(0xf00d))
+	if ex := h.BucketExemplar(1); ex.TraceID != 0xf00d {
+		t.Fatalf("exemplar not replaced: %+v", ex)
+	}
+}
+
+func TestPlainExpositionOmitsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("landlord_test_seconds", "test", []float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.05, TraceID(0xbeef))
+
+	var plain strings.Builder
+	if err := reg.WriteText(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") || strings.Contains(plain.String(), "# {") {
+		t.Fatalf("plain 0.0.4 exposition leaked exemplars:\n%s", plain.String())
+	}
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	if !strings.Contains(out, `trace_id="000000000000beef"`) {
+		t.Fatalf("openmetrics output missing exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("openmetrics output missing EOF marker:\n%s", out)
+	}
+}
+
+func TestExemplarRoundTripThroughParseText(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("landlord_test_seconds", "test", []float64{0.01, 0.1, 1},
+		Label{Key: "op", Value: "hit"})
+	h.ObserveExemplar(0.05, TraceID(0xbeef))
+
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	scr, err := ParseText(strings.NewReader(om.String()))
+	if err != nil {
+		t.Fatalf("scraping openmetrics output: %v\n%s", err, om.String())
+	}
+	ex, ok := scr.Exemplar("landlord_test_seconds_bucket",
+		Label{Key: "op", Value: "hit"}, Label{Key: "le", Value: "0.1"})
+	if !ok {
+		t.Fatalf("no exemplar on the le=0.1 bucket:\n%s", om.String())
+	}
+	if ex.Value != 0.05 {
+		t.Fatalf("exemplar value %v, want 0.05", ex.Value)
+	}
+	if len(ex.Labels) != 1 || ex.Labels[0].Key != "trace_id" || ex.Labels[0].Value != "000000000000beef" {
+		t.Fatalf("exemplar labels %+v", ex.Labels)
+	}
+	if ex.Timestamp <= 0 {
+		t.Fatalf("exemplar timestamp %v, want > 0", ex.Timestamp)
+	}
+	// The sample values themselves must parse identically to a plain
+	// scrape: the exemplar is a suffix, not a format change.
+	if v, ok := scr.Value("landlord_test_seconds_count", Label{Key: "op", Value: "hit"}); !ok || v != 1 {
+		t.Fatalf("count sample lost: %v %v", v, ok)
+	}
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	hostile := `a"b\c` + "\nnext"
+	reg.Counter("landlord_escape_total", `help with \ and "quotes"`+"\nand a newline",
+		Label{Key: "path", Value: hostile}).Add(3)
+
+	for _, write := range []func(*strings.Builder) error{
+		func(b *strings.Builder) error { return reg.WriteText(b) },
+		func(b *strings.Builder) error { return reg.WriteOpenMetrics(b) },
+	} {
+		var out strings.Builder
+		if err := write(&out); err != nil {
+			t.Fatal(err)
+		}
+		scr, err := ParseText(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("scraping escaped output: %v\n%s", err, out.String())
+		}
+		v, ok := scr.Value("landlord_escape_total", Label{Key: "path", Value: hostile})
+		if !ok || v != 3 {
+			t.Fatalf("hostile label did not round-trip: %v %v\n%s", v, ok, out.String())
+		}
+	}
+}

@@ -20,6 +20,16 @@ type Scrape struct {
 	// Samples maps a canonical series key (name plus sorted labels) to
 	// its value.
 	Samples map[string]float64
+	// Exemplars maps a series key to its OpenMetrics exemplar, present
+	// only for scrapes of WriteOpenMetrics output.
+	Exemplars map[string]ScrapedExemplar
+}
+
+// ScrapedExemplar is a parsed `# {labels} value [timestamp]` exemplar.
+type ScrapedExemplar struct {
+	Labels    []Label
+	Value     float64
+	Timestamp float64 // Unix seconds; zero when absent
 }
 
 // Value looks up a sample by name and labels (order-insensitive).
@@ -29,14 +39,22 @@ func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
 	return v, ok
 }
 
+// Exemplar looks up a series' exemplar by name and labels.
+func (s *Scrape) Exemplar(name string, labels ...Label) (ScrapedExemplar, bool) {
+	sig, _ := canonical(labels)
+	e, ok := s.Exemplars[name+sig]
+	return e, ok
+}
+
 // ParseText parses a Prometheus text exposition (version 0.0.4) as a
 // scraper would. It returns an error on any malformed line, so tests
 // double as format validation.
 func ParseText(r io.Reader) (*Scrape, error) {
 	out := &Scrape{
-		Types:   map[string]string{},
-		Help:    map[string]string{},
-		Samples: map[string]float64{},
+		Types:     map[string]string{},
+		Help:      map[string]string{},
+		Samples:   map[string]float64{},
+		Exemplars: map[string]ScrapedExemplar{},
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -64,6 +82,10 @@ func ParseText(r io.Reader) (*Scrape, error) {
 }
 
 func parseComment(line string, out *Scrape) error {
+	if line == "# EOF" {
+		// OpenMetrics end-of-exposition marker.
+		return nil
+	}
 	fields := strings.SplitN(line, " ", 4)
 	if len(fields) < 3 {
 		return fmt.Errorf("malformed comment %q", line)
@@ -112,6 +134,12 @@ func parseSample(line string, out *Scrape) error {
 		return fmt.Errorf("invalid metric name %q", name)
 	}
 	valStr := strings.TrimSpace(rest)
+	// An OpenMetrics exemplar may trail the value after " # ".
+	exStr := ""
+	if i := strings.Index(valStr, "#"); i >= 0 {
+		exStr = strings.TrimSpace(valStr[i+1:])
+		valStr = strings.TrimSpace(valStr[:i])
+	}
 	// A timestamp may follow the value; take the first field.
 	if i := strings.IndexAny(valStr, " \t"); i >= 0 {
 		valStr = valStr[:i]
@@ -126,7 +154,40 @@ func parseSample(line string, out *Scrape) error {
 		return fmt.Errorf("duplicate sample %q", key)
 	}
 	out.Samples[key] = v
+	if exStr != "" {
+		ex, err := parseExemplar(exStr)
+		if err != nil {
+			return fmt.Errorf("sample %q: %w", line, err)
+		}
+		out.Exemplars[key] = ex
+	}
 	return nil
+}
+
+// parseExemplar parses the `{k="v",...} value [timestamp]` tail of an
+// OpenMetrics exemplar (the leading "# " already stripped).
+func parseExemplar(s string) (ScrapedExemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return ScrapedExemplar{}, fmt.Errorf("exemplar must start with '{'")
+	}
+	labels, rest, err := parseLabels(s)
+	if err != nil {
+		return ScrapedExemplar{}, fmt.Errorf("exemplar labels: %w", err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return ScrapedExemplar{}, fmt.Errorf("exemplar has no value")
+	}
+	ex := ScrapedExemplar{Labels: labels}
+	if ex.Value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return ScrapedExemplar{}, fmt.Errorf("exemplar value: %v", err)
+	}
+	if len(fields) > 1 {
+		if ex.Timestamp, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return ScrapedExemplar{}, fmt.Errorf("exemplar timestamp: %v", err)
+		}
+	}
+	return ex, nil
 }
 
 // parseLabels consumes a `{k="v",...}` block and returns the labels

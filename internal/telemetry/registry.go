@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one name="value" dimension of a metric series.
@@ -92,10 +93,21 @@ type histShard struct {
 type Histogram struct {
 	bounds []float64
 	shards [histShards]*histShard
+	// ex holds one exemplar per bucket (last write wins) linking the
+	// bucket to a concrete trace ID — how an operator goes from "the
+	// p99 bucket is hot" to one inspectable trace.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it.
+type Exemplar struct {
+	Value     float64
+	TraceID   TraceID
+	UnixNanos int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	h := &Histogram{bounds: bounds}
+	h := &Histogram{bounds: bounds, ex: make([]atomic.Pointer[Exemplar], len(bounds)+1)}
 	for i := range h.shards {
 		h.shards[i] = &histShard{bins: make([]atomic.Int64, len(bounds)+1)}
 	}
@@ -121,6 +133,28 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when id is non-zero, stamps
+// the bucket the value lands in with an exemplar linking to that trace.
+// Last write wins per bucket: recency beats completeness for "show me
+// a trace from this bucket".
+func (h *Histogram) ObserveExemplar(v float64, id TraceID) {
+	h.Observe(v)
+	if id == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&Exemplar{Value: v, TraceID: id, UnixNanos: time.Now().UnixNano()})
+}
+
+// BucketExemplar returns the exemplar for bucket i (same indexing as
+// binCounts: len(bounds) is the +Inf bucket), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // Bounds returns the bucket upper bounds (excluding +Inf).
@@ -202,6 +236,13 @@ func canonical(labels []Label) (string, []Label) {
 
 func escapeLabel(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash
+// and newline only (quotes are legal in help).
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 	return r.Replace(v)
 }
 
@@ -304,17 +345,34 @@ func formatFloat(v float64) string {
 }
 
 // WriteText renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4).
+// exposition format (version 0.0.4). Exemplars are omitted: 0.0.4
+// scrapers reject the suffix, so they live only in WriteOpenMetrics.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the same families with OpenMetrics-style
+// bucket exemplars (`... # {trace_id="<id>"} <value> <ts>`) and a
+// closing `# EOF` marker. Serve it on Accept: application/openmetrics-text
+// or an explicit query opt-in; plain scrapes keep getting WriteText.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.write(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) write(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, name := range r.order {
 		f := r.families[name]
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
 			return err
 		}
 		for _, sig := range f.order {
-			if err := writeSeries(w, f, sig); err != nil {
+			if err := writeSeries(w, f, sig, exemplars); err != nil {
 				return err
 			}
 		}
@@ -322,7 +380,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, sig string) error {
+func writeSeries(w io.Writer, f *family, sig string, exemplars bool) error {
 	switch s := f.series[sig].(type) {
 	case *Counter:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, s.Value())
@@ -334,25 +392,33 @@ func writeSeries(w io.Writer, f *family, sig string) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, sig, formatFloat(s()))
 		return err
 	case *Histogram:
-		return writeHistogram(w, f, sig, s)
+		return writeHistogram(w, f, sig, s, exemplars)
 	default:
 		return fmt.Errorf("telemetry: unknown series type %T", s)
 	}
 }
 
 // writeHistogram renders the _bucket/_sum/_count triple of one series.
-func writeHistogram(w io.Writer, f *family, sig string, h *Histogram) error {
+func writeHistogram(w io.Writer, f *family, sig string, h *Histogram, exemplars bool) error {
 	base := f.labels[sig]
 	bins := h.binCounts()
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += bins[i]
-		if err := writeBucket(w, f.name, base, formatFloat(bound), cum); err != nil {
+		var ex *Exemplar
+		if exemplars {
+			ex = h.BucketExemplar(i)
+		}
+		if err := writeBucket(w, f.name, base, formatFloat(bound), cum, ex); err != nil {
 			return err
 		}
 	}
 	cum += bins[len(bins)-1]
-	if err := writeBucket(w, f.name, base, "+Inf", cum); err != nil {
+	var ex *Exemplar
+	if exemplars {
+		ex = h.BucketExemplar(len(bins) - 1)
+	}
+	if err := writeBucket(w, f.name, base, "+Inf", cum, ex); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, sig, formatFloat(h.Sum())); err != nil {
@@ -362,7 +428,7 @@ func writeHistogram(w io.Writer, f *family, sig string, h *Histogram) error {
 	return err
 }
 
-func writeBucket(w io.Writer, name string, base []Label, le string, cum int64) error {
+func writeBucket(w io.Writer, name string, base []Label, le string, cum int64, ex *Exemplar) error {
 	withLE := append(append([]Label(nil), base...), Label{"le", le})
 	// The "le" label is rendered last (Prometheus convention), not
 	// re-sorted into the base labels.
@@ -375,6 +441,13 @@ func writeBucket(w io.Writer, name string, base []Label, le string, cum int64) e
 		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
 	}
 	b.WriteByte('}')
+	if ex != nil {
+		_, err := fmt.Fprintf(w, "%s_bucket%s %d # {trace_id=\"%s\"} %s %s\n",
+			name, b.String(), cum, ex.TraceID,
+			formatFloat(ex.Value),
+			formatFloat(float64(ex.UnixNanos)/1e9))
+		return err
+	}
 	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, b.String(), cum)
 	return err
 }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector exports Go runtime health into a Registry:
+// goroutine count, heap bytes, GC pause latency, and process uptime.
+// ReadMemStats stops the world, so the collector is *polled* (the
+// daemon's maintenance ticker calls Poll) and scrapes read the last
+// snapshot — a scrape storm can never amplify into a stop-the-world
+// storm.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	started time.Time
+
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcPauses   *Histogram
+	gcRuns     *Counter
+
+	lastNumGC uint32
+}
+
+// NewRuntimeCollector registers the runtime metrics in reg and returns
+// the collector. Call Poll periodically to refresh.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{
+		started: time.Now(),
+		goroutines: reg.Gauge("landlord_go_goroutines",
+			"Goroutines at the last runtime poll"),
+		heapAlloc: reg.Gauge("landlord_go_heap_alloc_bytes",
+			"Live heap bytes at the last runtime poll"),
+		heapSys: reg.Gauge("landlord_go_heap_sys_bytes",
+			"Heap bytes obtained from the OS at the last runtime poll"),
+		gcPauses: reg.Histogram("landlord_go_gc_pause_seconds",
+			"Stop-the-world GC pause latency",
+			ExponentialBuckets(1e-6, 4, 10)),
+		gcRuns: reg.Counter("landlord_go_gc_runs_total",
+			"Completed GC cycles observed by the runtime poller"),
+	}
+	reg.GaugeFunc("landlord_uptime_seconds",
+		"Seconds since the process started",
+		func() float64 { return time.Since(c.started).Seconds() })
+	c.Poll() // scrape-before-first-tick shows real values, not zeros
+	return c
+}
+
+// Poll snapshots the runtime and feeds new GC pauses into the
+// histogram. Safe for concurrent use; cheap enough for a minutes-scale
+// ticker.
+func (c *RuntimeCollector) Poll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+
+	// PauseNs is a circular buffer indexed by GC cycle; walk only the
+	// cycles completed since the last poll so each pause is observed
+	// exactly once (capped at the buffer length on a long gap).
+	newGC := ms.NumGC - c.lastNumGC
+	if newGC > uint32(len(ms.PauseNs)) {
+		newGC = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newGC; i++ {
+		cycle := ms.NumGC - i
+		pause := ms.PauseNs[(cycle+255)%256]
+		c.gcPauses.Observe(float64(pause) / 1e9)
+	}
+	c.gcRuns.Add(int64(newGC))
+	c.lastNumGC = ms.NumGC
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorRegistersAndPolls(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+
+	// Force at least one GC cycle so pause metrics move.
+	runtime.GC()
+	rc.Poll()
+
+	var out strings.Builder
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	scr, err := ParseText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("scraping runtime metrics: %v\n%s", err, out.String())
+	}
+	if v, ok := scr.Value("landlord_go_goroutines"); !ok || v < 1 {
+		t.Fatalf("goroutines = %v %v", v, ok)
+	}
+	if v, ok := scr.Value("landlord_go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap_alloc = %v %v", v, ok)
+	}
+	if v, ok := scr.Value("landlord_go_gc_runs_total"); !ok || v < 1 {
+		t.Fatalf("gc_runs = %v %v (a forced GC must be visible)", v, ok)
+	}
+	if v, ok := scr.Value("landlord_go_gc_pause_seconds_count"); !ok || v < 1 {
+		t.Fatalf("gc pause histogram empty: %v %v", v, ok)
+	}
+	if v, ok := scr.Value("landlord_uptime_seconds"); !ok || v < 0 {
+		t.Fatalf("uptime = %v %v", v, ok)
+	}
+}
+
+func TestRuntimeCollectorPollIsIncremental(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+	runtime.GC()
+	rc.Poll()
+	pauses := func() float64 {
+		var out strings.Builder
+		if err := reg.WriteText(&out); err != nil {
+			t.Fatal(err)
+		}
+		scr, err := ParseText(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := scr.Value("landlord_go_gc_pause_seconds_count")
+		return v
+	}
+	first := pauses()
+	// Polling again without new GC cycles must not re-count old pauses.
+	rc.Poll()
+	if again := pauses(); again != first {
+		t.Fatalf("pause count moved without a GC: %v -> %v", first, again)
+	}
+	runtime.GC()
+	runtime.GC()
+	rc.Poll()
+	if after := pauses(); after < first+2 {
+		t.Fatalf("two forced GCs recorded %v pauses (had %v)", after, first)
+	}
+}

@@ -81,6 +81,10 @@ type Event struct {
 
 	// DurationNanos is the wall-clock cost of the Request call.
 	DurationNanos int64 `json:"duration_ns"`
+
+	// TraceID links the event to its span trace when the request was
+	// traced (zero otherwise).
+	TraceID TraceID `json:"trace_id,omitempty"`
 }
 
 // Tracer receives one Event per cache request. Implementations must be
@@ -202,6 +206,26 @@ func (r *Ring) Events(limit int) []Event {
 		out = append(out, r.buf[(start+i)%n])
 	}
 	return out
+}
+
+// EventsWhere returns up to limit of the most recent events whose Op
+// matches outcome ("" matches everything), oldest first. limit <= 0
+// means no limit. It backs the /v1/events ?outcome=&limit= filters.
+func (r *Ring) EventsWhere(outcome string, limit int) []Event {
+	all := r.Events(0)
+	if outcome != "" {
+		kept := all[:0]
+		for _, ev := range all {
+			if ev.Op == outcome {
+				kept = append(kept, ev)
+			}
+		}
+		all = kept
+	}
+	if limit > 0 && limit < len(all) {
+		all = all[len(all)-limit:]
+	}
+	return all
 }
 
 // Total returns the number of events ever traced (retained or not).

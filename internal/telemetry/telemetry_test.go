@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -138,5 +139,57 @@ func TestEventJSONSchema(t *testing.T) {
 		if !strings.Contains(string(data), field) {
 			t.Errorf("event JSON missing field %s: %s", field, data)
 		}
+	}
+}
+
+func TestRingEventsWhere(t *testing.T) {
+	r := NewRing(8)
+	ops := []string{"hit", "merge", "hit", "insert", "hit", "merge"}
+	for i, op := range ops {
+		r.Trace(&Event{Seq: uint64(i + 1), Op: op})
+	}
+	hits := r.EventsWhere("hit", 0)
+	if len(hits) != 3 || hits[0].Seq != 1 || hits[2].Seq != 5 {
+		t.Fatalf("EventsWhere(hit) = %+v", hits)
+	}
+	// Limit keeps the most recent matches, oldest-first order.
+	if got := r.EventsWhere("hit", 2); len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 5 {
+		t.Fatalf("EventsWhere(hit, 2) = %+v", got)
+	}
+	if got := r.EventsWhere("", 2); len(got) != 2 || got[1].Seq != 6 {
+		t.Fatalf("EventsWhere(\"\", 2) = %+v", got)
+	}
+	if got := r.EventsWhere("shed", 0); len(got) != 0 {
+		t.Fatalf("EventsWhere(shed) = %+v", got)
+	}
+}
+
+func TestRingConcurrentTraceAndFilter(t *testing.T) {
+	// Writers race the read paths; the -race CI job runs this.
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := []string{"hit", "merge", "insert"}
+			for i := 0; i < 500; i++ {
+				r.Trace(&Event{Seq: uint64(g*1000 + i), Op: ops[i%3]})
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.Events(8)
+				_ = r.EventsWhere("hit", 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", r.Total())
 	}
 }

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceRing is the always-on tail-sampling store for finished traces.
+// Head sampling (deciding at request start whether to record) cannot
+// keep the traces that matter — the p99 stragglers and the failures —
+// because their fate is unknown until the end. So every request is
+// traced, and retention is decided at Finish time:
+//
+//   - the slowest slowN traces by root duration are kept (the tail), and
+//   - every "interesting" trace — any outcome other than a served
+//     hit/merge/insert — is kept in a separate FIFO ring, so a burst of
+//     fast requests can never wash out the errors.
+//
+// Both pools are bounded; memory is O(slowN + interestingN) traces.
+// Safe for concurrent Keep and Dump.
+type TraceRing struct {
+	mu          sync.Mutex
+	slow        []Trace // unordered; min replaced on overflow
+	slowN       int
+	interesting []Trace // FIFO ring
+	intNext     int
+	intN        int
+	total       uint64 // traces ever offered
+}
+
+// KeptSlow and KeptInteresting are the values of Trace.Kept in a dump.
+const (
+	KeptSlow        = "slow"
+	KeptInteresting = "interesting"
+)
+
+// interestingOutcome reports whether a trace must be retained
+// regardless of duration.
+func interestingOutcome(t *Trace) bool {
+	if t.Err != "" {
+		return true
+	}
+	switch t.Outcome {
+	case "hit", "merge", "insert":
+		return false
+	}
+	return true
+}
+
+// NewTraceRing creates a ring keeping the slowest slowN traces and up
+// to interestingN error/shed/degraded traces (minimum 1 each).
+func NewTraceRing(slowN, interestingN int) *TraceRing {
+	if slowN < 1 {
+		slowN = 1
+	}
+	if interestingN < 1 {
+		interestingN = 1
+	}
+	return &TraceRing{
+		slow:        make([]Trace, 0, slowN),
+		slowN:       slowN,
+		interesting: make([]Trace, 0, interestingN),
+		intN:        interestingN,
+	}
+}
+
+// Keep implements TraceSink. The trace is deep-copied; the argument is
+// pooled storage owned by the caller.
+func (r *TraceRing) Keep(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if interestingOutcome(t) {
+		c := CopyTrace(t)
+		c.Kept = KeptInteresting
+		if len(r.interesting) < r.intN {
+			r.interesting = append(r.interesting, c)
+		} else {
+			r.interesting[r.intNext] = c
+		}
+		r.intNext = (r.intNext + 1) % r.intN
+		return
+	}
+	if len(r.slow) < r.slowN {
+		c := CopyTrace(t)
+		c.Kept = KeptSlow
+		r.slow = append(r.slow, c)
+		return
+	}
+	// Replace the current minimum if this trace is slower. Linear scan:
+	// slowN is small (tens) and Keep is off the request's critical path
+	// only by a mutex, so simplicity wins over a heap.
+	min := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].DurationNanos < r.slow[min].DurationNanos {
+			min = i
+		}
+	}
+	if t.DurationNanos <= r.slow[min].DurationNanos {
+		return
+	}
+	c := CopyTrace(t)
+	c.Kept = KeptSlow
+	r.slow[min] = c
+}
+
+// Dump returns up to limit retained traces, slowest first (limit <= 0
+// returns everything). Interesting traces sort by the same duration
+// key, interleaved with the slow pool.
+func (r *TraceRing) Dump(limit int) []Trace {
+	r.mu.Lock()
+	out := make([]Trace, 0, len(r.slow)+len(r.interesting))
+	out = append(out, r.slow...)
+	out = append(out, r.interesting...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].DurationNanos != out[b].DurationNanos {
+			return out[a].DurationNanos > out[b].DurationNanos
+		}
+		// Stable total order for deterministic replays.
+		if out[a].StartWall != out[b].StartWall {
+			return out[a].StartWall < out[b].StartWall
+		}
+		return out[a].ID < out[b].ID
+	})
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID. When both pools
+// hold a trace with the ID (a propagated ID reused across hops), the
+// slowest wins.
+func (r *TraceRing) Get(id TraceID) (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best Trace
+	found := false
+	for _, pool := range [][]Trace{r.slow, r.interesting} {
+		for i := range pool {
+			if pool[i].ID == id && (!found || pool[i].DurationNanos > best.DurationNanos) {
+				best = pool[i]
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Total returns the number of traces ever offered to the ring.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Kept returns how many traces are currently retained.
+func (r *TraceRing) Kept() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slow) + len(r.interesting)
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// mkTrace builds a finished trace for ring tests.
+func mkTrace(id TraceID, dur int64, outcome, errMsg string) *Trace {
+	return &Trace{
+		ID: id, StartWall: int64(id), DurationNanos: dur,
+		Outcome: outcome, Err: errMsg,
+		Spans: []Span{{Stage: StageRequest, Parent: SpanNone, End: dur}},
+	}
+}
+
+func TestTraceRingKeepsSlowestN(t *testing.T) {
+	r := NewTraceRing(3, 3)
+	for i := 1; i <= 10; i++ {
+		r.Keep(mkTrace(TraceID(i), int64(i*100), "hit", ""))
+	}
+	dump := r.Dump(0)
+	if len(dump) != 3 {
+		t.Fatalf("kept %d, want 3", len(dump))
+	}
+	for i, want := range []int64{1000, 900, 800} {
+		if dump[i].DurationNanos != want || dump[i].Kept != KeptSlow {
+			t.Fatalf("dump[%d] = %d ns kept=%q, want %d ns slow", i, dump[i].DurationNanos, dump[i].Kept, want)
+		}
+	}
+	// A fast trace must not displace a retained slow one.
+	r.Keep(mkTrace(99, 1, "hit", ""))
+	if got := r.Dump(0); len(got) != 3 || got[2].DurationNanos != 800 {
+		t.Fatalf("fast trace displaced the tail: %+v", got)
+	}
+	if r.Total() != 11 {
+		t.Fatalf("total %d, want 11", r.Total())
+	}
+}
+
+func TestTraceRingRetainsInterestingRegardlessOfSpeed(t *testing.T) {
+	r := NewTraceRing(2, 2)
+	// Fill the slow pool with slow served requests.
+	r.Keep(mkTrace(1, 1000, "hit", ""))
+	r.Keep(mkTrace(2, 2000, "merge", ""))
+	// Fast failures must still be retained.
+	r.Keep(mkTrace(3, 1, "shed", ""))
+	r.Keep(mkTrace(4, 2, "error", "boom"))
+	// An error with a served outcome is interesting because Err is set.
+	r.Keep(mkTrace(5, 3, "hit", "late failure"))
+
+	dump := r.Dump(0)
+	if len(dump) != 4 { // 2 slow + 2 interesting (FIFO dropped trace 3)
+		t.Fatalf("kept %d, want 4: %+v", len(dump), dump)
+	}
+	byID := map[TraceID]string{}
+	for _, tr := range dump {
+		byID[tr.ID] = tr.Kept
+	}
+	if byID[4] != KeptInteresting || byID[5] != KeptInteresting {
+		t.Fatalf("interesting traces not retained: %v", byID)
+	}
+	if _, ok := byID[3]; ok {
+		t.Fatalf("FIFO did not evict the oldest interesting trace: %v", byID)
+	}
+}
+
+func TestTraceRingDumpLimitAndOrder(t *testing.T) {
+	r := NewTraceRing(5, 5)
+	// Two traces with equal durations: order falls back to StartWall.
+	r.Keep(mkTrace(7, 500, "hit", ""))
+	r.Keep(mkTrace(6, 500, "hit", ""))
+	r.Keep(mkTrace(9, 900, "hit", ""))
+	dump := r.Dump(2)
+	if len(dump) != 2 || dump[0].ID != 9 || dump[1].ID != 6 {
+		t.Fatalf("dump order %+v", dump)
+	}
+}
+
+func TestTraceRingGet(t *testing.T) {
+	r := NewTraceRing(4, 4)
+	r.Keep(mkTrace(1, 100, "hit", ""))
+	r.Keep(mkTrace(2, 200, "error", "x"))
+	if tr, ok := r.Get(1); !ok || tr.DurationNanos != 100 {
+		t.Fatalf("Get(1) = %+v %v", tr, ok)
+	}
+	if tr, ok := r.Get(2); !ok || tr.Kept != KeptInteresting {
+		t.Fatalf("Get(2) = %+v %v", tr, ok)
+	}
+	if _, ok := r.Get(3); ok {
+		t.Fatalf("Get(3) found a ghost")
+	}
+	// Same ID in both pools: the slower copy wins.
+	r.Keep(mkTrace(2, 5000, "hit", ""))
+	if tr, _ := r.Get(2); tr.DurationNanos != 5000 {
+		t.Fatalf("Get(2) returned the faster copy: %+v", tr)
+	}
+}
+
+func TestTraceRingCopiesOutOfPooledStorage(t *testing.T) {
+	r := NewTraceRing(2, 2)
+	tr := NewSpanTracer(r)
+	tr.SetClock(stepClock())
+	tr.SetIDGen(func() uint64 { return 11 })
+	at := tr.Start(0, 0)
+	ref := at.Begin(StageEvict, at.Root())
+	at.EndInt(ref, "evicted_bytes", 777)
+	at.Finish("insert", "", 3)
+	// Reuse the pooled ActiveTrace for a different request; the
+	// retained copy must be unaffected.
+	at2 := tr.Start(0, 0)
+	at2.Begin(StageHit, at2.Root())
+	at2.Finish("hit", "", 4)
+
+	got, ok := r.Get(11)
+	if !ok || len(got.Spans) != 2 || got.Spans[1].Attrs[0].Num != 777 {
+		t.Fatalf("retained trace corrupted by pool reuse: %+v ok=%v", got, ok)
+	}
+}
