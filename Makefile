@@ -52,6 +52,7 @@ check:
 	$(GO) test -run 'TestMutants|TestMutantFailure' -count=1 ./internal/check
 	$(GO) run ./cmd/landlord-check sim -seed 1
 	$(GO) run ./cmd/landlord-check tracesim -seed 1
+	$(GO) run ./cmd/landlord-check fleetchaos -seed 1
 
 # Static metric-registration audit: the same family registered under
 # two kinds or two help strings renders a /metrics exposition

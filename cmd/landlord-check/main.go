@@ -5,6 +5,7 @@
 //	landlord-check soak     -seed 1 [-requests 50000] [-workers 8]
 //	landlord-check netchaos -seed 1 [-steps 240] [-trace-dump path]
 //	landlord-check tracesim -seed 1 [-steps 48] [-trace-dump path]
+//	landlord-check fleetchaos -seed 1 [-steps 240] [-agents 3]
 //	landlord-check chaos    -duration 10m [-seed 0] [-trace-dump path]
 //
 // sim runs the canonical deterministic suite — two in-memory
@@ -19,6 +20,10 @@
 // span-tracing coverage harness: a serially driven HTTP server whose
 // tracer runs on a logical clock, auditing that the retained trace
 // dump covers every canonical stage and replays byte-identically.
+// fleetchaos boots a real master fronting N in-process agents and
+// audits the fleet invariants — zero lost acks across master
+// kill/restart cycles and agent partitions, route-around of
+// partitioned agents, and bounded key movement under membership churn.
 // chaos loops the whole harness over consecutive seeds until the
 // duration expires (the nightly soak).
 //
@@ -55,6 +60,8 @@ func main() {
 		err = runNetChaos(os.Args[2:])
 	case "tracesim":
 		err = runTraceSim(os.Args[2:])
+	case "fleetchaos":
+		err = runFleetChaos(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	default:
@@ -68,13 +75,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|tracesim|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|tracesim|fleetchaos|chaos> [flags]
 
   sim      -seed N [-steps N]               deterministic suite + persistent chaos run
   soak     -seed N [-requests N] [-workers N]  concurrent soak with injected persist faults
   netchaos -seed N [-steps N] [-trace-dump P]  HTTP server under network + disk chaos
   tracesim -seed N [-steps N] [-trace-dump P]  deterministic span-trace coverage + replay audit
-  chaos    -duration D [-seed N] [-trace-dump P]  loop sim+soak+netchaos+tracesim over consecutive seeds (0 = from clock)`)
+  fleetchaos -seed N [-steps N] [-agents N]    master/agent fleet under partitions + master kills
+  chaos    -duration D [-seed N] [-trace-dump P]  loop sim+soak+netchaos+tracesim+fleetchaos over consecutive seeds (0 = from clock)`)
 }
 
 // suite runs the canonical deterministic schedule for one seed: the
@@ -229,6 +237,33 @@ func tracesim(seed int64, steps int, dump string) error {
 	return nil
 }
 
+func runFleetChaos(args []string) error {
+	fs := flag.NewFlagSet("fleetchaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "fleetchaos seed")
+	steps := fs.Int("steps", 0, "override the request count (0 = canonical 240)")
+	agents := fs.Int("agents", 0, "override the fleet size (0 = canonical 3)")
+	fs.Parse(args)
+	return fleetchaos(*seed, *steps, *agents)
+}
+
+func fleetchaos(seed int64, steps, agents int) error {
+	cfg := check.FleetChaosDefault(seed)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	if agents > 0 {
+		cfg.Agents = agents
+	}
+	rep, f := check.RunFleetChaos(cfg)
+	if f != nil {
+		return f
+	}
+	fmt.Printf("fleetchaos seed=%d steps=%d agents=%d: acked=%d unavailable=%d sheds=%d errors=%d partitions=%d master_kills=%d key_move=%.3f\n",
+		seed, rep.Steps, cfg.Agents, rep.Acked, rep.Unavailable, rep.Sheds, rep.Errors,
+		rep.Partitions, rep.MasterKills, rep.KeyMoveFraction)
+	return nil
+}
+
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "base seed (0 = derived from the clock)")
@@ -254,6 +289,9 @@ func runChaos(args []string) error {
 			return err
 		}
 		if err := tracesim(s, 0, *dump); err != nil {
+			return err
+		}
+		if err := fleetchaos(s, 0, 0); err != nil {
 			return err
 		}
 		iters++

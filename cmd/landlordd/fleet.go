@@ -1,0 +1,88 @@
+// Fleet-mode wiring: -mode master serves the internal/fleet control
+// plane (no repository, no cache — it routes /v1/request to registered
+// agents by consistent-hashed spec signature); -mode agent runs the
+// normal cache daemon and additionally registers with a master,
+// heartbeating its image directory so the master's routing and
+// placement state stay warm.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// runMaster serves the fleet control plane until SIGINT/SIGTERM. The
+// master holds only soft state — membership, ring, directory mirrors —
+// all rebuilt from agent re-registration after a restart, so there is
+// no state directory, no recovery phase, and readiness is purely "a
+// quorum of agents has registered" (fleet_quorum).
+func runMaster(site config.Site, drainWindow time.Duration, pprofOn bool) {
+	m := fleet.NewMaster(site.FleetMasterConfig())
+	stopSweep := m.StartSweeper(site.HeartbeatInterval())
+	defer stopSweep()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", m.Handler())
+	if pprofOn {
+		mountPprof(mux)
+	}
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", site.Addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("landlordd: listening on %s", ln.Addr())
+	log.Printf("landlordd: master control plane (quorum=%d, heartbeat=%v)",
+		site.FleetQuorum, site.HeartbeatInterval())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		log.Fatalf("landlordd: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("landlordd: shutdown signal received, draining (up to %v)", drainWindow)
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainWindow)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("landlordd: drain incomplete: %v", err)
+		}
+		for _, mi := range m.MembersNow() {
+			log.Printf("landlordd: final member %s state=%s images=%d", mi.ID, mi.State, mi.DirImages)
+		}
+	}
+}
+
+// startFleetAgent joins srv to the configured master's fleet and
+// starts the heartbeat loop. The generation is the startup time in
+// nanoseconds: monotonically fresh per process, so the master detects
+// restarts (new gen) and resets its directory mirror instead of
+// trusting a stale one. The returned stop halts the loop and
+// deregisters, letting the master route around this agent before its
+// listener closes.
+func startFleetAgent(site config.Site, srv *server.Server) (stop func()) {
+	cfg := site.FleetAgentConfig(uint64(time.Now().UnixNano()))
+	ag := fleet.NewAgent(cfg, srv)
+	log.Printf("landlordd: agent %q joining fleet at %s (advertise %s, beat every %v)",
+		cfg.ID, cfg.MasterURL, cfg.AdvertiseURL, cfg.Interval)
+	return ag.Start()
+}

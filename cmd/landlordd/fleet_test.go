@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/fleet"
+	"repro/internal/pkggraph"
+	"repro/internal/server"
+)
+
+// reservePort grabs a free loopback port and releases it, so an agent
+// can both listen on it and advertise it before binding. The small
+// window between close and rebind is benign on loopback in a test.
+func reservePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// TestDaemonFleet boots the real binary in all three roles: one
+// master (quorum 2) and two agents over one shared repository file.
+// The master must 503 readiness until both agents register, then
+// serve a request stream by routing to the agents; gracefully
+// stopping one agent (SIGTERM → deregister) must shrink the fleet
+// without breaking the stream.
+func TestDaemonFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary; skipped in -short")
+	}
+	bin := buildDaemon(t)
+
+	genCfg := pkggraph.DefaultGenConfig()
+	genCfg.CoreFamilies = 2
+	genCfg.FrameworkFamilies = 5
+	genCfg.LibraryFamilies = 20
+	genCfg.ApplicationFamilies = 33
+	repo := pkggraph.MustGenerate(genCfg, 44)
+	dir := t.TempDir()
+	repoFile := filepath.Join(dir, "repo.jsonl")
+	if err := repo.SaveFile(repoFile); err != nil {
+		t.Fatal(err)
+	}
+
+	masterCfg := filepath.Join(dir, "master.json")
+	if err := os.WriteFile(masterCfg, []byte(`{
+		"addr": "127.0.0.1:0",
+		"mode": "master",
+		"fleet_quorum": 2,
+		"heartbeat_interval_ms": 100
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	masterBase, _ := startDaemon(t, bin, masterCfg)
+
+	// Readiness before any agent registers must be 503, not 200: the
+	// master can accept connections but has nowhere to route.
+	resp, err := http.Get(masterBase + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty master readyz = %d, want 503", resp.StatusCode)
+	}
+
+	agentCmds := make(map[string]*os.Process)
+	for i := 0; i < 2; i++ {
+		port := reservePort(t)
+		id := fmt.Sprintf("agent-%d", i)
+		cfgPath := filepath.Join(dir, id+".json")
+		cfg := fmt.Sprintf(`{
+			"addr": "127.0.0.1:%d",
+			"mode": "agent",
+			"master_url": %q,
+			"advertise": "http://127.0.0.1:%d",
+			"agent_id": %q,
+			"heartbeat_interval_ms": 100,
+			"repo_file": %q
+		}`, port, masterBase, port, id, repoFile)
+		if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		base, cmd := startDaemon(t, bin, cfgPath)
+		waitHealthy(t, server.NewClient(base, nil))
+		agentCmds[id] = cmd.Process
+	}
+
+	// Quorum reached: the master turns ready once both agents register.
+	master := server.NewClient(masterBase, nil)
+	waitHealthy(t, master)
+
+	members := func() []fleet.MemberInfo {
+		var ms []fleet.MemberInfo
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := master.DoCtx(ctx, http.MethodGet, "/fleet/v1/members", nil, &ms); err != nil {
+			t.Fatalf("members: %v", err)
+		}
+		return ms
+	}
+	if ms := members(); len(ms) != 2 {
+		t.Fatalf("fleet members = %+v, want 2", ms)
+	}
+
+	// A request stream through the master: every spec must be served by
+	// some agent, and repeating a spec must hit the cache it landed on.
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, repo.Len())
+	for i := range keys {
+		keys[i] = repo.Package(pkggraph.PkgID(i)).Key()
+	}
+	var reqs [][]string
+	for i := 0; i < 60; i++ {
+		req := make([]string, 1+rng.Intn(3))
+		for j := range req {
+			req[j] = keys[rng.Intn(len(keys))]
+		}
+		if _, err := master.Request(req, true); err != nil {
+			t.Fatalf("request %d via master: %v", i, err)
+		}
+		reqs = append(reqs, req)
+	}
+
+	// The gossiped directory mirrors must have caught up with the
+	// placements: the master's member view shows cached images.
+	check.Eventually(t, 10*time.Second, func() bool {
+		total := 0
+		for _, mi := range members() {
+			total += mi.DirImages
+		}
+		return total > 0
+	}, "master's directory mirror never saw an image")
+
+	// Graceful agent shutdown: SIGTERM deregisters before the listener
+	// closes, so the fleet shrinks to one healthy member and the stream
+	// keeps working on the survivor.
+	if err := agentCmds["agent-1"].Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	check.Eventually(t, 15*time.Second, func() bool {
+		ms := members()
+		return len(ms) == 1 && ms[0].ID == "agent-0"
+	}, "agent-1 never left the fleet: %+v", members())
+
+	for i, req := range reqs[:20] {
+		if _, err := master.Request(req, true); err != nil {
+			t.Fatalf("request %d after agent shutdown: %v", i, err)
+		}
+	}
+}

@@ -32,6 +32,17 @@
 // from read-only degraded mode. /v1/healthz is pure liveness (always
 // 200); /v1/readyz reports readiness and 503s while degraded or
 // recovering.
+//
+// -mode selects the fleet deployment role (internal/fleet):
+// "standalone" (default) serves the local cache directly; "master"
+// runs only the routing control plane, forwarding /v1/request to
+// registered agents by consistent-hashed spec signature; "agent"
+// serves the local cache and registers with -master-url, advertising
+// -advertise and heartbeating its image directory:
+//
+//	landlordd -mode master -addr :8080 -quorum 2 &
+//	landlordd -mode agent -addr :8081 -master-url http://localhost:8080 \
+//	          -advertise http://localhost:8081 &
 package main
 
 import (
@@ -103,6 +114,12 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 		statsEvery  = flag.Duration("stats-interval", 5*time.Minute, "cache-utilization self-log interval (0 disables)")
 		drainWindow = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		mode        = flag.String("mode", "", "deployment mode: standalone, master, or agent (overrides config)")
+		masterURL   = flag.String("master-url", "", "master base URL for agent mode (overrides config)")
+		advertise   = flag.String("advertise", "", "URL the master reaches this agent at, agent mode (overrides config)")
+		agentID     = flag.String("agent-id", "", "fleet name for this agent, agent mode (overrides config)")
+		quorum      = flag.Int("quorum", -1, "agents required before the master reports ready (overrides config)")
+		heartbeatMS = flag.Int("heartbeat-ms", 0, "agent heartbeat cadence in ms (overrides config)")
 	)
 	flag.Parse()
 
@@ -133,9 +150,34 @@ func main() {
 	if *stateDir != "" {
 		site.StateDir = *stateDir
 	}
+	if *mode != "" {
+		site.Mode = *mode
+	}
+	if *masterURL != "" {
+		site.MasterURL = *masterURL
+	}
+	if *advertise != "" {
+		site.Advertise = *advertise
+	}
+	if *agentID != "" {
+		site.AgentID = *agentID
+	}
+	if *quorum >= 0 {
+		site.FleetQuorum = *quorum
+	}
+	if *heartbeatMS > 0 {
+		site.HeartbeatIntervalMS = *heartbeatMS
+	}
 	if err := site.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Master mode is a different daemon entirely: no repository, no
+	// cache, no persistence — just the routing control plane.
+	if site.FleetMode() == config.ModeMaster {
+		runMaster(site, *drainWindow, *pprofOn)
+		return
 	}
 
 	repo, err := site.OpenRepo()
@@ -215,6 +257,14 @@ func main() {
 	var live http.Handler = mux
 	handler.Store(&live)
 
+	// Agent mode: the cache daemon above is unchanged; the fleet agent
+	// rides alongside, registering with the master once the handler is
+	// live and heartbeating the image directory from then on.
+	stopFleet := func() {}
+	if site.FleetMode() == config.ModeAgent {
+		stopFleet = startFleetAgent(site, srv)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -282,6 +332,10 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills immediately
 		log.Printf("landlordd: shutdown signal received, draining (up to %v)", *drainWindow)
+		// Leave the fleet first: deregistering moves this agent's
+		// keyspace to the survivors before the listener closes, so the
+		// master never forwards into a draining daemon.
+		stopFleet()
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {

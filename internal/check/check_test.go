@@ -28,6 +28,9 @@ func TestCheckReplay(t *testing.T) {
 	if _, f := RunNetChaos(NetChaosDefault(seed, t.TempDir())); f != nil {
 		t.Fatal(f)
 	}
+	if _, f := RunFleetChaos(FleetChaosDefault(seed)); f != nil {
+		t.Fatal(f)
+	}
 }
 
 // TestNetChaos is the end-to-end network chaos run on its own: a real

@@ -1,0 +1,27 @@
+package check
+
+import "testing"
+
+// TestFleetChaos is the fleet chaos run on its own: a real master on
+// loopback fronting three in-process agents, seeded partitions on the
+// master→agent path, master kill/restart cycles, and the mid-stream
+// key-movement audit. The invariants live inside RunFleetChaos; this
+// test also sanity-checks that the schedule actually exercised them.
+func TestFleetChaos(t *testing.T) {
+	rep, f := RunFleetChaos(FleetChaosDefault(*seedFlag))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("fleetchaos run acked nothing; the routing path never worked")
+	}
+	if rep.MasterKills == 0 {
+		t.Fatal("fleetchaos run never killed the master; the soft-state audit never ran")
+	}
+	if rep.KeyMoveFraction <= 0 {
+		t.Fatal("fleetchaos key-movement audit did not run")
+	}
+	t.Logf("fleetchaos: %d steps, %d acked, %d unavailable, %d sheds, %d errors, %d partitions, %d master kills, key movement %.3f",
+		rep.Steps, rep.Acked, rep.Unavailable, rep.Sheds, rep.Errors,
+		rep.Partitions, rep.MasterKills, rep.KeyMoveFraction)
+}

@@ -13,11 +13,19 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/persist"
 	"repro/internal/pkggraph"
 	"repro/internal/resilience"
 	"repro/internal/spec"
 	"repro/internal/stats"
+)
+
+// Daemon deployment modes (the "mode" config field / -mode flag).
+const (
+	ModeStandalone = "standalone" // single daemon serving its own cache (default)
+	ModeMaster     = "master"     // fleet control plane: routes to agents, no local cache
+	ModeAgent      = "agent"      // serves its cache and registers with a master
 )
 
 // Site is the daemon configuration.
@@ -98,6 +106,35 @@ type Site struct {
 	BreakerFailures int     `json:"breaker_failures"`
 	BreakerOpenMS   int     `json:"breaker_open_ms"`
 	BreakerProbes   int     `json:"breaker_probes"`
+
+	// Fleet deployment (internal/fleet). Mode selects the daemon role:
+	// "" or "standalone" serves the local cache directly; "master"
+	// runs the routing control plane only (no repository, no cache) and
+	// forwards /v1/request to registered agents by consistent-hashed
+	// spec signature; "agent" serves the local cache and additionally
+	// registers with MasterURL, heartbeating its image directory.
+	Mode string `json:"mode"`
+	// MasterURL is the master's base URL (agent mode only).
+	MasterURL string `json:"master_url"`
+	// Advertise is the URL the master should reach this agent at
+	// (agent mode only; required, since the listen address is usually
+	// a wildcard the master cannot dial).
+	Advertise string `json:"advertise"`
+	// AgentID names this agent in the fleet (default: Advertise).
+	AgentID string `json:"agent_id"`
+	// FleetQuorum is how many healthy agents the master's /v1/readyz
+	// requires before reporting ready (default 1).
+	FleetQuorum int `json:"fleet_quorum"`
+	// FleetVNodes is the consistent-hash ring's virtual nodes per
+	// agent (0 = the fleet default).
+	FleetVNodes int `json:"fleet_vnodes"`
+	// HeartbeatIntervalMS is the agent's register/heartbeat cadence
+	// (default 1000ms). The master's suspect/dead timers scale from
+	// it: suspect after 3 missed beats, dead after 10.
+	HeartbeatIntervalMS int `json:"heartbeat_interval_ms"`
+	// ForwardTimeoutMS caps each forwarded request attempt at the
+	// master (0 = the fleet default).
+	ForwardTimeoutMS int `json:"forward_timeout_ms"`
 }
 
 // Default returns the configuration the daemon uses with no file.
@@ -198,7 +235,87 @@ func (s Site) Validate() error {
 	if s.BreakerFailures < 0 || s.BreakerOpenMS < 0 || s.BreakerProbes < 0 {
 		return fmt.Errorf("breaker_* values must be non-negative")
 	}
+	switch s.FleetMode() {
+	case ModeStandalone:
+		if s.MasterURL != "" {
+			return fmt.Errorf("master_url requires mode %q", ModeAgent)
+		}
+	case ModeMaster:
+		if s.MasterURL != "" {
+			return fmt.Errorf("master_url requires mode %q", ModeAgent)
+		}
+	case ModeAgent:
+		if s.MasterURL == "" {
+			return fmt.Errorf("mode %q requires master_url", ModeAgent)
+		}
+		if s.Advertise == "" {
+			return fmt.Errorf("mode %q requires advertise (the URL the master dials back)", ModeAgent)
+		}
+	default:
+		return fmt.Errorf("mode %q unknown (want %q, %q or %q)", s.Mode, ModeStandalone, ModeMaster, ModeAgent)
+	}
+	if s.FleetQuorum < 0 {
+		return fmt.Errorf("fleet_quorum must be non-negative")
+	}
+	if s.FleetVNodes < 0 {
+		return fmt.Errorf("fleet_vnodes must be non-negative")
+	}
+	if s.HeartbeatIntervalMS < 0 {
+		return fmt.Errorf("heartbeat_interval_ms must be non-negative")
+	}
+	if s.ForwardTimeoutMS < 0 {
+		return fmt.Errorf("forward_timeout_ms must be non-negative")
+	}
 	return nil
+}
+
+// FleetMode normalizes the deployment mode ("" means standalone).
+func (s Site) FleetMode() string {
+	if s.Mode == "" {
+		return ModeStandalone
+	}
+	return s.Mode
+}
+
+// HeartbeatInterval is the agent beat cadence (default 1s).
+func (s Site) HeartbeatInterval() time.Duration {
+	if s.HeartbeatIntervalMS <= 0 {
+		return time.Second
+	}
+	return time.Duration(s.HeartbeatIntervalMS) * time.Millisecond
+}
+
+// FleetMasterConfig assembles the master control-plane configuration.
+// Suspect/dead timers derive from the heartbeat cadence — an agent is
+// suspect after 3 missed beats and dead (removed from the ring) after
+// 10 — so operators tune one knob, not three that can disagree.
+func (s Site) FleetMasterConfig() fleet.MasterConfig {
+	beat := s.HeartbeatInterval()
+	return fleet.MasterConfig{
+		Quorum:         s.FleetQuorum,
+		VNodes:         s.FleetVNodes,
+		SuspectAfter:   3 * beat,
+		DeadAfter:      10 * beat,
+		ForwardTimeout: time.Duration(s.ForwardTimeoutMS) * time.Millisecond,
+		Breaker:        s.BreakerConfig(),
+	}
+}
+
+// FleetAgentConfig assembles the agent-side fleet configuration. gen
+// must be fresh per process start (e.g. startup time in nanoseconds)
+// so the master detects restarts and resets its directory mirror.
+func (s Site) FleetAgentConfig(gen uint64) fleet.AgentConfig {
+	id := s.AgentID
+	if id == "" {
+		id = s.Advertise
+	}
+	return fleet.AgentConfig{
+		ID:           id,
+		AdvertiseURL: s.Advertise,
+		MasterURL:    s.MasterURL,
+		Gen:          gen,
+		Interval:     s.HeartbeatInterval(),
+	}
 }
 
 // ShedderEnabled reports whether the site configures admission control.

@@ -110,6 +110,83 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := Load(writeConfig(t, `{"breaker_open_ms": -1}`)); err == nil {
 		t.Error("negative breaker_open_ms accepted")
 	}
+	if _, err := Load(writeConfig(t, `{"mode": "overlord"}`)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"mode": "agent"}`)); err == nil {
+		t.Error("agent mode without master_url accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"mode": "agent", "master_url": "http://m:8080"}`)); err == nil {
+		t.Error("agent mode without advertise accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"master_url": "http://m:8080"}`)); err == nil {
+		t.Error("master_url in standalone mode accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"mode": "master", "fleet_quorum": -1}`)); err == nil {
+		t.Error("negative fleet_quorum accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"mode": "master", "fleet_vnodes": -1}`)); err == nil {
+		t.Error("negative fleet_vnodes accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"heartbeat_interval_ms": -1}`)); err == nil {
+		t.Error("negative heartbeat_interval_ms accepted")
+	}
+	if _, err := Load(writeConfig(t, `{"forward_timeout_ms": -1}`)); err == nil {
+		t.Error("negative forward_timeout_ms accepted")
+	}
+}
+
+func TestFleetConfig(t *testing.T) {
+	// Defaults: standalone, 1s heartbeat-derived timers.
+	d := Default()
+	if d.FleetMode() != ModeStandalone {
+		t.Fatalf("default mode = %q", d.FleetMode())
+	}
+	if d.HeartbeatInterval() != time.Second {
+		t.Fatalf("default heartbeat = %v", d.HeartbeatInterval())
+	}
+
+	s, err := Load(writeConfig(t, `{
+		"mode": "master",
+		"fleet_quorum": 2,
+		"fleet_vnodes": 64,
+		"heartbeat_interval_ms": 500,
+		"forward_timeout_ms": 1500,
+		"breaker_failures": 4
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.FleetMasterConfig()
+	if mc.Quorum != 2 || mc.VNodes != 64 {
+		t.Fatalf("master config: %+v", mc)
+	}
+	if mc.SuspectAfter != 1500*time.Millisecond || mc.DeadAfter != 5*time.Second {
+		t.Fatalf("heartbeat-derived timers wrong: suspect=%v dead=%v", mc.SuspectAfter, mc.DeadAfter)
+	}
+	if mc.ForwardTimeout != 1500*time.Millisecond || mc.Breaker.Failures != 4 {
+		t.Fatalf("master config: %+v", mc)
+	}
+
+	a, err := Load(writeConfig(t, `{
+		"mode": "agent",
+		"master_url": "http://master:8080",
+		"advertise": "http://agent1:8081"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := a.FleetAgentConfig(42)
+	if ac.ID != "http://agent1:8081" {
+		t.Fatalf("agent id should default to advertise: %+v", ac)
+	}
+	if ac.MasterURL != "http://master:8080" || ac.Gen != 42 || ac.Interval != time.Second {
+		t.Fatalf("agent config: %+v", ac)
+	}
+	a.AgentID = "agent-1"
+	if got := a.FleetAgentConfig(1).ID; got != "agent-1" {
+		t.Fatalf("explicit agent_id lost: %q", got)
+	}
 }
 
 func TestResilienceConfig(t *testing.T) {
@@ -217,6 +294,29 @@ func TestExampleSiteConfig(t *testing.T) {
 	}
 	if s.PruneEveryRequests == 0 {
 		t.Error("example config should demonstrate the prune schedule")
+	}
+}
+
+// TestExampleFleetConfigs pins the shipped fleet example configs: the
+// master must demonstrate the quorum knob, the agent the full
+// master_url/advertise/agent_id triple.
+func TestExampleFleetConfigs(t *testing.T) {
+	m, err := Load(filepath.Join("..", "..", "examples", "master.json"))
+	if err != nil {
+		t.Fatalf("examples/master.json: %v", err)
+	}
+	if m.FleetMode() != ModeMaster || m.FleetQuorum < 2 {
+		t.Errorf("example master config should demand a quorum: %+v", m)
+	}
+	a, err := Load(filepath.Join("..", "..", "examples", "agent.json"))
+	if err != nil {
+		t.Fatalf("examples/agent.json: %v", err)
+	}
+	if a.FleetMode() != ModeAgent || a.MasterURL == "" || a.Advertise == "" || a.AgentID == "" {
+		t.Errorf("example agent config leaves fleet keys unset: %+v", a)
+	}
+	if a.StateDir == "" {
+		t.Error("example agent config should keep its cache durable")
 	}
 }
 

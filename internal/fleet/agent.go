@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+const (
+	metricHeartbeatRTT = "landlord_fleet_heartbeat_rtt_seconds"
+	helpHeartbeatRTT   = "Agent heartbeat round-trip time to the master"
+)
+
+// AgentConfig tunes an Agent.
+type AgentConfig struct {
+	// ID is the agent's stable identity (its ring membership key). A
+	// restarted agent keeps its ID — its keyspace slice — but bumps
+	// Gen.
+	ID string
+	// AdvertiseURL is the base URL the master forwards requests to.
+	AdvertiseURL string
+	// MasterURL is the master's base URL.
+	MasterURL string
+	// Gen is the process generation; it must differ across restarts so
+	// the master resets its gossip mirror (<= 0 takes 1, which suits
+	// tests that never restart).
+	Gen uint64
+	// Interval is the heartbeat period (<= 0 takes 1s).
+	Interval time.Duration
+	// HTTPClient talks to the master (nil = http.DefaultClient); the
+	// chaos harness injects fault transports here.
+	HTTPClient *http.Client
+	// BeatTimeout bounds one register/heartbeat exchange (<= 0 takes
+	// 2s).
+	BeatTimeout time.Duration
+}
+
+func (cfg AgentConfig) withDefaults() AgentConfig {
+	if cfg.Gen == 0 {
+		cfg.Gen = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.BeatTimeout <= 0 {
+		cfg.BeatTimeout = 2 * time.Second
+	}
+	return cfg
+}
+
+// Agent is the worker-side control loop: it registers its server with
+// a master, heartbeats liveness, and gossips the server's image
+// directory as delta-sync frames riding the heartbeat body. The data
+// plane is untouched — the master forwards plain /v1/request calls to
+// the server's own listener.
+type Agent struct {
+	cfg    AgentConfig
+	srv    *server.Server
+	master *server.Client
+	rtt    *telemetry.Histogram
+
+	paused atomic.Bool
+
+	mu         sync.Mutex
+	dir        *cluster.Directory
+	ackRev     uint64
+	sendFull   bool
+	registered bool
+	beats      uint64
+}
+
+// NewAgent wires srv into a fleet as cfg describes. Call Start (or
+// BeatNow from tests) to begin heartbeating.
+func NewAgent(cfg AgentConfig, srv *server.Server) *Agent {
+	cfg = cfg.withDefaults()
+	cl := server.NewClient(cfg.MasterURL, cfg.HTTPClient)
+	cl.MaxRetries = 0 // the next beat is the retry
+	return &Agent{
+		cfg:    cfg,
+		srv:    srv,
+		master: cl,
+		rtt: srv.Registry().Histogram(metricHeartbeatRTT, helpHeartbeatRTT,
+			telemetry.DefaultLatencyBuckets()),
+		dir: cluster.NewDirectory(cluster.DefaultDirJournal),
+	}
+}
+
+// SetPaused suspends (true) or resumes (false) heartbeating — the
+// chaos harness's partition switch. A paused agent's BeatNow is a
+// no-op, so the master's suspect/dead aging takes over.
+func (a *Agent) SetPaused(v bool) { a.paused.Store(v) }
+
+// Registered reports whether the last exchange left the agent
+// registered with the master.
+func (a *Agent) Registered() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.registered
+}
+
+// Beats returns how many heartbeats have been acknowledged.
+func (a *Agent) Beats() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.beats
+}
+
+// BeatNow runs one register-if-needed + heartbeat exchange. It is the
+// loop body of Start, exported so tests and harnesses can drive the
+// control plane deterministically.
+func (a *Agent) BeatNow(ctx context.Context) error {
+	if a.paused.Load() {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, a.cfg.BeatTimeout)
+	defer cancel()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if !a.registered {
+		if err := a.registerLocked(ctx); err != nil {
+			return err
+		}
+	}
+	a.refreshDirLocked()
+
+	err := a.beatLocked(ctx)
+	if err == errUnknownAgent {
+		// The master restarted (or declared us dead) and lost its soft
+		// state: re-register and replay the full directory in the same
+		// call so recovery does not cost an extra interval.
+		a.registered = false
+		if err := a.registerLocked(ctx); err != nil {
+			return err
+		}
+		err = a.beatLocked(ctx)
+	}
+	return err
+}
+
+// errUnknownAgent is beatLocked's signal that the master does not know
+// this agent and a re-register is required.
+var errUnknownAgent = fmt.Errorf("fleet agent: master does not know us")
+
+// registerLocked announces the agent. On success the next heartbeat
+// carries a Full directory frame: the master's mirror starts empty.
+func (a *Agent) registerLocked(ctx context.Context) error {
+	req := RegisterRequest{ID: a.cfg.ID, URL: a.cfg.AdvertiseURL, Gen: a.cfg.Gen}
+	var resp RegisterResponse
+	if err := a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/register", req, &resp); err != nil {
+		return fmt.Errorf("fleet agent %s: register: %w", a.cfg.ID, err)
+	}
+	a.registered = true
+	a.sendFull = true
+	a.ackRev = 0
+	return nil
+}
+
+// beatLocked sends one heartbeat with the pending directory delta.
+func (a *Agent) beatLocked(ctx context.Context) error {
+	var delta cluster.DirDelta
+	if a.sendFull {
+		delta = a.dir.Full()
+	} else {
+		delta = a.dir.DeltaSince(a.ackRev)
+	}
+	req := HeartbeatRequest{ID: a.cfg.ID, Gen: a.cfg.Gen, Delta: delta}
+	var resp HeartbeatResponse
+	start := time.Now()
+	if err := a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/heartbeat", req, &resp); err != nil {
+		return fmt.Errorf("fleet agent %s: heartbeat: %w", a.cfg.ID, err)
+	}
+	a.rtt.Observe(time.Since(start).Seconds())
+	if resp.Unknown {
+		return errUnknownAgent
+	}
+	a.beats++
+	if resp.Resync {
+		a.sendFull = true
+		return nil
+	}
+	a.sendFull = false
+	a.ackRev = resp.AckRev
+	return nil
+}
+
+// refreshDirLocked reconciles the gossip directory against the
+// server's live image list. Put is idempotent, so an unchanged cache
+// advances no revisions and the next delta is empty.
+func (a *Agent) refreshDirLocked() {
+	imgs := a.srv.ImagesNow()
+	want := make(map[uint64]cluster.DirEntry, len(imgs))
+	for _, im := range imgs {
+		want[im.ID] = cluster.DirEntry{ID: im.ID, Version: im.Version, Size: im.Size}
+	}
+	for _, e := range a.dir.Full().Upserts {
+		if _, ok := want[e.ID]; !ok {
+			a.dir.Remove(e.ID)
+		}
+	}
+	for _, e := range want {
+		a.dir.Put(e)
+	}
+}
+
+// Start runs the heartbeat loop until the returned stop function is
+// called. Stop deregisters best-effort (a crash-stopped agent is
+// instead aged out by the master's sweeper).
+func (a *Agent) Start() (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				a.BeatNow(context.Background()) // next tick retries on error
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			a.Deregister()
+		})
+	}
+}
+
+// Deregister removes the agent from the master (graceful shutdown).
+func (a *Agent) Deregister() error {
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.BeatTimeout)
+	defer cancel()
+	a.mu.Lock()
+	a.registered = false
+	a.mu.Unlock()
+	return a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/deregister",
+		DeregisterRequest{ID: a.cfg.ID}, nil)
+}

@@ -1,0 +1,166 @@
+// Package fleet is the networked control plane: the promotion of the
+// in-process internal/cluster site model to a real master/agent
+// deployment. A landlordd running in master mode routes every
+// /v1/request to one of N landlordd agents over HTTP, choosing the
+// agent by consistent hashing on the job specification's signature so
+// the same spec keeps landing on the same cache (and membership churn
+// moves a bounded slice of the keyspace). Agents register with the
+// master, heartbeat their liveness, and gossip their image-directory
+// state using the internal/cluster delta-sync encoding carried in the
+// heartbeat body.
+//
+// The resilience stack rides every hop: the master keeps a circuit
+// breaker per agent, propagates request deadlines (X-Landlord-Deadline)
+// and trace context (X-Landlord-Trace) downstream, fails over to
+// rendezvous-ordered fallback candidates when the ring's pick is
+// suspect or refusing, and reports fleet membership on /v1/readyz —
+// 503 until a configured quorum of agents is healthy.
+//
+// What is deliberately NOT here: replicated cache state. Each agent
+// owns its slice of the keyspace independently; the master holds soft
+// state only (membership, gossip mirrors, breakers) and a restarted
+// master rebuilds all of it from agent re-registration. See DESIGN.md
+// section 10 for the failure-semantics contract.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Wire types. Everything the control plane sends is JSON, matching the
+// data plane's /v1 API idiom.
+
+// RegisterRequest announces an agent to the master.
+type RegisterRequest struct {
+	// ID is the agent's stable identity (ring membership key).
+	ID string `json:"id"`
+	// URL is the agent's advertised base URL for forwarded requests.
+	URL string `json:"url"`
+	// Gen is the agent's process generation; a changed generation
+	// resets the master's gossip mirror (the agent's directory
+	// revisions restarted from zero with its cache).
+	Gen uint64 `json:"gen"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	OK bool `json:"ok"`
+	// Known is the master's current member count, for logs.
+	Known int `json:"known"`
+}
+
+// HeartbeatRequest is one agent liveness + gossip beat.
+type HeartbeatRequest struct {
+	ID  string `json:"id"`
+	Gen uint64 `json:"gen"`
+	// Delta carries the agent's image-directory changes since the last
+	// revision the master acknowledged (cluster delta-sync encoding).
+	Delta cluster.DirDelta `json:"delta"`
+}
+
+// HeartbeatResponse acks a beat.
+type HeartbeatResponse struct {
+	// AckRev is the master's applied directory revision; the agent's
+	// next delta starts there.
+	AckRev uint64 `json:"ack_rev"`
+	// Resync asks the agent to send a Full directory frame next beat
+	// (the master detected a gap in the delta stream).
+	Resync bool `json:"resync,omitempty"`
+	// Unknown tells the agent the master does not know it — it
+	// restarted and lost membership — so the agent must re-register.
+	Unknown bool `json:"unknown,omitempty"`
+}
+
+// DeregisterRequest removes an agent (graceful shutdown).
+type DeregisterRequest struct {
+	ID string `json:"id"`
+}
+
+// RouteResponse is the master's /v1/request payload: the agent's
+// response plus which agent served it.
+type RouteResponse struct {
+	Op           string `json:"op"`
+	ImageID      uint64 `json:"image_id"`
+	ImageVersion uint64 `json:"image_version"`
+	ImageSize    int64  `json:"image_size"`
+	RequestBytes int64  `json:"request_bytes"`
+	BytesWritten int64  `json:"bytes_written"`
+	Evicted      int    `json:"evicted"`
+	Packages     int    `json:"packages"`
+	// Agent is the ID of the agent that served the request.
+	Agent string `json:"agent"`
+}
+
+// MemberInfo is one row of GET /fleet/v1/members.
+type MemberInfo struct {
+	ID        string `json:"id"`
+	URL       string `json:"url"`
+	State     string `json:"state"`
+	Gen       uint64 `json:"gen"`
+	DirRev    uint64 `json:"dir_rev"`
+	DirImages int    `json:"dir_images"`
+	// SinceBeatMS is milliseconds since the last heartbeat.
+	SinceBeatMS int64 `json:"since_beat_ms"`
+}
+
+// ReadyResponse is the master's /v1/readyz payload: fleet membership
+// and the quorum gate.
+type ReadyResponse struct {
+	Status  string `json:"status"`
+	Known   int    `json:"known"`
+	Healthy int    `json:"healthy"`
+	Suspect int    `json:"suspect"`
+	Quorum  int    `json:"quorum"`
+}
+
+// RouteInfo is the /fleet/v1/route debug payload: where a key routes
+// and in what fallback order. Chaos harnesses sample it to assert the
+// bounded-key-movement property.
+type RouteInfo struct {
+	Key        uint64   `json:"key"`
+	Owner      string   `json:"owner"`
+	Candidates []string `json:"candidates"`
+}
+
+// RouteKey derives the routing key from a job's package keys: the
+// spec-signature hash the ring consumes. It is order-insensitive (the
+// keys are sorted first) so a submitter's package ordering cannot
+// scatter one logical spec across agents. Closure expansion happens on
+// the agent, so the key hashes the requested packages, which is
+// exactly as stable.
+func RouteKey(packages []string) uint64 {
+	sorted := append([]string(nil), packages...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, k := range sorted {
+		h.Write([]byte(k))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// hashString is fnv64a of s, the member-name hash the ring and
+// rendezvous scorer share.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: decorrelates fnv outputs before
+// they index the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// joinKeys renders package keys for diagnostics.
+func joinKeys(keys []string) string { return strings.Join(keys, ",") }

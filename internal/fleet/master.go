@@ -1,0 +1,618 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// AgentHeader names the agent that served a routed request, echoed on
+// the master's /v1/request responses so callers and harnesses can audit
+// placement without parsing the body.
+const AgentHeader = "X-Landlord-Agent"
+
+// Metric names and help strings (constants so landlord-lint can audit
+// them statically).
+const (
+	metricRouteTotal = "landlord_fleet_route_total"
+	helpRouteTotal   = "Routed requests by agent and outcome"
+
+	metricKeyMovement = "landlord_fleet_ring_key_movement"
+	helpKeyMovement   = "Fraction of sampled keyspace that changed owner per ring membership change"
+
+	metricAgents = "landlord_fleet_agents"
+	helpAgents   = "Registered agents by state"
+)
+
+// probeKeys is how many sampled keys the key-movement histogram probes
+// around each ring change: enough resolution to see 1/N slices at
+// realistic fleet sizes, cheap enough to run inline under the route
+// lock.
+const probeKeys = 512
+
+// MasterConfig tunes a Master. The zero value is serviceable: quorum 1,
+// default vnodes, 3s suspect / never dead, 5s forward timeout, 3
+// forward attempts.
+type MasterConfig struct {
+	// Quorum is how many healthy agents /v1/readyz requires before the
+	// master reports ready (<= 0 means 1).
+	Quorum int
+	// VNodes is the ring's virtual-node count per agent (<= 0 takes
+	// DefaultVNodes).
+	VNodes int
+	// SuspectAfter is the heartbeat age that marks an agent suspect
+	// (0 takes 3s; negative disables the age-based transition).
+	SuspectAfter time.Duration
+	// DeadAfter is the heartbeat age that removes an agent from the
+	// ring (<= 0: never — partitioned agents stay suspect, which keeps
+	// the keyspace stable through partitions and routes around them
+	// via the rendezvous fallback).
+	DeadAfter time.Duration
+	// ForwardTimeout caps each routed request's downstream budget
+	// (<= 0 takes 5s). An incoming X-Landlord-Deadline tighter than
+	// this wins.
+	ForwardTimeout time.Duration
+	// MaxAttempts bounds how many agents one request may be offered to
+	// (<= 0 takes 3): the ring's pick plus rendezvous-ordered
+	// fallbacks.
+	MaxAttempts int
+	// Breaker configures the per-agent circuit breaker.
+	Breaker resilience.BreakerConfig
+	// TransportFor, when set, supplies the http.RoundTripper for the
+	// connection to an agent URL — the chaos harness injects fault
+	// transports here. nil uses http.DefaultTransport.
+	TransportFor func(agentURL string) http.RoundTripper
+	// Clock is the time source (nil = time.Now); injectable for tests.
+	Clock func() time.Time
+}
+
+func (cfg MasterConfig) withDefaults() MasterConfig {
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 1
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = 3 * time.Second
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg
+}
+
+// agentConn is the master's client to one agent: a server.Client with
+// its own circuit breaker, no client-side retries (failover to the next
+// candidate is the master's retry).
+type agentConn struct {
+	url    string
+	client *server.Client
+}
+
+// Master is the fleet control plane: it owns membership, the
+// consistent-hash ring, per-agent breakers and gossip mirrors, and
+// forwards /v1/request to agents. All of its state is soft — rebuilt
+// from agent re-registration after a restart.
+type Master struct {
+	cfg    MasterConfig
+	reg    *telemetry.Registry
+	spans  *telemetry.SpanTracer
+	traces *telemetry.TraceRing
+
+	mu    sync.Mutex
+	ms    *Membership
+	ring  *Ring
+	conns map[string]*agentConn
+
+	keyMove *telemetry.Histogram
+}
+
+// NewMaster creates a master.
+func NewMaster(cfg MasterConfig) *Master {
+	cfg = cfg.withDefaults()
+	reg := telemetry.NewRegistry()
+	traces := telemetry.NewTraceRing(64, 64)
+	m := &Master{
+		cfg:    cfg,
+		reg:    reg,
+		spans:  telemetry.NewSpanTracer(traces),
+		traces: traces,
+		ms:     NewMembership(cfg.SuspectAfter, cfg.DeadAfter),
+		ring:   NewRing(cfg.VNodes),
+		conns:  make(map[string]*agentConn),
+	}
+	m.keyMove = reg.Histogram(metricKeyMovement, helpKeyMovement,
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1})
+	for _, st := range []string{"known", "healthy", "suspect"} {
+		st := st
+		reg.GaugeFunc(metricAgents, helpAgents, func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			known, healthy, suspect := m.ms.Counts()
+			switch st {
+			case "healthy":
+				return float64(healthy)
+			case "suspect":
+				return float64(suspect)
+			default:
+				return float64(known)
+			}
+		}, telemetry.Label{Key: "state", Value: st})
+	}
+	return m
+}
+
+// Registry returns the master's metric registry (for /metrics and
+// tests).
+func (m *Master) Registry() *telemetry.Registry { return m.reg }
+
+// Tracer returns the master's span tracer, so harnesses can install a
+// logical clock and seeded trace IDs.
+func (m *Master) Tracer() *telemetry.SpanTracer { return m.spans }
+
+// Handler returns the master's HTTP routes.
+func (m *Master) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/v1/register", m.handleRegister)
+	mux.HandleFunc("/fleet/v1/heartbeat", m.handleHeartbeat)
+	mux.HandleFunc("/fleet/v1/deregister", m.handleDeregister)
+	mux.HandleFunc("/fleet/v1/members", m.handleMembers)
+	mux.HandleFunc("/fleet/v1/route", m.handleRoute)
+	mux.HandleFunc("/v1/request", m.handleRequest)
+	mux.HandleFunc("/v1/readyz", m.handleReadyz)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fleetWriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "master"})
+	})
+	mux.HandleFunc("/v1/trace", m.handleTrace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.reg.WriteText(w)
+	})
+	return mux
+}
+
+// ---- membership endpoints ----
+
+func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fleetWriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, "decoding register: %v", err)
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		fleetWriteError(w, http.StatusBadRequest, "register needs id and url")
+		return
+	}
+	m.mu.Lock()
+	if m.ms.Register(req, m.cfg.Clock()) {
+		m.observeRingChange(func() { m.ring.Add(req.ID) })
+	}
+	if c, ok := m.conns[req.ID]; ok && c.url != req.URL {
+		delete(m.conns, req.ID) // re-registered elsewhere: drop the stale conn
+	}
+	known, _, _ := m.ms.Counts()
+	m.mu.Unlock()
+	fleetWriteJSON(w, http.StatusOK, RegisterResponse{OK: true, Known: known})
+}
+
+func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fleetWriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+		return
+	}
+	m.mu.Lock()
+	resp := m.ms.Heartbeat(req, m.cfg.Clock())
+	m.mu.Unlock()
+	fleetWriteJSON(w, http.StatusOK, resp)
+}
+
+func (m *Master) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fleetWriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DeregisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, "decoding deregister: %v", err)
+		return
+	}
+	m.mu.Lock()
+	if m.ms.Deregister(req.ID) {
+		if m.ring.Has(req.ID) {
+			m.observeRingChange(func() { m.ring.Remove(req.ID) })
+		}
+		delete(m.conns, req.ID)
+	}
+	m.mu.Unlock()
+	fleetWriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (m *Master) handleMembers(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	snap := m.ms.Snapshot(m.cfg.Clock())
+	m.mu.Unlock()
+	fleetWriteJSON(w, http.StatusOK, snap)
+}
+
+// handleRoute is GET /fleet/v1/route?key=N: where a key routes right
+// now. Chaos harnesses sample it across membership changes to assert
+// the bounded-movement property on the live master, not just the ring
+// in isolation.
+func (m *Master) handleRoute(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		fleetWriteError(w, http.StatusBadRequest, "route needs ?key=<uint64>")
+		return
+	}
+	m.mu.Lock()
+	info := m.routeLocked(key)
+	m.mu.Unlock()
+	fleetWriteJSON(w, http.StatusOK, info)
+}
+
+func (m *Master) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	known, healthy, suspect := m.ms.Counts()
+	m.mu.Unlock()
+	resp := ReadyResponse{Known: known, Healthy: healthy, Suspect: suspect, Quorum: m.cfg.Quorum}
+	if healthy >= m.cfg.Quorum {
+		resp.Status = "ready"
+		fleetWriteJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Status = "not ready"
+	w.Header().Set("Retry-After", "1")
+	fleetWriteJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+func (m *Master) handleTrace(w http.ResponseWriter, r *http.Request) {
+	fleetWriteJSON(w, http.StatusOK, m.traces.Dump(0))
+}
+
+// ---- routing ----
+
+// routeLocked computes a key's owner and failover candidates. Caller
+// holds m.mu.
+func (m *Master) routeLocked(key uint64) RouteInfo {
+	info := RouteInfo{Key: key}
+	routable := m.ms.Routable()
+	owner := m.ring.Lookup(key)
+	// The ring's pick leads iff it is currently routable; otherwise the
+	// rendezvous order alone decides (the owner is partitioned or
+	// draining — its keys spill to stable fallbacks until it returns).
+	ownerRoutable := false
+	for _, id := range routable {
+		if id == owner {
+			ownerRoutable = true
+			break
+		}
+	}
+	if owner != "" {
+		info.Owner = owner
+	}
+	if ownerRoutable {
+		info.Candidates = append(info.Candidates, owner)
+	}
+	for _, id := range RendezvousOrder(routable, key) {
+		if id == owner {
+			continue
+		}
+		info.Candidates = append(info.Candidates, id)
+	}
+	if len(info.Candidates) > m.cfg.MaxAttempts {
+		info.Candidates = info.Candidates[:m.cfg.MaxAttempts]
+	}
+	return info
+}
+
+// connLocked returns (creating if needed) the client for an agent.
+// Caller holds m.mu.
+func (m *Master) connLocked(id string) *agentConn {
+	url := m.ms.URL(id)
+	if url == "" {
+		return nil
+	}
+	if c, ok := m.conns[id]; ok && c.url == url {
+		return c
+	}
+	hc := &http.Client{}
+	if m.cfg.TransportFor != nil {
+		hc.Transport = m.cfg.TransportFor(url)
+	}
+	cl := server.NewClient(url, hc)
+	cl.MaxRetries = 0 // failover to the next candidate is the retry
+	cl.SetBreaker(resilience.NewBreaker(m.cfg.Breaker))
+	c := &agentConn{url: url, client: cl}
+	m.conns[id] = c
+	return c
+}
+
+// handleRequest is POST /v1/request on the master: route by spec
+// signature, forward, fail over along the rendezvous order.
+func (m *Master) handleRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fleetWriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body server.RequestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(body.Packages) == 0 {
+		fleetWriteError(w, http.StatusBadRequest, "request needs packages")
+		return
+	}
+
+	// Continue a propagated trace or start a fresh one; the forward
+	// client re-propagates it to the chosen agent.
+	tid, parent, _ := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeaderName))
+	at := m.spans.Start(tid, parent)
+	routeSpan := at.Begin(telemetry.StageFleetRoute, at.Root())
+
+	key := RouteKey(body.Packages)
+	m.mu.Lock()
+	info := m.routeLocked(key)
+	m.mu.Unlock()
+	at.AttrInt(routeSpan, "route_key", int64(key))
+	at.AttrStr(routeSpan, "owner", info.Owner)
+	at.End(routeSpan)
+
+	if len(info.Candidates) == 0 {
+		at.Finish("unroutable", "no routable agents", 0)
+		w.Header().Set("Retry-After", "1")
+		fleetWriteError(w, http.StatusServiceUnavailable, "no routable agents")
+		return
+	}
+
+	ctx, cancel := m.forwardContext(r)
+	defer cancel()
+	ctx = telemetry.ContextWithTrace(ctx, at)
+
+	var lastErr error
+	for _, id := range info.Candidates {
+		m.mu.Lock()
+		conn := m.connLocked(id)
+		m.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		fwd := at.Begin(telemetry.StageFleetForward, at.Root())
+		at.AttrStr(fwd, "agent", id)
+		var resp server.RequestResponse
+		err := conn.client.DoCtx(ctx, http.MethodPost, "/v1/request", body, &resp)
+		at.End(fwd)
+		if err == nil {
+			m.routeCount(id, "ok")
+			at.Finish(resp.Op, "", 0)
+			w.Header().Set(AgentHeader, id)
+			fleetWriteJSON(w, http.StatusOK, RouteResponse{
+				Op: resp.Op, ImageID: resp.ImageID, ImageVersion: resp.ImageVersion,
+				ImageSize: resp.ImageSize, RequestBytes: resp.RequestBytes,
+				BytesWritten: resp.BytesWritten, Evicted: resp.Evicted,
+				Packages: resp.Packages, Agent: id,
+			})
+			return
+		}
+		lastErr = err
+		switch outcome := classifyForwardError(err); outcome {
+		case "shed", "rejected":
+			// The agent answered and said no (429 admission, 4xx): relay
+			// verbatim — a different agent would only duplicate the spec's
+			// cache slice.
+			m.routeCount(id, outcome)
+			se := err.(*server.StatusError)
+			at.Finish(outcome, se.Msg, 0)
+			if outcome == "shed" {
+				w.Header().Set("Retry-After", "1")
+			}
+			fleetWriteError(w, se.Status, "%s", forwardErrMsg(se))
+			return
+		case "unavailable":
+			// 503: degraded/recovering agent — route around it.
+			m.routeCount(id, outcome)
+		case "circuit_open":
+			m.routeCount(id, outcome)
+		default: // transport error
+			m.routeCount(id, "transport_error")
+			m.mu.Lock()
+			m.ms.Suspect(id)
+			m.mu.Unlock()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	at.Finish("error", fmt.Sprintf("all candidates failed: %v", lastErr), 0)
+	w.Header().Set("Retry-After", "1")
+	fleetWriteError(w, http.StatusServiceUnavailable, "all candidates failed: %v", lastErr)
+}
+
+// forwardContext derives the downstream budget: the propagated client
+// deadline if any, capped by ForwardTimeout.
+func (m *Master) forwardContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if v := r.Header.Get(server.DeadlineHeader); v != "" {
+		if ns, err := strconv.ParseInt(v, 10, 64); err == nil && ns > 0 {
+			var cancel1 context.CancelFunc
+			ctx, cancel1 = context.WithDeadline(ctx, time.Unix(0, ns))
+			ctx2, cancel2 := context.WithTimeout(ctx, m.cfg.ForwardTimeout)
+			return ctx2, func() { cancel2(); cancel1() }
+		}
+	}
+	return context.WithTimeout(ctx, m.cfg.ForwardTimeout)
+}
+
+// classifyForwardError buckets a forward failure for the routing loop
+// and the route_total outcome label.
+func classifyForwardError(err error) string {
+	if server.IsCircuitOpen(err) {
+		return "circuit_open"
+	}
+	var se *server.StatusError
+	if asStatusError(err, &se) {
+		switch {
+		case se.Status == http.StatusServiceUnavailable:
+			return "unavailable"
+		case se.Status == http.StatusTooManyRequests:
+			return "shed"
+		default:
+			return "rejected"
+		}
+	}
+	return "transport_error"
+}
+
+// asStatusError unwraps err to a *server.StatusError without importing
+// errors.As at every call site.
+func asStatusError(err error, out **server.StatusError) bool {
+	for err != nil {
+		if se, ok := err.(*server.StatusError); ok {
+			*out = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func forwardErrMsg(se *server.StatusError) string {
+	if se.Msg != "" {
+		return se.Msg
+	}
+	return fmt.Sprintf("agent refused with status %d", se.Status)
+}
+
+func (m *Master) routeCount(agent, outcome string) {
+	m.reg.Counter(metricRouteTotal, helpRouteTotal,
+		telemetry.Label{Key: "agent", Value: agent},
+		telemetry.Label{Key: "outcome", Value: outcome}).Inc()
+}
+
+// ---- sweeping & ring movement ----
+
+// SweepNow runs one membership sweep: ages healthy members to suspect
+// and (when DeadAfter is set) suspect to dead, removing the dead from
+// the ring. Returns the IDs that died.
+func (m *Master) SweepNow() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	died := m.ms.Sweep(m.cfg.Clock())
+	for _, id := range died {
+		if m.ring.Has(id) {
+			id := id
+			m.observeRingChange(func() { m.ring.Remove(id) })
+		}
+		delete(m.conns, id)
+	}
+	return died
+}
+
+// StartSweeper runs SweepNow every interval until the returned stop
+// function is called. interval <= 0 disables sweeping.
+func (m *Master) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.SweepNow()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// observeRingChange runs mutate (an Add or Remove) and observes the
+// fraction of a fixed probe keyset whose owner changed. Transitions
+// from or to an empty ring are not observed — movement there is total
+// by construction, not a churn property. Caller holds m.mu.
+func (m *Master) observeRingChange(mutate func()) {
+	if m.ring.Len() == 0 {
+		mutate()
+		return
+	}
+	before := make([]string, probeKeys)
+	for i := range before {
+		before[i] = m.ring.Lookup(probeKey(i))
+	}
+	mutate()
+	if m.ring.Len() == 0 {
+		return
+	}
+	moved := 0
+	for i := range before {
+		if m.ring.Lookup(probeKey(i)) != before[i] {
+			moved++
+		}
+	}
+	m.keyMove.Observe(float64(moved) / float64(probeKeys))
+}
+
+// probeKey spreads probe indices across the keyspace (golden-ratio
+// stride; Lookup mixes again, so the stride just needs distinctness).
+func probeKey(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
+
+// KeyMovementStats exposes the key-movement histogram's count and mean
+// for tests and the chaos harness audit.
+func (m *Master) KeyMovementStats() (count int64, mean float64) {
+	count = m.keyMove.Count()
+	if count > 0 {
+		mean = m.keyMove.Sum() / float64(count)
+	}
+	return count, mean
+}
+
+// MembersNow returns the current membership snapshot.
+func (m *Master) MembersNow() []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ms.Snapshot(m.cfg.Clock())
+}
+
+// ---- JSON helpers (mirror the server package's idiom) ----
+
+func fleetWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fleetWriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	fleetWriteJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+}

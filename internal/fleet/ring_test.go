@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(n, vnodes int) (*Ring, []string) {
+	r := NewRing(vnodes)
+	var members []string
+	for i := 0; i < n; i++ {
+		m := fmt.Sprintf("agent-%d", i)
+		members = append(members, m)
+		r.Add(m)
+	}
+	return r, members
+}
+
+func owners(r *Ring, keys int) []string {
+	out := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		out[k] = r.Lookup(uint64(k) * 0x9e3779b97f4a7c15)
+	}
+	return out
+}
+
+// TestRingKeyMovementBound pins the consistent-hashing contract the
+// fleet-chaos acceptance criterion states: removing (or adding) one of
+// N members moves at most 2/N of the keyspace, and every moved key
+// involves the churned member.
+func TestRingKeyMovementBound(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		r, members := ringWith(n, 0)
+		before := owners(r, keys)
+
+		victim := members[n/2]
+		r.Remove(victim)
+		after := owners(r, keys)
+		moved := 0
+		for k := 0; k < keys; k++ {
+			if before[k] != after[k] {
+				moved++
+				if before[k] != victim {
+					t.Fatalf("n=%d: key %d moved %s -> %s without involving removed member %s",
+						n, k, before[k], after[k], victim)
+				}
+			}
+		}
+		bound := 2 * keys / n
+		if moved > bound {
+			t.Fatalf("n=%d: removal moved %d/%d keys, bound %d (2/N)", n, moved, keys, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: removal moved nothing; the member owned no keyspace", n)
+		}
+
+		// Re-adding restores the exact original assignment (the ring is
+		// a pure function of the member set).
+		r.Add(victim)
+		restored := owners(r, keys)
+		for k := 0; k < keys; k++ {
+			if restored[k] != before[k] {
+				t.Fatalf("n=%d: key %d not restored after re-add: %s != %s", n, k, restored[k], before[k])
+			}
+		}
+
+		// Adding a fresh member moves at most 2/(N+1), all toward it.
+		r.Add("agent-new")
+		grown := owners(r, keys)
+		moved = 0
+		for k := 0; k < keys; k++ {
+			if before[k] != grown[k] {
+				moved++
+				if grown[k] != "agent-new" {
+					t.Fatalf("n=%d: key %d moved to %s, not the new member", n, k, grown[k])
+				}
+			}
+		}
+		if bound := 2 * keys / (n + 1); moved > bound {
+			t.Fatalf("n=%d: addition moved %d/%d keys, bound %d", n, moved, keys, bound)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks vnode spreading: no member owns more
+// than ~3x its fair share at default vnodes.
+func TestRingBalance(t *testing.T) {
+	const keys = 30000
+	r, _ := ringWith(6, 0)
+	counts := map[string]int{}
+	for _, o := range owners(r, keys) {
+		counts[o]++
+	}
+	fair := keys / 6
+	for m, c := range counts {
+		if c > 3*fair || c < fair/3 {
+			t.Fatalf("member %s owns %d of %d keys (fair %d): vnode spread too lumpy", m, c, keys, fair)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup(42); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	r.Add("only")
+	for k := uint64(0); k < 100; k++ {
+		if got := r.Lookup(k); got != "only" {
+			t.Fatalf("single-member ring returned %q", got)
+		}
+	}
+	r.Remove("only")
+	if got := r.Lookup(42); got != "" {
+		t.Fatalf("emptied ring returned %q", got)
+	}
+}
+
+// TestRendezvousStableUnderChurn pins the failover-order property: the
+// relative order of surviving members for a key is unchanged by other
+// members joining or leaving.
+func TestRendezvousStableUnderChurn(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for key := uint64(0); key < 200; key++ {
+		full := RendezvousOrder(members, key)
+		// Drop "c"; the order of the rest must be the full order with
+		// "c" deleted.
+		var want []string
+		for _, m := range full {
+			if m != "c" {
+				want = append(want, m)
+			}
+		}
+		got := RendezvousOrder([]string{"a", "b", "d", "e"}, key)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key %d: survivor order changed after churn: got %v want %v", key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicAcrossInsertionOrder: the ring is a pure
+// function of the member set, not of Add ordering — a restarted master
+// re-learning members in arbitrary order must route identically.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := NewRing(32)
+	b := NewRing(32)
+	for _, m := range []string{"x", "y", "z", "w"} {
+		a.Add(m)
+	}
+	for _, m := range []string{"w", "z", "x", "y"} {
+		b.Add(m)
+	}
+	for k := uint64(0); k < 5000; k++ {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %d routes differently across insertion orders", k)
+		}
+	}
+}
+
+func TestRouteKeyOrderInsensitive(t *testing.T) {
+	a := RouteKey([]string{"pkg-a", "pkg-b", "pkg-c"})
+	b := RouteKey([]string{"pkg-c", "pkg-a", "pkg-b"})
+	if a != b {
+		t.Fatalf("RouteKey depends on package order: %x != %x", a, b)
+	}
+	if a == RouteKey([]string{"pkg-a", "pkg-b"}) {
+		t.Fatal("distinct specs collided trivially")
+	}
+}

@@ -581,11 +581,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsNow())
 }
 
-func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
+// ImagesNow lists the cached images for callers embedding the server:
+// the fleet agent rebuilds its gossip directory from it every
+// heartbeat. Reads ride the shared lock and never block requests.
+func (s *Server) ImagesNow() []ImageInfo {
 	imgs := s.cmgr.Images()
 	out := make([]ImageInfo, 0, len(imgs))
 	for _, img := range imgs {
@@ -597,7 +596,15 @@ func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
 			Merges:   img.Merges,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ImagesNow())
 }
 
 func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {

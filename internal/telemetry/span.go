@@ -49,6 +49,16 @@ const (
 	StageFsyncWait = "fsync_wait"
 	// StageClusterDispatch is head-to-worker image dispatch at a site.
 	StageClusterDispatch = "cluster_dispatch"
+
+	// StageFleetRoute is the fleet master's routing decision: hashing
+	// the spec signature onto the agent ring and assembling the
+	// candidate order. Fleet stages are recorded only on a master hop,
+	// so they sit outside CanonicalStages — whose contract is the
+	// single-node serving path the trace-sim harness audits 1:1.
+	StageFleetRoute = "fleet_route"
+	// StageFleetForward is one master-to-agent forwarding attempt; a
+	// request that fails over records one span per candidate tried.
+	StageFleetForward = "fleet_forward"
 )
 
 // CanonicalStages returns every stage name the stack can record, root
