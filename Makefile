@@ -44,9 +44,12 @@ fuzz:
 	$(GO) test ./internal/persist -fuzz '^FuzzWALDecode$$' -fuzztime 30s
 
 # Short-budget invariant harness for every PR: the deterministic
-# simulation suite and scaled-down soaks under the race detector, the
-# mutant self-test (each seeded bug must be caught within 1,000
-# requests, reproducibly), and one CLI chaos pass.
+# simulation suites (unsharded and sharded) and scaled-down soaks
+# under the race detector, the mutant self-test (each of the eight
+# seeded bugs — six Algorithm 1 clauses plus the shard-routing and
+# budget-balancing mutants — must be caught within 1,000 requests,
+# reproducibly), and one CLI chaos pass. `landlord-check sim` runs the
+# sharded suite too.
 check:
 	$(GO) test -race -short -count=1 ./internal/check
 	$(GO) test -run 'TestMutants|TestMutantFailure' -count=1 ./internal/check

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -98,6 +99,59 @@ func BenchmarkManagerParallel(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkManagerSharded is PR 8's acceptance benchmark: the sharded
+// cache against the single write lock on the merge-heavy workload that
+// bottlenecks it. At GOMAXPROCS=8, shards=16 must deliver at least 3x
+// the shards=1 throughput (EXPERIMENTS.md records the measured table).
+func BenchmarkManagerSharded(b *testing.B) {
+	repo := benchFullRepo(b)
+	base := core.Config{Alpha: 0.75, Capacity: repo.TotalSize() * 2, MinHash: core.DefaultMinHash()}
+
+	for _, shards := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Shards = shards
+
+		b.Run(fmt.Sprintf("hit-heavy/shards=%d", shards), func(b *testing.B) {
+			sm, err := core.NewSharded(repo, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := warmSpecs(b, sm.Request, 11)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				off := int(worker.Add(1))
+				i := 0
+				for pb.Next() {
+					i++
+					if _, err := sm.Request(warm[(off*31+i)%len(warm)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+
+		b.Run(fmt.Sprintf("merge-heavy/shards=%d", shards), func(b *testing.B) {
+			sm, err := core.NewSharded(repo, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				gen := workload.NewDepClosure(repo, 1000+seed.Add(1))
+				for pb.Next() {
+					if _, err := sm.Request(gen.Next()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // warmSpecs populates the cache with parallelWarmImages images via

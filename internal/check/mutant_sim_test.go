@@ -25,8 +25,19 @@ func TestMutantSim(t *testing.T) {
 
 	detect := func() (string, int) {
 		requests := 0
+		// The original six mutants fall to the unsharded suite; the
+		// sharding mutants (route, balance) are invisible to it — no
+		// unsharded run consults the router or the balancer — and fall
+		// to the sharded suite's route audit and budgets-sum audit.
 		for _, cfg := range Suite(*seedFlag) {
 			rep, f := RunSim(cfg)
+			requests += rep.Steps
+			if f != nil {
+				return f.Error(), requests
+			}
+		}
+		for _, cfg := range ShardSuite(*seedFlag) {
+			rep, f := RunShardSim(cfg)
 			requests += rep.Steps
 			if f != nil {
 				return f.Error(), requests

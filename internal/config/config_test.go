@@ -1,6 +1,7 @@
 package config
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -133,6 +134,38 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(writeConfig(t, `{"forward_timeout_ms": -1}`)); err == nil {
 		t.Error("negative forward_timeout_ms accepted")
+	}
+}
+
+// TestCacheShardsValidation pins the cache_shards contract: nil
+// defaults to 1, valid counts pass through, and counts below 1 are
+// rejected with exactly the documented message (operators grep for
+// it; DESIGN.md §11 quotes it).
+func TestCacheShardsValidation(t *testing.T) {
+	if got := Default().Shards(); got != 1 {
+		t.Fatalf("default shard count = %d, want 1", got)
+	}
+	s, err := Load(writeConfig(t, `{"cache_shards": 16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 16 {
+		t.Fatalf("cache_shards lost: %d", s.Shards())
+	}
+	if got := s.CoreConfig(nil).Shards; got != 16 {
+		t.Fatalf("CoreConfig shards = %d, want 16", got)
+	}
+	for _, n := range []int{0, -4} {
+		bad := Default()
+		bad.CacheShards = &n
+		err := bad.Validate()
+		if err == nil {
+			t.Fatalf("cache_shards=%d accepted", n)
+		}
+		want := fmt.Sprintf("cache_shards must be at least 1 (got %d)", n)
+		if err.Error() != want {
+			t.Errorf("cache_shards=%d error = %q, want %q", n, err, want)
+		}
 	}
 }
 

@@ -1,0 +1,139 @@
+package core
+
+// Eviction balancer.
+//
+// Each shard evicts against its own byte budget, and the budgets sum
+// exactly to the configured global capacity — that identity is what
+// makes the global byte bound the sum of per-shard bounds, and it is
+// audited by the check harness after every rebalance. Rebalance
+// reshapes the split at maintenance points: every shard keeps a floor
+// of capacity/(4·shards) so cold shards cannot be starved below a
+// quarter of their even share, and the rest of the capacity is
+// distributed proportionally to each shard's resident bytes, moving
+// headroom toward hot shards. Shards left over their new budget are
+// shrunk immediately (LRU eviction sparing the most recently used
+// image), under full exclusion, so the commit-hook streams observe the
+// shrink deletes at a quiescent point.
+
+// BalancerStats counts the eviction balancer's work.
+type BalancerStats struct {
+	// Rebalances is the number of completed Rebalance passes.
+	Rebalances int64
+	// BudgetMoved is the total bytes of budget reassigned between
+	// shards (sum over passes of half the absolute budget deltas).
+	BudgetMoved int64
+	// Evicted and EvictedBytes count images removed by post-rebalance
+	// shrink passes.
+	Evicted      int64
+	EvictedBytes int64
+	// LastFreed is the bytes freed by the most recent shrink pass.
+	LastFreed int64
+}
+
+// SplitBudget divides capacity into n budgets summing exactly to
+// capacity: an even split with the remainder bytes going to the lowest
+// indices. A non-positive capacity (unlimited) yields all-zero budgets
+// (each shard unlimited).
+func SplitBudget(capacity int64, n int) []int64 {
+	out := make([]int64, n)
+	if capacity <= 0 {
+		return out
+	}
+	base := capacity / int64(n)
+	rem := capacity % int64(n)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Budgets returns each shard's current byte budget.
+func (sm *ShardedManager) Budgets() []int64 {
+	out := make([]int64, len(sm.shards))
+	sm.WithSharedAll(func(ms []*Manager) {
+		for i, m := range ms {
+			out[i] = m.Capacity()
+		}
+	})
+	return out
+}
+
+// BalancerStats returns a copy of the balancer counters.
+func (sm *ShardedManager) BalancerStats() BalancerStats {
+	sm.balMu.Lock()
+	defer sm.balMu.Unlock()
+	return sm.bal
+}
+
+// Rebalance reshapes the per-shard byte budgets toward the current
+// load distribution and shrinks any shard left over its new budget.
+// It runs under exclusive access to every shard and is deterministic
+// given the shard states. No-op for unlimited or single-shard caches.
+func (sm *ShardedManager) Rebalance() BalancerStats {
+	n := len(sm.shards)
+	if sm.capacity <= 0 || n < 2 {
+		return sm.BalancerStats()
+	}
+	capacity := sm.capacity
+	var moved, freedBytes, freedImages int64
+	sm.balMu.Lock()
+	lastFreed := sm.bal.LastFreed
+	sm.balMu.Unlock()
+	sm.WithExclusiveAll(func(ms []*Manager) {
+		floor := capacity / int64(4*n)
+		pool := capacity - int64(n)*floor
+		if mutantEnabled("balance") {
+			// Double-count the bytes the previous shrink pass freed:
+			// the pool (and therefore the budget sum) exceeds the
+			// global capacity whenever the balancer has evicted.
+			pool += lastFreed
+		}
+		var sumTotals int64
+		totals := make([]int64, n)
+		for i, m := range ms {
+			totals[i] = m.TotalData()
+			sumTotals += totals[i]
+		}
+		// Hand out the pool proportionally to resident bytes; the last
+		// shard takes the exact remainder so the budgets sum precisely
+		// to floor·n + pool.
+		remaining := pool
+		for i, m := range ms {
+			var share int64
+			if i == n-1 {
+				share = remaining
+			} else if sumTotals == 0 {
+				share = pool / int64(n)
+			} else {
+				share = int64(float64(pool) * (float64(totals[i]) / float64(sumTotals)))
+			}
+			if share > remaining {
+				share = remaining
+			}
+			remaining -= share
+			budget := floor + share
+			if d := budget - m.Capacity(); d > 0 {
+				moved += d
+			} else {
+				moved -= d
+			}
+			m.SetCapacity(budget)
+		}
+		for _, m := range ms {
+			evicted, bytes := m.ShrinkToCapacity()
+			freedImages += int64(evicted)
+			freedBytes += bytes
+		}
+	})
+	sm.balMu.Lock()
+	defer sm.balMu.Unlock()
+	sm.bal.Rebalances++
+	sm.bal.BudgetMoved += moved / 2
+	sm.bal.Evicted += freedImages
+	sm.bal.EvictedBytes += freedBytes
+	sm.bal.LastFreed = freedBytes
+	return sm.bal
+}

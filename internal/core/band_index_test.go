@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestBandIndexIdenticalSelection pins that consulting the LSH band
+// index in findMergeTarget changes no decision: with rows=1 the banded
+// candidate set is exactly the set of images sharing at least one
+// MinHash position, a superset of everything the margin prefilter
+// accepts whenever alpha+margin ≤ 1 — so the indexed and scanned
+// paths must pick the identical merge target on every request, and two
+// managers differing only in NoBandIndex must stay byte-identical
+// through a workload of merges, evictions, and splits.
+func TestBandIndexIdenticalSelection(t *testing.T) {
+	repo := concRepo(t)
+	configs := []Config{
+		// alpha+margin = 0.85 ≤ 1: the banded fast path is active.
+		{Alpha: 0.6, MinHash: DefaultMinHash(), Capacity: repo.TotalSize() / 4},
+		// alpha+margin = 1.15 > 1: disjoint images pass the margin
+		// prefilter, so the code must fall back to the full scan.
+		{Alpha: 0.9, MinHash: DefaultMinHash()},
+	}
+	steps := 4000
+	if testing.Short() {
+		steps = 600
+	}
+	for ci, cfg := range configs {
+		t.Run(fmt.Sprintf("config%d", ci), func(t *testing.T) {
+			indexed := mgr(t, repo, cfg)
+			scanCfg := cfg
+			scanCfg.NoBandIndex = true
+			scanned := mgr(t, repo, scanCfg)
+			if indexed.bandIndex == nil {
+				t.Fatal("band index not built with MinHash enabled")
+			}
+			if scanned.bandIndex != nil {
+				t.Fatal("NoBandIndex did not disable the band index")
+			}
+
+			gen := workload.NewDepClosure(repo, int64(200+ci))
+			for i := 0; i < steps; i++ {
+				s := gen.Next()
+				got, err := indexed.Request(s)
+				if err != nil {
+					t.Fatalf("indexed request %d: %v", i, err)
+				}
+				want, err := scanned.Request(s)
+				if err != nil {
+					t.Fatalf("scanned request %d: %v", i, err)
+				}
+				if got != want {
+					t.Fatalf("request %d: banded target selection diverges from the scan:\nindexed %+v\nscanned %+v", i, got, want)
+				}
+				if i%250 == 249 {
+					// Splits rewrite specs and signatures; the index
+					// must track them.
+					if _, err := indexed.Prune(0.8, 1); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := scanned.Prune(0.8, 1); err != nil {
+						t.Fatal(err)
+					}
+					if err := indexed.CheckIntegrity(); err != nil {
+						t.Fatalf("indexed integrity after prune %d: %v", i, err)
+					}
+				}
+			}
+			got := stateJSON(t, indexed.ExportState())
+			if want := stateJSON(t, scanned.ExportState()); got != want {
+				t.Errorf("final states diverge:\nindexed %s\nscanned %s", got, want)
+			}
+		})
+	}
+}
+
+// TestBandIndexSurvivesImportRestore pins index maintenance on the
+// bulk-load paths: a manager rebuilt via ImportState (and one via
+// Restore) must keep making scan-identical decisions afterwards.
+func TestBandIndexSurvivesImportRestore(t *testing.T) {
+	repo := concRepo(t)
+	cfg := Config{Alpha: 0.6, MinHash: DefaultMinHash(), Capacity: repo.TotalSize() / 4}
+	seedMgr := mgr(t, repo, cfg)
+	gen := workload.NewDepClosure(repo, 333)
+	for i := 0; i < 400; i++ {
+		if _, err := seedMgr.Request(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := seedMgr.ExportState()
+
+	indexed := mgr(t, repo, cfg)
+	if err := indexed.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	scanCfg := cfg
+	scanCfg.NoBandIndex = true
+	scanned := mgr(t, repo, scanCfg)
+	if err := scanned.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		s := gen.Next()
+		got, err := indexed.Request(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scanned.Request(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-import request %d diverges:\nindexed %+v\nscanned %+v", i, got, want)
+		}
+	}
+	if got, want := stateJSON(t, indexed.ExportState()), stateJSON(t, scanned.ExportState()); got != want {
+		t.Errorf("post-import states diverge:\nindexed %s\nscanned %s", got, want)
+	}
+
+	restored := mgr(t, repo, cfg)
+	if err := restored.Restore(st.Images); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.CheckIntegrity(); err != nil {
+		t.Fatalf("restored integrity: %v", err)
+	}
+	if _, err := restored.Request(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -179,8 +179,7 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 	if img != nil {
 		hitSpan := at.Begin(telemetry.StageHit, at.Root())
 		c.hitMu.Lock()
-		m.clock++
-		clock := m.clock
+		clock := m.tick()
 		img.lastUse = clock
 		img.served(s)
 		m.stats.Requests++
@@ -327,6 +326,15 @@ func (c *ConcurrentManager) CacheEfficiency() float64 {
 
 // Alpha returns the configured merge threshold.
 func (c *ConcurrentManager) Alpha() float64 { return c.m.Alpha() }
+
+// Capacity returns the current byte budget (zero or negative means
+// unlimited). Under a ShardedManager the balancer moves it between
+// maintenance passes, so successive reads may differ.
+func (c *ConcurrentManager) Capacity() int64 {
+	c.rlock()
+	defer c.mu.RUnlock()
+	return c.m.Capacity()
+}
 
 // Snapshot captures every cached image (see Manager.Snapshot).
 func (c *ConcurrentManager) Snapshot() []ImageSnapshot {

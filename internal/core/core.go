@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pkggraph"
@@ -96,6 +97,16 @@ type Config struct {
 	// image insertion order, which Algorithm 1's comment ("Selection
 	// can be sorted by dj()") marks as optional.
 	NoCandidateSort bool
+	// NoBandIndex disables the LSH band index that accelerates the
+	// merge scan when MinHash is enabled (see findMergeTarget). The
+	// index changes no decision — it is a complete prefilter for the
+	// MinHash margin — so this knob exists for the identical-selection
+	// regression test and for ablation.
+	NoBandIndex bool
+	// Shards is the shard count used by NewSharded and the server
+	// (default 1). NewManager itself ignores it: a Manager is always a
+	// single partition.
+	Shards int
 	// Tracer, when non-nil, receives one telemetry.Event per request:
 	// the operation taken, scan/prefilter work, merge candidates with
 	// their distances, eviction churn, and wall-clock duration. A nil
@@ -206,6 +217,59 @@ type Manager struct {
 	clock  uint64
 	nextID uint64
 	stats  Stats
+
+	// bandIndex, when non-nil, maps MinHash signatures to image IDs for
+	// the merge scan's candidate retrieval (see findMergeTarget). It is
+	// maintained alongside byID under the same locks.
+	bandIndex *similarity.LSHIndex
+
+	// clockSrc, when non-nil, replaces the manager-local logical clock
+	// with a shared atomic counter: every shard of a ShardedManager
+	// draws stamps from one source, so Seq stays globally dense across
+	// shards. m.clock then tracks the last stamp THIS manager drew
+	// (which keeps CheckIntegrity's lastUse ≤ clock bound local).
+	clockSrc *atomic.Uint64
+
+	// idOffset/idStride partition the image-ID space across shards:
+	// shard i of N allocates IDs ≡ i (mod N), so ImageID mod N names
+	// the owning shard in every mutation and checkpoint without any
+	// format change. Stride 0 or 1 is the single-manager legacy.
+	idOffset uint64
+	idStride uint64
+}
+
+// stride returns the ID-allocation stride (1 for unsharded managers).
+func (m *Manager) stride() uint64 {
+	if m.idStride > 1 {
+		return m.idStride
+	}
+	return 1
+}
+
+// alignNextID rounds nextID up into the manager's ID residue class
+// after replay or import moved it arbitrarily. No-op when unsharded.
+func (m *Manager) alignNextID() {
+	st := m.stride()
+	if st == 1 {
+		return
+	}
+	if rem := m.nextID % st; rem != m.idOffset {
+		m.nextID += (m.idOffset + st - rem) % st
+	}
+}
+
+// tick draws the next logical-clock stamp: the shared atomic source
+// when this manager is a shard, the local counter otherwise. Callers
+// hold the lock that orders this manager's commits (the write lock or
+// hitMu), so m.clock is safely published.
+func (m *Manager) tick() uint64 {
+	if m.clockSrc != nil {
+		c := m.clockSrc.Add(1)
+		m.clock = c
+		return c
+	}
+	m.clock++
+	return m.clock
 }
 
 // NewManager validates cfg and creates an empty Manager over repo.
@@ -230,8 +294,50 @@ func NewManager(repo *pkggraph.Repo, cfg Config) (*Manager, error) {
 			return nil, fmt.Errorf("core: MinHash margin %v must be non-negative", cfg.MinHash.Margin)
 		}
 		m.hasher = h
+		if !cfg.NoBandIndex {
+			// One band per signature position (rows=1): an image is a
+			// band candidate iff it shares at least one MinHash value
+			// with the query. Any image the margin prefilter would
+			// accept (est < alpha+margin < 1) shares a position, so the
+			// candidate set is a strict superset of the prefilter's
+			// accept set and consulting it first changes no decision.
+			idx, err := similarity.NewLSHIndex(cfg.MinHash.K, 1)
+			if err != nil {
+				return nil, err
+			}
+			m.bandIndex = idx
+		}
 	}
 	return m, nil
+}
+
+// indexInsert/indexUpdate/indexRemove maintain the merge-scan band
+// index alongside byID. Index failures (impossible unless signatures
+// change length) degrade to the full scan rather than corrupting
+// lookups.
+func (m *Manager) indexInsert(img *Image) {
+	if m.bandIndex == nil {
+		return
+	}
+	if err := m.bandIndex.Insert(img.ID, img.sig); err != nil {
+		m.bandIndex = nil
+	}
+}
+
+func (m *Manager) indexUpdate(img *Image) {
+	if m.bandIndex == nil {
+		return
+	}
+	if err := m.bandIndex.Update(img.ID, img.sig); err != nil {
+		m.bandIndex = nil
+	}
+}
+
+func (m *Manager) indexRemove(id uint64) {
+	if m.bandIndex == nil {
+		return
+	}
+	m.bandIndex.Remove(id)
 }
 
 // MustNewManager is NewManager that panics on error.
@@ -326,7 +432,7 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 	if s.Empty() {
 		return Result{}, errEmptySpec()
 	}
-	m.clock++
+	m.tick()
 	m.stats.Requests++
 	reqBytes := s.Size(m.repo)
 	m.stats.RequestedBytes += reqBytes
@@ -386,6 +492,7 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 		img.served(s)
 		if m.hasher != nil {
 			img.sig = similarity.MergeSignatures(img.sig, sig)
+			m.indexUpdate(img)
 		}
 		m.total += img.Size
 		m.stats.Merges++
@@ -423,9 +530,10 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 		sig:     sig,
 		hot:     s,
 	}
-	m.nextID++
+	m.nextID += m.stride()
 	m.images = append(m.images, img)
 	m.byID[img.ID] = img
+	m.indexInsert(img)
 	m.total += img.Size
 	m.stats.Inserts++
 	m.stats.BytesWritten += img.Size
@@ -548,13 +656,34 @@ type candidate struct {
 // findMergeTarget returns the closest non-conflicting image with
 // d_j(s, j) < alpha, or nil. With MinHash enabled, exact distances are
 // only computed for images whose estimated distance is below
-// alpha+margin. When ev is non-nil it records the prefilter's
-// accept/reject counts and every candidate under α with its exact
-// distance.
+// alpha+margin.
+//
+// When the band index is available it is consulted first: images that
+// share no signature position with the request have estimated distance
+// exactly 1, so whenever alpha+margin ≤ 1 the margin prefilter would
+// reject them anyway and they can be skipped without estimating — the
+// banded and scanned paths select the identical target (pinned by
+// TestBandIndexIdenticalSelection). When the index is unavailable, or
+// alpha+margin > 1 would admit disjoint images, the code falls back to
+// the full linear scan.
+//
+// When ev is non-nil it records the prefilter's accept/reject counts
+// and every candidate under α with its exact distance; skipped band
+// non-candidates are counted as prefilter rejections so traces are
+// identical with and without the index.
 func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *telemetry.Event) *Image {
 	alpha := m.cfg.Alpha
 	if mutantEnabled("threshold") {
 		alpha += 0.2
+	}
+	var banded map[uint64]struct{}
+	if sig != nil && m.bandIndex != nil && m.cfg.Alpha+m.cfg.MinHash.Margin <= 1 {
+		if ids, err := m.bandIndex.Candidates(sig); err == nil {
+			banded = make(map[uint64]struct{}, len(ids))
+			for _, id := range ids {
+				banded[id] = struct{}{}
+			}
+		}
 	}
 	var cands []candidate
 	for _, img := range m.images {
@@ -562,6 +691,14 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *tel
 			continue
 		}
 		if sig != nil {
+			if banded != nil {
+				if _, ok := banded[img.ID]; !ok {
+					if ev != nil {
+						ev.PrefilterRejected++
+					}
+					continue
+				}
+			}
 			est := similarity.EstimateDistance(sig, img.sig)
 			if est >= m.cfg.Alpha+m.cfg.MinHash.Margin {
 				if ev != nil {
@@ -629,6 +766,7 @@ func (m *Manager) evict(keep uint64) (int, int64) {
 		}
 		m.images[vi] = nil
 		delete(m.byID, victim.ID)
+		m.indexRemove(victim.ID)
 		m.total -= victim.Size
 		m.stats.Deletes++
 		m.commit(Mutation{Kind: MutDelete, ImageID: victim.ID})
@@ -639,6 +777,36 @@ func (m *Manager) evict(keep uint64) (int, int64) {
 		m.compact()
 	}
 	return n, bytes
+}
+
+// SetCapacity replaces the byte capacity (the shard's budget when this
+// manager is one shard of a ShardedManager). Zero or negative means
+// unlimited. It does not evict; callers shrink explicitly if needed.
+func (m *Manager) SetCapacity(c int64) { m.cfg.Capacity = c }
+
+// ShrinkToCapacity evicts least-recently-used images until the cache
+// fits its capacity, sparing the most-recently-used image (the same
+// image Request's eviction pass would spare, keeping the LRU-victim
+// invariant uniform for the check harness). The balancer calls this
+// after lowering a shard's budget. Evictions commit as ordinary
+// MutDelete records.
+func (m *Manager) ShrinkToCapacity() (int, int64) {
+	if m.cfg.Capacity <= 0 {
+		return 0, 0
+	}
+	var mru *Image
+	for _, img := range m.images {
+		if img == nil {
+			continue
+		}
+		if mru == nil || img.lastUse > mru.lastUse {
+			mru = img
+		}
+	}
+	if mru == nil {
+		return 0, 0
+	}
+	return m.evict(mru.ID)
 }
 
 // compact removes nil entries from the insertion-ordered slice once

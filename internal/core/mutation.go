@@ -134,9 +134,11 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 		}
 		m.images = append(m.images, img)
 		m.byID[img.ID] = img
+		m.indexInsert(img)
 		m.total += img.Size
 		if mut.ImageID >= m.nextID {
-			m.nextID = mut.ImageID + 1
+			m.nextID = mut.ImageID + m.stride()
+			m.alignNextID()
 		}
 		m.bumpClock(mut.LastUse)
 		m.stats.Requests++
@@ -162,6 +164,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 		img.Merges = mut.Merges
 		img.lastUse = mut.LastUse
 		img.sig = m.sign(s)
+		m.indexUpdate(img)
 		m.total += img.Size
 		m.bumpClock(mut.LastUse)
 		m.stats.Requests++
@@ -183,6 +186,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 			}
 		}
 		delete(m.byID, img.ID)
+		m.indexRemove(img.ID)
 		m.total -= img.Size
 		m.stats.Deletes++
 		m.compact()
@@ -202,6 +206,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 		img.Size = s.Size(m.repo)
 		img.Version = mut.Version
 		img.sig = m.sign(s)
+		m.indexUpdate(img)
 		img.resetHot()
 		m.total += img.Size
 		m.stats.Splits++

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
+	"repro/internal/telemetry"
+)
+
+// Sharded cache core.
+//
+// A ShardedManager partitions the cache into N independent
+// ConcurrentManagers keyed by the request's package keys (the fleet
+// RouteKey fnv64a idiom), so merges/inserts/evictions on different
+// shards proceed in parallel instead of serializing on one write lock.
+// Three mechanisms keep the partitioned cache provably equivalent to a
+// single Algorithm 1 cache over the shard-local image sets:
+//
+//   - One shared atomic logical clock: every shard draws Seq stamps
+//     from the same source, so stamps are globally unique and dense
+//     (1..requests) and the merged mutation stream still linearizes by
+//     Seq. Per-shard streams remain monotone in the WAL (each shard's
+//     hook fires under its stamping lock), and records from different
+//     shards commute on replay because mutations carry absolute values
+//     and shards own disjoint images.
+//
+//   - Strided image IDs: shard i of N allocates IDs ≡ i (mod N), so
+//     ImageID mod N names the owning shard in every mutation and
+//     checkpoint. Recovery and checkpoint import route records with no
+//     format change, and a shards=1 manager is byte-identical to the
+//     unsharded Manager.
+//
+//   - Per-shard byte budgets summing exactly to the global capacity,
+//     with a balancer (balance.go) that shifts budget toward hot
+//     shards at maintenance points under full exclusion. The global
+//     byte bound is the sum of per-shard bounds, which the check
+//     harness audits across shards.
+type ShardedManager struct {
+	repo     *pkggraph.Repo
+	shards   []*ConcurrentManager
+	clockSrc *atomic.Uint64
+	capacity int64 // global byte budget (zero or negative: unlimited)
+
+	balMu sync.Mutex
+	bal   BalancerStats
+}
+
+// fnv64a incremental hashing (hash/fnv without the allocating Hash64
+// wrapper — the router runs on every request).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// routeMix is the splitmix64 finalizer (same constants as the fleet
+// ring): the per-key sum below concentrates entropy in the low bits
+// poorly, so mix before reducing mod shards.
+func routeMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// routeKeyHash is the per-key term of the route hash: fnv64a over the
+// key bytes plus a '\n' terminator (the fleet RouteKey framing).
+func routeKeyHash(k string) uint64 {
+	h := fnvString(fnvOffset64, k)
+	h ^= '\n'
+	h *= fnvPrime64
+	return h
+}
+
+// ShardRoute maps a request's package keys to a shard index in [0,
+// shards). The route is the splitmix-finalized *sum* of per-key fnv64a
+// hashes, so it is a pure function of the key multiset — key order
+// cannot matter by construction, and duplicate keys do not cancel (a
+// XOR would erase pairs) — the properties the shadow checker audits on
+// every insert and FuzzShardRoute fuzzes. shards < 2 always routes
+// to 0.
+func ShardRoute(packages []string, shards int) int {
+	if shards < 2 {
+		return 0
+	}
+	var sum uint64
+	for _, k := range packages {
+		sum += routeKeyHash(k)
+	}
+	return int(routeMix(sum) % uint64(shards))
+}
+
+// NewSharded validates cfg and creates an empty sharded manager with
+// cfg.Shards shards (minimum 1). The capacity is split evenly across
+// shards (remainder bytes to the lowest indices) so budgets sum to the
+// configured capacity exactly; Rebalance reshapes the split later.
+// cfg.Commit and cfg.Tracer are shared by every shard and must be safe
+// for concurrent use when more than one shard is configured.
+func NewSharded(repo *pkggraph.Repo, cfg Config) (*ShardedManager, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	sm := &ShardedManager{
+		repo:     repo,
+		capacity: cfg.Capacity,
+		clockSrc: new(atomic.Uint64),
+	}
+	budgets := SplitBudget(cfg.Capacity, n)
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		scfg.Shards = n
+		scfg.Capacity = budgets[i]
+		m, err := NewManager(repo, scfg)
+		if err != nil {
+			return nil, err
+		}
+		m.clockSrc = sm.clockSrc
+		m.idOffset = uint64(i)
+		m.idStride = uint64(n)
+		m.nextID = uint64(i)
+		sm.shards = append(sm.shards, Concurrent(m))
+	}
+	return sm, nil
+}
+
+// NumShards returns the shard count.
+func (sm *ShardedManager) NumShards() int { return len(sm.shards) }
+
+// Shard returns the i'th shard for direct access (tests, harnesses).
+func (sm *ShardedManager) Shard(i int) *ConcurrentManager { return sm.shards[i] }
+
+// Capacity returns the global byte capacity (zero or negative means
+// unlimited).
+func (sm *ShardedManager) Capacity() int64 { return sm.capacity }
+
+// ShardFor returns the shard a request for s routes to. It computes
+// the same hash as ShardRoute(keysOf(s), n) but streams each package's
+// name/version/platform fields straight into the fnv state, skipping
+// the per-request key-slice and key-string allocations that dominated
+// routing cost on the hot path.
+func (sm *ShardedManager) ShardFor(s spec.Spec) int {
+	n := len(sm.shards)
+	if n < 2 {
+		return 0
+	}
+	repo := sm.repo
+	var sum uint64
+	for _, id := range s.IDs() {
+		p := repo.Package(id)
+		// Byte-identical to routeKeyHash(p.Key()): Key() is
+		// name + "/" + version + "/" + platform.
+		h := fnvString(fnvOffset64, p.Name)
+		h = fnvString(h, "/")
+		h = fnvString(h, p.Version)
+		h = fnvString(h, "/")
+		h = fnvString(h, p.Platform)
+		h ^= '\n'
+		h *= fnvPrime64
+		sum += h
+	}
+	route := int(routeMix(sum) % uint64(n))
+	if mutantEnabled("route") && s.Len()%3 == 1 {
+		route = (route + 1) % n
+	}
+	return route
+}
+
+// Request runs Algorithm 1 for s on the shard its key set routes to.
+func (sm *ShardedManager) Request(s spec.Spec) (Result, error) {
+	return sm.RequestCtx(context.Background(), s)
+}
+
+// RequestCtx is Request with deadline/cancellation awareness (see
+// ConcurrentManager.RequestCtx).
+func (sm *ShardedManager) RequestCtx(ctx context.Context, s spec.Spec) (Result, error) {
+	if s.Empty() {
+		return Result{}, errEmptySpec()
+	}
+	return sm.shards[sm.ShardFor(s)].RequestCtx(ctx, s)
+}
+
+// PeekHit answers "would this spec hit?" with zero mutation on the
+// shard s routes to (see ConcurrentManager.PeekHit).
+func (sm *ShardedManager) PeekHit(s spec.Spec) (Result, bool) {
+	if s.Empty() {
+		return Result{}, false
+	}
+	return sm.shards[sm.ShardFor(s)].PeekHit(s)
+}
+
+// WithExclusiveAll runs fn as the sole user of every shard's Manager:
+// shard locks are acquired in index order (the fixed order that makes
+// multi-shard exclusion deadlock-free) and released in reverse. This is
+// the critical section for checkpoints, restores, and rebalancing —
+// anything that must observe or mutate a globally frozen cache. fn must
+// not retain ms or its elements.
+func (sm *ShardedManager) WithExclusiveAll(fn func(ms []*Manager)) {
+	for _, c := range sm.shards {
+		c.lock()
+	}
+	ms := make([]*Manager, len(sm.shards))
+	for i, c := range sm.shards {
+		ms[i] = c.m
+	}
+	fn(ms)
+	for i := len(sm.shards) - 1; i >= 0; i-- {
+		sm.shards[i].mu.Unlock()
+	}
+}
+
+// WithSharedAll runs fn with every shard quiescent for reading (read
+// lock plus hitMu each, acquired in index order). fn must not retain
+// ms or its elements.
+func (sm *ShardedManager) WithSharedAll(fn func(ms []*Manager)) {
+	for _, c := range sm.shards {
+		c.rlock()
+	}
+	for _, c := range sm.shards {
+		c.hitMu.Lock()
+	}
+	ms := make([]*Manager, len(sm.shards))
+	for i, c := range sm.shards {
+		ms[i] = c.m
+	}
+	fn(ms)
+	for i := len(sm.shards) - 1; i >= 0; i-- {
+		sm.shards[i].hitMu.Unlock()
+	}
+	for i := len(sm.shards) - 1; i >= 0; i-- {
+		sm.shards[i].mu.RUnlock()
+	}
+}
+
+// Stats returns the field-wise sum of every shard's counters. Each
+// shard's copy is internally consistent; across shards the sum may lag
+// in-flight requests by a request or two (use WithSharedAll +
+// MergedStats for a quiesced view).
+func (sm *ShardedManager) Stats() Stats {
+	var out Stats
+	for _, c := range sm.shards {
+		out = addStats(out, c.Stats())
+	}
+	return out
+}
+
+// Len returns the number of cached images across all shards.
+func (sm *ShardedManager) Len() int {
+	n := 0
+	for _, c := range sm.shards {
+		n += c.Len()
+	}
+	return n
+}
+
+// TotalData returns the summed size of all cached images.
+func (sm *ShardedManager) TotalData() int64 {
+	var t int64
+	for _, c := range sm.shards {
+		t += c.TotalData()
+	}
+	return t
+}
+
+// UniqueData returns the size of the union of all shards' package sets.
+func (sm *ShardedManager) UniqueData() int64 {
+	var u int64
+	sm.WithSharedAll(func(ms []*Manager) { u = UnionData(ms) })
+	return u
+}
+
+// CacheEfficiency returns UniqueData/TotalData across all shards.
+func (sm *ShardedManager) CacheEfficiency() float64 {
+	var u, t float64
+	sm.WithSharedAll(func(ms []*Manager) {
+		u = float64(UnionData(ms))
+		for _, m := range ms {
+			t += float64(m.TotalData())
+		}
+	})
+	if t == 0 {
+		return 1
+	}
+	return u / t
+}
+
+// Alpha returns the configured merge threshold.
+func (sm *ShardedManager) Alpha() float64 { return sm.shards[0].Alpha() }
+
+// Tracer returns the configured request tracer (nil when disabled).
+func (sm *ShardedManager) Tracer() telemetry.Tracer { return sm.shards[0].Tracer() }
+
+// CheckIntegrity validates every shard (see Manager.CheckIntegrity).
+func (sm *ShardedManager) CheckIntegrity() error {
+	for i, c := range sm.shards {
+		if err := c.CheckIntegrity(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Prune runs the split pass shard by shard and concatenates the
+// results (see Manager.Prune).
+func (sm *ShardedManager) Prune(maxUtilization float64, minServed int) ([]SplitResult, error) {
+	var out []SplitResult
+	for _, c := range sm.shards {
+		res, err := c.Prune(maxUtilization, minServed)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// Snapshot captures every cached image across shards, ordered by last
+// use (the canonical cross-shard order: stamps are globally unique).
+func (sm *ShardedManager) Snapshot() []ImageSnapshot {
+	var snaps []ImageSnapshot
+	sm.WithSharedAll(func(ms []*Manager) {
+		for _, m := range ms {
+			snaps = append(snaps, m.Snapshot()...)
+		}
+	})
+	sort.SliceStable(snaps, func(a, b int) bool { return snaps[a].LastUse < snaps[b].LastUse })
+	return snaps
+}
+
+// ExportState captures the merged state of all shards (see
+// MergedState). For a checkpoint that must stay consistent with the
+// WAL, use WithExclusiveAll and export under the same critical section
+// as the log rotation.
+func (sm *ShardedManager) ExportState() ManagerState {
+	var st ManagerState
+	sm.WithSharedAll(func(ms []*Manager) { st = MergedState(ms) })
+	return st
+}
+
+// ImportState loads a merged checkpoint into an empty sharded manager:
+// each image goes to the shard its ID names (ID mod N), so identities,
+// versions, and LRU stamps survive exactly. Works for checkpoints
+// written by any shard count, including legacy unsharded ones.
+func (sm *ShardedManager) ImportState(st ManagerState) error {
+	n := len(sm.shards)
+	parts := make([][]ImageSnapshot, n)
+	for _, snap := range st.Images {
+		i := int(snap.ID % uint64(n))
+		parts[i] = append(parts[i], snap)
+	}
+	maxClock := st.Clock
+	for _, snap := range st.Images {
+		if snap.LastUse > maxClock {
+			maxClock = snap.LastUse
+		}
+	}
+	for i, c := range sm.shards {
+		sub := ManagerState{
+			Images: parts[i],
+			NextID: st.NextID,
+			Clock:  st.Clock,
+		}
+		// The merged stats land whole on shard 0 (summing per-shard
+		// stats reproduces them; splitting per shard is unknowable from
+		// a merged checkpoint, and "ops partition requests" holds for
+		// both the zero and the whole).
+		if i == 0 {
+			sub.Stats = st.Stats
+		}
+		if err := c.m.ImportState(sub); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if maxClock > sm.clockSrc.Load() {
+		sm.clockSrc.Store(maxClock)
+	}
+	return nil
+}
+
+// ApplyMutation replays one logged mutation during recovery, routed to
+// the owning shard by ImageID. Only for single-goroutine use before
+// the manager serves traffic.
+func (sm *ShardedManager) ApplyMutation(mut Mutation) error {
+	i := int(mut.ImageID % uint64(len(sm.shards)))
+	if err := sm.shards[i].m.ApplyMutation(mut); err != nil {
+		return err
+	}
+	if mut.LastUse > sm.clockSrc.Load() {
+		sm.clockSrc.Store(mut.LastUse)
+	}
+	return nil
+}
+
+// Restore loads a legacy snapshot into an empty sharded cache: images
+// are routed by their package keys (the same pure route a fresh insert
+// of that spec would take) and re-IDed within each shard's residue
+// class. See Manager.Restore.
+func (sm *ShardedManager) Restore(snaps []ImageSnapshot) error {
+	return sm.RestoreThen(snaps, nil)
+}
+
+// RestoreThen is Restore with a continuation: on success, fn (if
+// non-nil) runs while every shard is still held exclusively — the
+// critical section a restore-then-checkpoint sequence needs so no
+// mutation can slip between the state rewrite and the log rotation.
+// fn must not retain ms or its elements.
+func (sm *ShardedManager) RestoreThen(snaps []ImageSnapshot, fn func(ms []*Manager)) error {
+	var err error
+	sm.WithExclusiveAll(func(ms []*Manager) {
+		if err = RestoreAll(ms, snaps); err != nil {
+			return
+		}
+		// Advance the shared clock source past the restored stamps —
+		// Restore bumps the per-shard clocks without drawing from it.
+		var max uint64
+		for _, m := range ms {
+			if m.clock > max {
+				max = m.clock
+			}
+		}
+		if max > sm.clockSrc.Load() {
+			sm.clockSrc.Store(max)
+		}
+		if fn != nil {
+			fn(ms)
+		}
+	})
+	return err
+}
+
+// Images returns copied image rows across all shards for read-only
+// listings (see ConcurrentManager.Images), ordered by ID so the
+// listing is stable regardless of shard count.
+func (sm *ShardedManager) Images() []Image {
+	var out []Image
+	for _, c := range sm.shards {
+		out = append(out, c.Images()...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// SetCommitHook replaces the commit hook on every shard (see
+// Manager.SetCommitHook). Call before serving traffic.
+func (sm *ShardedManager) SetCommitHook(h CommitHook) {
+	for _, c := range sm.shards {
+		c.m.SetCommitHook(h)
+	}
+}
+
+// SetLockWaitMetrics installs the lock-wait histograms on every shard
+// (see ConcurrentManager.SetLockWaitMetrics).
+func (sm *ShardedManager) SetLockWaitMetrics(read, write *telemetry.Histogram) {
+	for _, c := range sm.shards {
+		c.SetLockWaitMetrics(read, write)
+	}
+}
+
+// ReadHits sums fast-path hits across shards.
+func (sm *ShardedManager) ReadHits() int64 {
+	var n int64
+	for _, c := range sm.shards {
+		n += c.ReadHits()
+	}
+	return n
+}
+
+// WriteLockAcquisitions sums write-lock acquisitions across shards.
+func (sm *ShardedManager) WriteLockAcquisitions() int64 {
+	var n int64
+	for _, c := range sm.shards {
+		n += c.WriteLockAcquisitions()
+	}
+	return n
+}
+
+// MergedState merges per-shard states into the canonical global state:
+// images across all shards ordered by LastUse (stamps are globally
+// unique, so the order is total), NextID the maximum shard allocator,
+// Clock the maximum shard clock (the shared counter's value at
+// quiescence), Stats the field-wise sum. A 1-shard merge is exactly
+// that shard's ExportState. Callers must hold the shards quiescent
+// (WithSharedAll or WithExclusiveAll).
+func MergedState(ms []*Manager) ManagerState {
+	var out ManagerState
+	for _, m := range ms {
+		st := m.ExportState()
+		out.Images = append(out.Images, st.Images...)
+		if st.NextID > out.NextID {
+			out.NextID = st.NextID
+		}
+		if st.Clock > out.Clock {
+			out.Clock = st.Clock
+		}
+		out.Stats = addStats(out.Stats, st.Stats)
+	}
+	sort.SliceStable(out.Images, func(a, b int) bool { return out.Images[a].LastUse < out.Images[b].LastUse })
+	return out
+}
+
+// MergedStats sums per-shard counters. Callers must hold the shards
+// quiescent.
+func MergedStats(ms []*Manager) Stats {
+	var out Stats
+	for _, m := range ms {
+		out = addStats(out, m.Stats())
+	}
+	return out
+}
+
+// UnionData returns the size of the union of every shard's package
+// sets. Callers must hold the shards quiescent.
+func UnionData(ms []*Manager) int64 {
+	var u spec.Spec
+	var repo *pkggraph.Repo
+	for _, m := range ms {
+		repo = m.repo
+		for _, img := range m.images {
+			if img != nil {
+				u = u.Union(img.Spec)
+			}
+		}
+	}
+	if repo == nil {
+		return 0
+	}
+	return u.Size(repo)
+}
+
+// RestoreAll loads a legacy snapshot into empty shard managers,
+// routing each image by the pure shard route of its package keys.
+// Callers must hold the shards exclusively.
+func RestoreAll(ms []*Manager, snaps []ImageSnapshot) error {
+	n := len(ms)
+	parts := make([][]ImageSnapshot, n)
+	for _, snap := range snaps {
+		i := ShardRoute(snap.Packages, n)
+		parts[i] = append(parts[i], snap)
+	}
+	for i, m := range ms {
+		if err := m.Restore(parts[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// addStats returns the field-wise sum a+b.
+func addStats(a, b Stats) Stats {
+	return Stats{
+		Requests:        a.Requests + b.Requests,
+		Hits:            a.Hits + b.Hits,
+		Inserts:         a.Inserts + b.Inserts,
+		Merges:          a.Merges + b.Merges,
+		Deletes:         a.Deletes + b.Deletes,
+		Splits:          a.Splits + b.Splits,
+		BytesWritten:    a.BytesWritten + b.BytesWritten,
+		RequestedBytes:  a.RequestedBytes + b.RequestedBytes,
+		ContainerEffSum: a.ContainerEffSum + b.ContainerEffSum,
+	}
+}

@@ -102,6 +102,7 @@ func (m *Manager) ImportState(st ManagerState) error {
 		}
 		m.images = append(m.images, img)
 		m.byID[img.ID] = img
+		m.indexInsert(img)
 		m.total += img.Size
 		if snap.LastUse > maxClock {
 			maxClock = snap.LastUse
@@ -122,6 +123,7 @@ func (m *Manager) ImportState(st ManagerState) error {
 	if st.NextID > m.nextID {
 		m.nextID = st.NextID
 	}
+	m.alignNextID()
 	m.stats = st.Stats
 	return nil
 }
@@ -154,9 +156,10 @@ func (m *Manager) Restore(snaps []ImageSnapshot) error {
 			lastUse: snap.LastUse,
 			sig:     m.sign(s),
 		}
-		m.nextID++
+		m.nextID += m.stride()
 		m.images = append(m.images, img)
 		m.byID[img.ID] = img
+		m.indexInsert(img)
 		m.total += img.Size
 		if snap.LastUse > maxClock {
 			maxClock = snap.LastUse

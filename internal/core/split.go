@@ -79,6 +79,7 @@ func (m *Manager) Prune(maxUtilization float64, minServed int) ([]SplitResult, e
 				img.Size = hotSize
 				img.Version++
 				img.sig = m.sign(img.Spec)
+				m.indexUpdate(img)
 				m.total += img.Size
 				m.stats.Splits++
 				m.stats.BytesWritten += hotSize

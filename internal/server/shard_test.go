@@ -1,0 +1,147 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// shardSpecs are the five distinct dependency closures the test repo
+// offers; with alpha 0 nothing merges, so each inserts its own image
+// and the router scatters them across shards.
+var shardSpecs = [][]string{
+	{"base/1.0/p"},
+	{"fw/1.0/p"},
+	{"libA/1.0/p"},
+	{"libB/1.0/p"},
+	{"libA/1.0/p", "libB/1.0/p"},
+}
+
+// TestShardedServerEndToEnd drives the HTTP API with cache_shards=4:
+// inserts and repeat hits behave exactly as on the unsharded server,
+// /v1/stats aggregates across shards, /v1/images lists the merged
+// image set in stable ID order, and /metrics exposes the per-shard
+// gauges plus the balancer counters.
+func TestShardedServerEndToEnd(t *testing.T) {
+	ts, client := testService(t, core.Config{Alpha: 0, Shards: 4})
+
+	for _, pkgs := range shardSpecs {
+		res, err := client.Request(pkgs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Op != "insert" {
+			t.Fatalf("first request of %v: op %q, want insert", pkgs, res.Op)
+		}
+	}
+	// A repeat routes to the same shard its insert landed on, so the
+	// image is there to hit.
+	for _, pkgs := range shardSpecs {
+		res, err := client.Request(pkgs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Op != "hit" {
+			t.Fatalf("repeat of %v: op %q, want hit", pkgs, res.Op)
+		}
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 10 || st.Inserts != 5 || st.Hits != 5 || st.Images != 5 {
+		t.Fatalf("merged stats wrong: %+v", st)
+	}
+
+	imgs, err := client.Images()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 5 {
+		t.Fatalf("%d images listed, want 5", len(imgs))
+	}
+	for i := 1; i < len(imgs); i++ {
+		if imgs[i-1].ID >= imgs[i].ID {
+			t.Fatalf("image listing not ID-ordered: %d before %d", imgs[i-1].ID, imgs[i].ID)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`landlord_cache_shard_images{shard="0"}`,
+		`landlord_cache_shard_images{shard="3"}`,
+		`landlord_cache_shard_bytes{shard="1"}`,
+		`landlord_cache_shard_budget_bytes{shard="2"}`,
+		"landlord_cache_rebalances_total",
+		"landlord_cache_rebalance_evicted_bytes_total",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+// TestShardedServerPersistence restarts a sharded persistent server
+// and requires the recovered cache to serve every pre-restart spec as
+// a hit with identical aggregate state — the merged checkpoint/WAL
+// round-trip through the server's own checkpoint path.
+func TestShardedServerPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.Config{Alpha: 0, Shards: 3}
+	open := func() (*Server, *persist.Store) {
+		store, err := persist.Open(dir, persist.Options{SyncPolicy: persist.FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _, err := NewPersistent(testRepo(t), cfg, store, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, store
+	}
+
+	keys := []string{"base/1.0/p", "fw/1.0/p", "libA/1.0/p", "libB/1.0/p"}
+	srv, store := open()
+	repo := testRepo(t)
+	for _, key := range keys {
+		if _, err := srv.cmgr.Request(mustSpec(t, repo, key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := srv.StatsNow()
+	if _, err := srv.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, store2 := open()
+	defer store2.Close()
+	after := srv2.StatsNow()
+	if after.Images != before.Images || after.TotalData != before.TotalData {
+		t.Fatalf("recovered state %+v, want images=%d total=%d", after, before.Images, before.TotalData)
+	}
+	for _, key := range keys {
+		res, err := srv2.cmgr.Request(mustSpec(t, repo, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Op != core.OpHit {
+			t.Fatalf("recovered cache missed %q: %v", key, res.Op)
+		}
+	}
+}
