@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench fuzz check lint-metrics cover crash-test examples experiments clean
+.PHONY: all build vet test test-short race bench bench-guard fuzz check lint-metrics cover crash-test examples experiments clean
 
 all: build vet lint-metrics test
 
@@ -30,6 +30,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Allocation regression guard for the interned hot path: the hit-heavy
+# steady state (cached spec repeats against a warm Manager) must run
+# allocation-free. A fixed iteration count keeps the run cheap and
+# deterministic; the guard fails the build the moment any per-request
+# allocation sneaks back onto the hit path.
+bench-guard:
+	$(GO) test -run '^$$' -bench '^BenchmarkManagerSerial$$/hit-heavy' -benchmem -benchtime 2000x . \
+		| awk '/hit-heavy/ { allocs = $$(NF-1); print; if (allocs + 0 != 0) { print "bench-guard: hit path allocates " allocs " allocs/op, want 0"; exit 1 } found = 1 } END { if (!found) { print "bench-guard: hit-heavy benchmark did not run"; exit 1 } }'
+
 # Brief fuzzing pass over every fuzz target. Patterns are anchored:
 # -fuzz is a regex, and an unanchored FuzzParse would also match
 # FuzzSpecParse in the same package (go test refuses to fuzz two
@@ -42,13 +51,18 @@ fuzz:
 	$(GO) test ./internal/pkggraph -fuzz '^FuzzLoad$$' -fuzztime 30s
 	$(GO) test ./internal/shrinkwrap -fuzz '^FuzzUnpack$$' -fuzztime 30s
 	$(GO) test ./internal/persist -fuzz '^FuzzWALDecode$$' -fuzztime 30s
+	$(GO) test ./internal/spec -fuzz '^FuzzInternRoundTrip$$' -fuzztime 30s
+	$(GO) test ./internal/spec -fuzz '^FuzzBitsetJaccard$$' -fuzztime 30s
+	$(GO) test ./internal/core -fuzz '^FuzzShardRoute$$' -fuzztime 30s
 
 # Short-budget invariant harness for every PR: the deterministic
-# simulation suites (unsharded and sharded) and scaled-down soaks
-# under the race detector, the mutant self-test (each of the eight
-# seeded bugs — six Algorithm 1 clauses plus the shard-routing and
-# budget-balancing mutants — must be caught within 1,000 requests,
-# reproducibly), and one CLI chaos pass. `landlord-check sim` runs the
+# simulation suites (differential fast-vs-reference, unsharded, and
+# sharded) and scaled-down soaks under the race detector, the mutant
+# self-test (each of the eleven seeded bugs — six Algorithm 1 clauses,
+# the shard-routing and budget-balancing mutants, plus the three
+# fast-path mutants intern/popcount/lshmiss — must be caught
+# reproducibly; the fast-path three within the differential suite's
+# 900 requests), and one CLI chaos pass. `landlord-check sim` runs the
 # sharded suite too.
 check:
 	$(GO) test -race -short -count=1 ./internal/check

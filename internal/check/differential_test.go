@@ -1,0 +1,37 @@
+package check
+
+import "testing"
+
+// TestDifferentialEquivalence is the headline proof obligation of the
+// interned fast path: on every canonical differential configuration the
+// fast pipeline must be byte-identical to the string-set reference —
+// every Result equal, every periodic ExportState equal, both caches
+// passing integrity audits throughout.
+func TestDifferentialEquivalence(t *testing.T) {
+	for i, cfg := range DifferentialSuite(*seedFlag) {
+		rep, fail := RunDifferential(cfg)
+		if fail != nil {
+			t.Fatalf("differential config %d (%+v): %v", i, cfg, fail)
+		}
+		if rep.Steps != cfg.Steps {
+			t.Fatalf("differential config %d ran %d of %d steps", i, rep.Steps, cfg.Steps)
+		}
+		t.Logf("config %d: %d steps, %d images, hits=%d merges=%d inserts=%d, state %s",
+			i, rep.Steps, rep.Images, rep.Stats.Hits, rep.Stats.Merges, rep.Stats.Inserts, rep.StateHash[:12])
+	}
+}
+
+// TestDifferentialDeterministic pins the rig itself: the same config
+// must reproduce the same report (steps, stats, final state hash), or
+// seed-based failure reproduction is worthless.
+func TestDifferentialDeterministic(t *testing.T) {
+	cfg := DifferentialSuite(*seedFlag)[1]
+	a, failA := RunDifferential(cfg)
+	b, failB := RunDifferential(cfg)
+	if failA != nil || failB != nil {
+		t.Fatalf("clean config failed: %v / %v", failA, failB)
+	}
+	if a != b {
+		t.Fatalf("two runs of the same config diverged:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -10,9 +10,10 @@ import (
 
 // TestMutantSim runs under -tags landlord_mutants with LANDLORD_MUTANT
 // naming one seeded bug in internal/core (see core/mutant_on.go). It
-// asserts the harness DETECTS the mutant: the canonical simulation
-// suite must report a Failure within its 1000 requests. It runs the
-// suite twice and requires the two failures to be byte-identical —
+// asserts the harness DETECTS the mutant: the staged suites —
+// differential (900 requests), unsharded simulation, sharded
+// simulation — must report a Failure before they run dry. It runs the
+// stages twice and requires the two failures to be byte-identical —
 // the reproducibility the printed seed promises.
 //
 // TestMutantsAreDetected drives this from a normal build; the
@@ -25,10 +26,22 @@ func TestMutantSim(t *testing.T) {
 
 	detect := func() (string, int) {
 		requests := 0
-		// The original six mutants fall to the unsharded suite; the
-		// sharding mutants (route, balance) are invisible to it — no
-		// unsharded run consults the router or the balancer — and fall
-		// to the sharded suite's route audit and budgets-sum audit.
+		// The differential suite runs first: the fast-path mutants
+		// (intern, popcount, lshmiss) corrupt only the interned
+		// representation, which no single-pipeline oracle can see — they
+		// fall to the reference-vs-fast comparison, within its 900
+		// requests. The original six mutants fall to the unsharded
+		// suite; the sharding mutants (route, balance) are invisible to
+		// both earlier stages — no unsharded run consults the router or
+		// the balancer — and fall to the sharded suite's route audit and
+		// budgets-sum audit.
+		for _, cfg := range DifferentialSuite(*seedFlag) {
+			rep, f := RunDifferential(cfg)
+			requests += rep.Steps
+			if f != nil {
+				return f.Error(), requests
+			}
+		}
 		for _, cfg := range Suite(*seedFlag) {
 			rep, f := RunSim(cfg)
 			requests += rep.Steps

@@ -13,7 +13,10 @@ import (
 // mutants lists the seeded bugs compiled in by -tags landlord_mutants
 // (internal/core/mutant_on.go); each breaks exactly one clause of
 // Algorithm 1.
-var mutants = []string{"superset", "threshold", "conflict", "lru", "capacity", "touch", "route", "balance"}
+var mutants = []string{
+	"superset", "threshold", "conflict", "lru", "capacity", "touch", "route", "balance",
+	"intern", "popcount", "lshmiss",
+}
 
 // buildMutantBinary compiles this package's tests with the mutant tag
 // once; the per-mutant runs then just set LANDLORD_MUTANT.

@@ -37,10 +37,11 @@ import (
 //
 // All methods are safe for concurrent use.
 type ShardShadow struct {
-	repo *pkggraph.Repo
-	n    int
-	seed int64
-	next core.CommitHook // chained hook, may be nil
+	repo   *pkggraph.Repo
+	n      int
+	seed   int64
+	next   core.CommitHook // chained hook, may be nil
+	routes *core.RouteTable
 
 	mu      sync.Mutex
 	shards  []*shardShadowState
@@ -72,6 +73,7 @@ func NewShardShadow(repo *pkggraph.Repo, shards int, seed int64, next core.Commi
 		n:      shards,
 		seed:   seed,
 		next:   next,
+		routes: core.NewRouteTable(repo),
 		shards: make([]*shardShadowState, shards),
 		stamps: make(map[uint64]struct{}),
 	}
@@ -185,6 +187,12 @@ func (sh *ShardShadow) check(shard int, mut core.Mutation) {
 		if want := core.ShardRoute(mut.Packages, sh.n); want != shard {
 			sh.failf("shard %d: insert of image %d whose packages route to shard %d (request misrouted)",
 				shard, mut.ImageID, want)
+		} else if got := sh.routes.Route(sh.specOf(mut.Packages), sh.n); got != want {
+			// The interned route table (per-PkgID terms summed) must
+			// agree with the streamed string hash on every inserted spec
+			// — the pure-function identity the fast routing path rides.
+			sh.failf("shard %d: insert of image %d routes to %d interned but %d streamed (route table diverged)",
+				shard, mut.ImageID, got, want)
 		}
 	case core.MutMerge:
 		if img == nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/pkggraph"
+	"repro/internal/similarity"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
 )
@@ -156,8 +157,18 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 	// (untraced callers, benchmarks) costs one branch per span site.
 	at := telemetry.TraceFromContext(ctx)
 	// Pure pre-computation: no locks needed, Repo and Spec are
-	// immutable.
-	sig := m.sign(s)
+	// immutable. The fast path defers signing entirely — a hit never
+	// needs it, and the slow path (RequestTraced) signs with its own
+	// scratch. Scratch is drawn per request: concurrent read-lock
+	// holders scan simultaneously and must not share buffers.
+	var sig similarity.Signature
+	var sc *scratch
+	if m.fast != nil {
+		sc = m.fast.get(s)
+		defer m.fast.put(sc)
+	} else {
+		sig = m.sign(s)
+	}
 	reqBytes := s.Size(m.repo)
 
 	var start time.Time
@@ -171,7 +182,12 @@ func (c *ConcurrentManager) RequestCtx(ctx context.Context, s spec.Spec) (Result
 	c.rlock()
 	at.End(rlSpan)
 	scanSpan := at.Begin(telemetry.StageSupersetScan, at.Root())
-	img := m.findSuperset(s, sig, ev)
+	var img *Image
+	if sc != nil {
+		img = m.findSupersetFast(s, sc, ev)
+	} else {
+		img = m.findSuperset(s, sig, ev)
+	}
 	if ev != nil {
 		at.AttrInt(scanSpan, "scanned", int64(ev.SupersetScanned))
 	}
@@ -244,11 +260,17 @@ func (c *ConcurrentManager) PeekHit(s spec.Spec) (Result, bool) {
 		return Result{}, false
 	}
 	m := c.m
-	sig := m.sign(s)
 	reqBytes := s.Size(m.repo)
+	var img *Image
 	c.rlock()
 	defer c.mu.RUnlock()
-	img := m.findSuperset(s, sig, nil)
+	if m.fast != nil {
+		sc := m.fast.get(s)
+		img = m.findSupersetFast(s, sc, nil)
+		m.fast.put(sc)
+	} else {
+		img = m.findSuperset(s, m.sign(s), nil)
+	}
 	if img == nil {
 		return Result{}, false
 	}

@@ -103,6 +103,13 @@ type Config struct {
 	// MinHash margin — so this knob exists for the identical-selection
 	// regression test and for ablation.
 	NoBandIndex bool
+	// NoFastPath disables the interned-bitset hot path (see fastpath.go)
+	// and runs every request through the string-set reference pipeline.
+	// The two pipelines make byte-identical decisions — the differential
+	// rig in internal/check replays seeded streams through both and
+	// compares exported state — so this knob exists for that rig and for
+	// ablation, not for correctness.
+	NoFastPath bool
 	// Shards is the shard count used by NewSharded and the server
 	// (default 1). NewManager itself ignores it: a Manager is always a
 	// single partition.
@@ -132,6 +139,13 @@ type Image struct {
 	Merges  int    // how many specs have been merged in
 	lastUse uint64 // logical clock of last hit/merge/insert
 	sig     similarity.Signature
+
+	// bits is the interned form of Spec (see fastpath.go), refreshed on
+	// every content change; ord is the insertion ordinal that keeps
+	// band-candidate enumeration in scan order. Both are maintained only
+	// when the fast path is enabled.
+	bits spec.Bitset
+	ord  uint64
 
 	// hot tracks the union of specifications this image served since
 	// the last Prune pass, and hotCount how many; see split.go.
@@ -223,6 +237,12 @@ type Manager struct {
 	// maintained alongside byID under the same locks.
 	bandIndex *similarity.LSHIndex
 
+	// fast, when non-nil, holds the interned-bitset hot path: the
+	// package interner and the pooled per-request scratch (fastpath.go).
+	// ordSrc issues Image.ord insertion ordinals.
+	fast   *fastPath
+	ordSrc uint64
+
 	// clockSrc, when non-nil, replaces the manager-local logical clock
 	// with a shared atomic counter: every shard of a ShardedManager
 	// draws stamps from one source, so Seq stays globally dense across
@@ -307,6 +327,9 @@ func NewManager(repo *pkggraph.Repo, cfg Config) (*Manager, error) {
 			}
 			m.bandIndex = idx
 		}
+	}
+	if !cfg.NoFastPath {
+		m.fast = newFastPath(repo)
 	}
 	return m, nil
 }
@@ -449,11 +472,26 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 		}
 	}
 
-	sig := m.sign(s)
+	// Fast path: dense query words from the pooled scratch; signing is
+	// deferred to the miss path (hits never need a signature). Reference
+	// path: eager signature, string-set scans.
+	var sig similarity.Signature
+	var sc *scratch
+	if m.fast != nil {
+		sc = m.fast.get(s)
+		defer m.fast.put(sc)
+	} else {
+		sig = m.sign(s)
+	}
 
 	// Phase 1: an existing image satisfies s.
 	scanSpan := at.Begin(telemetry.StageSupersetScan, at.Root())
-	img := m.findSuperset(s, sig, ev)
+	var img *Image
+	if sc != nil {
+		img = m.findSupersetFast(s, sc, ev)
+	} else {
+		img = m.findSuperset(s, sig, ev)
+	}
 	if ev != nil {
 		at.AttrInt(scanSpan, "scanned", int64(ev.SupersetScanned))
 	}
@@ -475,7 +513,12 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 
 	// Phase 2: merge into a close-enough image.
 	mergeScan := at.Begin(telemetry.StageMergeScan, at.Root())
-	img = m.findMergeTarget(s, sig, ev)
+	if sc != nil {
+		sig = m.signScratch(sc, s)
+		img = m.findMergeTargetFast(s, sig, sc, ev)
+	} else {
+		img = m.findMergeTarget(s, sig, ev)
+	}
 	if ev != nil {
 		at.AttrInt(mergeScan, "candidates", int64(len(ev.Candidates)))
 	}
@@ -491,9 +534,16 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 		img.lastUse = m.clock
 		img.served(s)
 		if m.hasher != nil {
-			img.sig = similarity.MergeSignatures(img.sig, sig)
+			if sc != nil {
+				// img.sig is image-owned (cloned at insert), so the
+				// pooled request signature can be folded in place.
+				similarity.MergeSignaturesInto(img.sig, sig)
+			} else {
+				img.sig = similarity.MergeSignatures(img.sig, sig)
+			}
 			m.indexUpdate(img)
 		}
+		m.refreshBits(img)
 		m.total += img.Size
 		m.stats.Merges++
 		m.stats.BytesWritten += img.Size // the merged image is rewritten whole
@@ -522,17 +572,22 @@ func (m *Manager) RequestTraced(s spec.Spec, at *telemetry.ActiveTrace) (Result,
 
 	// Phase 3: insert a new image.
 	insSpan := at.Begin(telemetry.StageInsert, at.Root())
+	sigStore := sig
+	if sc != nil && sig != nil {
+		// The pooled signature is recycled on return; the image keeps
+		// its own copy.
+		sigStore = append(similarity.Signature(nil), sig...)
+	}
 	img = &Image{
 		ID:      m.nextID,
 		Spec:    s,
 		Size:    reqBytes,
 		lastUse: m.clock,
-		sig:     sig,
+		sig:     sigStore,
 		hot:     s,
 	}
 	m.nextID += m.stride()
-	m.images = append(m.images, img)
-	m.byID[img.ID] = img
+	m.appendImage(img)
 	m.indexInsert(img)
 	m.total += img.Size
 	m.stats.Inserts++
@@ -715,6 +770,15 @@ func (m *Manager) findMergeTarget(s spec.Spec, sig similarity.Signature, ev *tel
 			cands = append(cands, candidate{img, d})
 		}
 	}
+	return m.pickMergeTarget(s, cands, ev)
+}
+
+// pickMergeTarget is the tail both merge scans share: the stable
+// distance sort, candidate telemetry, and the conflict walk that
+// returns the closest non-conflicting candidate. Candidates must
+// arrive in scan order so the stable sort breaks distance ties
+// identically for the reference and fast pipelines.
+func (m *Manager) pickMergeTarget(s spec.Spec, cands []candidate, ev *telemetry.Event) *Image {
 	if !m.cfg.NoCandidateSort {
 		sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
 	}

@@ -24,6 +24,8 @@ func (m *Manager) CheckIntegrity() error {
 	var total int64
 	live := 0
 	seen := make(map[uint64]bool)
+	var prevOrd uint64
+	ordSeen := false
 	for _, img := range m.images {
 		if img == nil {
 			continue
@@ -56,6 +58,24 @@ func (m *Manager) CheckIntegrity() error {
 					return fmt.Errorf("image %d signature stale at position %d", img.ID, i)
 				}
 			}
+		}
+		if m.fast != nil {
+			// The interned bitset must round-trip to exactly the spec it
+			// was built from — an intern collision or stale bits after a
+			// merge/split would silently corrupt every fast-path decision.
+			if img.bits.Card() != img.Spec.Len() {
+				return fmt.Errorf("image %d interned cardinality %d != spec length %d (intern collision or stale bits)", img.ID, img.bits.Card(), img.Spec.Len())
+			}
+			if !m.fast.intern.SpecOf(img.bits).Equal(img.Spec) {
+				return fmt.Errorf("image %d interned bitset does not round-trip to its spec", img.ID)
+			}
+			// Insertion ordinals must strictly increase in slice order:
+			// band-candidate enumeration sorts by ord to reproduce the
+			// reference scan's tie-breaking.
+			if ordSeen && img.ord <= prevOrd {
+				return fmt.Errorf("image %d ordinal %d not above predecessor's %d", img.ID, img.ord, prevOrd)
+			}
+			prevOrd, ordSeen = img.ord, true
 		}
 		total += img.Size
 	}

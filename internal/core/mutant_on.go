@@ -21,6 +21,13 @@ import (
 //	route     — the shard router sends some specs to the wrong shard
 //	balance   — the balancer double-counts bytes freed by its previous
 //	            shrink pass, inflating the budget pool past capacity
+//	intern    — the package interner aliases two packages to one bit
+//	            position (an intern collision): fast-path bitsets see
+//	            them as the same package
+//	popcount  — the fast path's intersection popcount undercounts by
+//	            one, skewing every interned Jaccard distance
+//	lshmiss   — the band index drops its first candidate, so the
+//	            fast-path merge scan can miss the true closest target
 var (
 	mutantOnce sync.Once
 	mutantName string

@@ -132,8 +132,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 			sig:     m.sign(s),
 			hot:     s,
 		}
-		m.images = append(m.images, img)
-		m.byID[img.ID] = img
+		m.appendImage(img)
 		m.indexInsert(img)
 		m.total += img.Size
 		if mut.ImageID >= m.nextID {
@@ -165,6 +164,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 		img.lastUse = mut.LastUse
 		img.sig = m.sign(s)
 		m.indexUpdate(img)
+		m.refreshBits(img)
 		m.total += img.Size
 		m.bumpClock(mut.LastUse)
 		m.stats.Requests++
@@ -207,6 +207,7 @@ func (m *Manager) ApplyMutation(mut Mutation) error {
 		img.Version = mut.Version
 		img.sig = m.sign(s)
 		m.indexUpdate(img)
+		m.refreshBits(img)
 		img.resetHot()
 		m.total += img.Size
 		m.stats.Splits++

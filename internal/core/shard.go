@@ -46,6 +46,11 @@ type ShardedManager struct {
 	clockSrc *atomic.Uint64
 	capacity int64 // global byte budget (zero or negative: unlimited)
 
+	// routes, when non-nil, is the interned route-term table ShardFor
+	// uses instead of streaming key strings (nil when the fast path is
+	// disabled or there is only one shard).
+	routes *RouteTable
+
 	balMu sync.Mutex
 	bal   BalancerStats
 }
@@ -104,6 +109,40 @@ func ShardRoute(packages []string, shards int) int {
 	return int(routeMix(sum) % uint64(shards))
 }
 
+// RouteTable is the interned form of the route hash: each package's
+// routeKeyHash term, precomputed per PkgID at repository load, so
+// routing a request is one table lookup and one add per package — no
+// string bytes are ever re-hashed on the request path. Route is a pure
+// function identity with ShardRoute over the spec's keys; the shard
+// shadow checker audits the agreement on every insert and
+// FuzzShardRoute pins it across arbitrary specs and shard counts.
+type RouteTable struct {
+	terms []uint64
+}
+
+// NewRouteTable precomputes the per-package route terms for repo.
+func NewRouteTable(repo *pkggraph.Repo) *RouteTable {
+	rt := &RouteTable{terms: make([]uint64, repo.Len())}
+	for i := range rt.terms {
+		rt.terms[i] = routeKeyHash(repo.Package(pkggraph.PkgID(i)).Key())
+	}
+	return rt
+}
+
+// Route maps s to a shard index in [0, shards): the splitmix-finalized
+// sum of the spec's interned terms, byte-identical to
+// ShardRoute(keys, shards). shards < 2 always routes to 0.
+func (rt *RouteTable) Route(s spec.Spec, shards int) int {
+	if shards < 2 {
+		return 0
+	}
+	var sum uint64
+	for _, id := range s.IDs() {
+		sum += rt.terms[id]
+	}
+	return int(routeMix(sum) % uint64(shards))
+}
+
 // NewSharded validates cfg and creates an empty sharded manager with
 // cfg.Shards shards (minimum 1). The capacity is split evenly across
 // shards (remainder bytes to the lowest indices) so budgets sum to the
@@ -119,6 +158,9 @@ func NewSharded(repo *pkggraph.Repo, cfg Config) (*ShardedManager, error) {
 		repo:     repo,
 		capacity: cfg.Capacity,
 		clockSrc: new(atomic.Uint64),
+	}
+	if n >= 2 && !cfg.NoFastPath {
+		sm.routes = NewRouteTable(repo)
 	}
 	budgets := SplitBudget(cfg.Capacity, n)
 	for i := 0; i < n; i++ {
@@ -148,32 +190,38 @@ func (sm *ShardedManager) Shard(i int) *ConcurrentManager { return sm.shards[i] 
 // unlimited).
 func (sm *ShardedManager) Capacity() int64 { return sm.capacity }
 
-// ShardFor returns the shard a request for s routes to. It computes
-// the same hash as ShardRoute(keysOf(s), n) but streams each package's
-// name/version/platform fields straight into the fnv state, skipping
-// the per-request key-slice and key-string allocations that dominated
-// routing cost on the hot path.
+// ShardFor returns the shard a request for s routes to. With the fast
+// path enabled it sums the interned RouteTable terms; otherwise it
+// streams each package's name/version/platform fields straight into
+// the fnv state. Both compute the same hash as ShardRoute(keysOf(s), n)
+// without the per-request key-slice and key-string allocations that
+// dominated routing cost on the hot path.
 func (sm *ShardedManager) ShardFor(s spec.Spec) int {
 	n := len(sm.shards)
 	if n < 2 {
 		return 0
 	}
-	repo := sm.repo
-	var sum uint64
-	for _, id := range s.IDs() {
-		p := repo.Package(id)
-		// Byte-identical to routeKeyHash(p.Key()): Key() is
-		// name + "/" + version + "/" + platform.
-		h := fnvString(fnvOffset64, p.Name)
-		h = fnvString(h, "/")
-		h = fnvString(h, p.Version)
-		h = fnvString(h, "/")
-		h = fnvString(h, p.Platform)
-		h ^= '\n'
-		h *= fnvPrime64
-		sum += h
+	var route int
+	if sm.routes != nil {
+		route = sm.routes.Route(s, n)
+	} else {
+		repo := sm.repo
+		var sum uint64
+		for _, id := range s.IDs() {
+			p := repo.Package(id)
+			// Byte-identical to routeKeyHash(p.Key()): Key() is
+			// name + "/" + version + "/" + platform.
+			h := fnvString(fnvOffset64, p.Name)
+			h = fnvString(h, "/")
+			h = fnvString(h, p.Version)
+			h = fnvString(h, "/")
+			h = fnvString(h, p.Platform)
+			h ^= '\n'
+			h *= fnvPrime64
+			sum += h
+		}
+		route = int(routeMix(sum) % uint64(n))
 	}
-	route := int(routeMix(sum) % uint64(n))
 	if mutantEnabled("route") && s.Len()%3 == 1 {
 		route = (route + 1) % n
 	}

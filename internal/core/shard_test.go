@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/pkggraph"
+	"repro/internal/spec"
 	"repro/internal/workload"
 )
 
@@ -531,8 +533,13 @@ func TestShardRouteDegenerate(t *testing.T) {
 
 // FuzzShardRoute fuzzes the shard router: for every key set and shard
 // count the route must be deterministic, land in [0, shards), ignore
-// key order, and degenerate to shard 0 for shard counts below 2.
+// key order, and degenerate to shard 0 for shard counts below 2. It
+// also pins the interned fast path: mapping the blob's bytes onto a
+// fixed repository's packages, the precomputed RouteTable must route
+// every spec exactly where streaming its package keys would.
 func FuzzShardRoute(f *testing.F) {
+	repo := concRepo(f)
+	rt := NewRouteTable(repo)
 	f.Add("base/1.0/p\nlib/2.0/p", 4)
 	f.Add("", 1)
 	f.Add("core-000/1.7.0/x86_64\napp/3/p\napp/3/p", 16)
@@ -540,6 +547,20 @@ func FuzzShardRoute(f *testing.F) {
 	f.Add("\x00\xff\ny", -7)
 	f.Fuzz(func(t *testing.T, blob string, shards int) {
 		keys := strings.Split(blob, "\n")
+		ids := make([]pkggraph.PkgID, 0, len(blob))
+		for i := 0; i < len(blob); i++ {
+			ids = append(ids, pkggraph.PkgID(int(blob[i])%repo.Len()))
+		}
+		s := spec.New(ids)
+		specKeys := make([]string, 0, s.Len())
+		for _, id := range s.IDs() {
+			specKeys = append(specKeys, repo.Package(id).Key())
+		}
+		for _, n := range []int{-1, 0, 1, 2, 3, 4, 16, shards} {
+			if got, want := rt.Route(s, n), ShardRoute(specKeys, n); got != want {
+				t.Fatalf("RouteTable.Route(%v, %d) = %d, streamed ShardRoute = %d", s.IDs(), n, got, want)
+			}
+		}
 		route := ShardRoute(keys, shards)
 		if shards < 2 {
 			if route != 0 {

@@ -100,8 +100,7 @@ func (m *Manager) ImportState(st ManagerState) error {
 			lastUse: snap.LastUse,
 			sig:     m.sign(s),
 		}
-		m.images = append(m.images, img)
-		m.byID[img.ID] = img
+		m.appendImage(img)
 		m.indexInsert(img)
 		m.total += img.Size
 		if snap.LastUse > maxClock {
@@ -112,6 +111,7 @@ func (m *Manager) ImportState(st ManagerState) error {
 		}
 	}
 	sort.SliceStable(m.images, func(a, b int) bool { return m.images[a].lastUse < m.images[b].lastUse })
+	m.reorderOrds()
 	m.clock = maxClock
 	if st.Clock > m.clock {
 		m.clock = st.Clock
@@ -157,8 +157,7 @@ func (m *Manager) Restore(snaps []ImageSnapshot) error {
 			sig:     m.sign(s),
 		}
 		m.nextID += m.stride()
-		m.images = append(m.images, img)
-		m.byID[img.ID] = img
+		m.appendImage(img)
 		m.indexInsert(img)
 		m.total += img.Size
 		if snap.LastUse > maxClock {
@@ -168,6 +167,7 @@ func (m *Manager) Restore(snaps []ImageSnapshot) error {
 	// Keep insertion order stable by last use so LRU ties resolve the
 	// same way across save/load cycles.
 	sort.SliceStable(m.images, func(a, b int) bool { return m.images[a].lastUse < m.images[b].lastUse })
+	m.reorderOrds()
 	m.clock = maxClock
 	return nil
 }

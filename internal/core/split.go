@@ -30,9 +30,14 @@ type SplitResult struct {
 	BytesWritten int64 // the trimmed image is rewritten in full
 }
 
-// served records a request against an image's hot set.
+// served records a request against an image's hot set. The union is
+// skipped when s adds nothing — on the steady-state hit path the hot
+// set has usually absorbed the request already, and Union would
+// allocate a fresh copy per hit.
 func (img *Image) served(s spec.Spec) {
-	img.hot = img.hot.Union(s)
+	if !s.SubsetOf(img.hot) {
+		img.hot = img.hot.Union(s)
+	}
 	img.hotCount++
 }
 
@@ -80,6 +85,7 @@ func (m *Manager) Prune(maxUtilization float64, minServed int) ([]SplitResult, e
 				img.Version++
 				img.sig = m.sign(img.Spec)
 				m.indexUpdate(img)
+				m.refreshBits(img)
 				m.total += img.Size
 				m.stats.Splits++
 				m.stats.BytesWritten += hotSize

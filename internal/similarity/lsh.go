@@ -2,6 +2,7 @@ package similarity
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -140,4 +141,41 @@ func (x *LSHIndex) Candidates(sig Signature) ([]uint64, error) {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out, nil
+}
+
+// CandidatesAppend is Candidates into caller-owned storage: bucket
+// contents are appended to dst, then sorted and deduplicated in place,
+// and the (possibly regrown) slice is returned — the same ascending
+// unique IDs Candidates builds, without the per-query map. This is the
+// retrieval the interned hot path uses as its *primary* candidate
+// source, so it must not allocate once dst has warmed up to the
+// typical candidate count.
+func (x *LSHIndex) CandidatesAppend(sig Signature, dst []uint64) ([]uint64, error) {
+	if len(sig) != x.SignatureLen() {
+		return dst, fmt.Errorf("similarity: signature length %d, index expects %d", len(sig), x.SignatureLen())
+	}
+	base := len(dst)
+	for b := 0; b < x.bands; b++ {
+		key := bandHash(sig[b*x.rows : (b+1)*x.rows])
+		dst = append(dst, x.tables[b][key]...)
+	}
+	tail := dst[base:]
+	slices.Sort(tail)
+	dst = dst[:base+len(dedupSorted(tail))]
+	return dst, nil
+}
+
+// dedupSorted removes adjacent duplicates in place and returns the
+// shortened slice.
+func dedupSorted(ids []uint64) []uint64 {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }

@@ -102,6 +102,30 @@ func (h *Hasher) Sign(s spec.Spec) Signature {
 	return sig
 }
 
+// SignInto is Sign into caller-owned storage: dst must have length
+// h.K(). It fills dst with exactly the signature Sign would allocate
+// and returns it, so a pooled scratch buffer makes the miss path's
+// signing allocation-free (the hot path the interned-bitset manager
+// pools per request).
+func (h *Hasher) SignInto(dst Signature, s spec.Spec) Signature {
+	if len(dst) != len(h.seeds) {
+		panic(fmt.Sprintf("similarity: SignInto dst length %d, hasher has k=%d", len(dst), len(h.seeds)))
+	}
+	for i := range dst {
+		dst[i] = math.MaxUint64
+	}
+	for _, id := range s.IDs() {
+		x := uint64(id) + 0x100000001
+		for i, seed := range h.seeds {
+			v := splitmix64(x ^ seed)
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+	return dst
+}
+
 // EstimateDistance estimates the Jaccard distance between the sets
 // underlying two signatures as the fraction of positions whose minima
 // differ. Both signatures must come from the same Hasher; it panics on
@@ -140,4 +164,18 @@ func MergeSignatures(a, b Signature) Signature {
 		}
 	}
 	return out
+}
+
+// MergeSignaturesInto folds b into dst in place (positionwise
+// minimum): the allocation-free form of MergeSignatures for callers
+// that own dst, such as the manager updating a merged image's sketch.
+func MergeSignaturesInto(dst, b Signature) {
+	if len(dst) != len(b) {
+		panic(fmt.Sprintf("similarity: signature length mismatch %d vs %d", len(dst), len(b)))
+	}
+	for i := range dst {
+		if b[i] < dst[i] {
+			dst[i] = b[i]
+		}
+	}
 }

@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// specFromBlob decodes an arbitrary byte string into a valid spec:
+// every 2-byte window picks one package (mod the repo size), so the
+// fuzzer controls cardinality, clustering, and duplication freely.
+func specFromBlob(repo *pkggraph.Repo, blob []byte) Spec {
+	ids := make([]pkggraph.PkgID, 0, len(blob)/2)
+	for i := 0; i+1 < len(blob); i += 2 {
+		v := int(blob[i])<<8 | int(blob[i+1])
+		ids = append(ids, pkggraph.PkgID(v%repo.Len()))
+	}
+	return New(ids)
+}
+
+// FuzzInternRoundTrip holds the interner to its core contract on
+// arbitrary package sets: BitsetOf → SpecOf is the identity, the
+// cardinality matches the spec, the sparse/dense split is a pure
+// function of cardinality, and the pooled dense form agrees with the
+// stored form bit for bit.
+func FuzzInternRoundTrip(f *testing.F) {
+	repo := bitsetRepo(f)
+	it := NewInterner(repo)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 2})                            // duplicates collapse
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})    // dense run from position 0
+	f.Add([]byte{255, 255, 0, 0, 127, 3, 9, 200, 31, 7, 2, 2}) // scattered
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		s := specFromBlob(repo, blob)
+		b := it.BitsetOf(s)
+		if b.Card() != s.Len() {
+			t.Fatalf("card %d != spec length %d", b.Card(), s.Len())
+		}
+		if !it.SpecOf(b).Equal(s) {
+			t.Fatalf("round trip changed the spec: %v", s.IDs())
+		}
+		if wantDense := s.Len() > it.sparseMax(); b.Dense() != wantDense {
+			t.Fatalf("card %d: Dense()=%v, want %v (boundary %d)", s.Len(), b.Dense(), wantDense, it.sparseMax())
+		}
+		// The stored form must describe the same set as the pooled dense
+		// form: containment both ways means equality.
+		words := it.DenseInto(nil, s)
+		if !b.SupersetOfWords(words, s.Len()) {
+			t.Fatalf("stored form lost bits of its own spec")
+		}
+		if b.IntersectWords(words) != s.Len() {
+			t.Fatalf("self-intersection %d != %d", b.IntersectWords(words), s.Len())
+		}
+	})
+}
+
+// FuzzBitsetJaccard differentially tests the hot path's two primitives
+// against the Spec reference on arbitrary set pairs: subset containment
+// (SupersetOfWords vs SubsetOf) and intersection cardinality
+// (IntersectWords vs IntersectionLen), plus the exact Jaccard distance
+// assembled from them — the same float expression
+// similarity.JaccardDistance evaluates, so the interned merge scan
+// cannot drift from the reference by even one ULP.
+func FuzzBitsetJaccard(f *testing.F) {
+	repo := bitsetRepo(f)
+	it := NewInterner(repo)
+	f.Add([]byte{0, 1, 0, 2}, []byte{0, 1, 0, 2})
+	f.Add([]byte{0, 1}, []byte{0, 2})
+	f.Add([]byte{0, 1, 0, 2, 0, 3}, []byte{0, 2})
+	f.Add([]byte{1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9}, []byte{1, 1, 2, 2})
+	f.Add([]byte{}, []byte{200, 0, 100, 50})
+	f.Fuzz(func(t *testing.T, blobA, blobB []byte) {
+		a := specFromBlob(repo, blobA)
+		b := specFromBlob(repo, blobB)
+		words := it.DenseInto(nil, a)
+		bb := it.BitsetOf(b)
+
+		if got, want := bb.SupersetOfWords(words, a.Len()), a.SubsetOf(b); got != want {
+			t.Fatalf("SupersetOfWords=%v, SubsetOf=%v (|a|=%d |b|=%d dense=%v)", got, want, a.Len(), b.Len(), bb.Dense())
+		}
+		inter := bb.IntersectWords(words)
+		if want := a.IntersectionLen(b); inter != want {
+			t.Fatalf("IntersectWords=%d, IntersectionLen=%d", inter, want)
+		}
+		if a.Empty() || b.Empty() {
+			return
+		}
+		// Bit-identical distance: same integers, same float expression.
+		union := a.Len() + b.Len() - inter
+		fast := 1 - float64(inter)/float64(union)
+		refInter := a.IntersectionLen(b)
+		refUnion := a.Len() + b.Len() - refInter
+		ref := 1 - float64(refInter)/float64(refUnion)
+		if fast != ref {
+			t.Fatalf("interned distance %v != reference %v", fast, ref)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkggraph"
+)
+
+// bitsetRepo generates the realistic tiered repository the bitset tests
+// share: large enough that the dense word array spans several words and
+// the sparse/dense boundary sits at a non-trivial cardinality.
+func bitsetRepo(tb testing.TB) *pkggraph.Repo {
+	tb.Helper()
+	gen := pkggraph.DefaultGenConfig()
+	gen.CoreFamilies = 2
+	gen.FrameworkFamilies = 6
+	gen.LibraryFamilies = 18
+	gen.ApplicationFamilies = 34
+	return pkggraph.MustGenerate(gen, 1)
+}
+
+// specOfIDs builds a canonical Spec from raw id values (mod the repo
+// size, so any byte soup maps to valid packages).
+func specOfIDs(repo *pkggraph.Repo, raw []int) Spec {
+	ids := make([]pkggraph.PkgID, 0, len(raw))
+	for _, v := range raw {
+		ids = append(ids, pkggraph.PkgID(v%repo.Len()))
+	}
+	return New(ids)
+}
+
+func TestInternRoundTrip(t *testing.T) {
+	repo := bitsetRepo(t)
+	it := NewInterner(repo)
+	if it.Universe() != repo.Len() {
+		t.Fatalf("universe %d != repo size %d", it.Universe(), repo.Len())
+	}
+	if want := (repo.Len() + 63) / 64; it.Words() != want {
+		t.Fatalf("words %d != %d", it.Words(), want)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(repo.Len())
+		raw := make([]int, n)
+		for i := range raw {
+			raw[i] = rng.Intn(repo.Len())
+		}
+		s := specOfIDs(repo, raw)
+		b := it.BitsetOf(s)
+		if b.Card() != s.Len() {
+			t.Fatalf("trial %d: card %d != len %d", trial, b.Card(), s.Len())
+		}
+		if !it.SpecOf(b).Equal(s) {
+			t.Fatalf("trial %d: round trip changed the spec", trial)
+		}
+	}
+
+	// The empty spec interns to the empty set in either direction.
+	empty := it.BitsetOf(Spec{})
+	if empty.Card() != 0 || !it.SpecOf(empty).Empty() {
+		t.Fatalf("empty spec did not round-trip empty")
+	}
+}
+
+func TestBitsetSparseDenseBoundary(t *testing.T) {
+	repo := bitsetRepo(t)
+	it := NewInterner(repo)
+	max := it.sparseMax()
+	if max < 2 || max >= repo.Len() {
+		t.Fatalf("sparseMax %d gives no boundary to test (repo %d)", max, repo.Len())
+	}
+	for _, n := range []int{1, max - 1, max, max + 1, max + 2} {
+		ids := make([]pkggraph.PkgID, n)
+		for i := range ids {
+			ids[i] = pkggraph.PkgID(i)
+		}
+		b := it.BitsetOf(New(ids))
+		wantDense := n > max
+		if b.Dense() != wantDense {
+			t.Fatalf("card %d (boundary %d): Dense()=%v, want %v", n, max, b.Dense(), wantDense)
+		}
+		// The split exists to minimize footprint: at every cardinality the
+		// chosen form must not exceed the other form's payload.
+		sparseBytes, denseBytes := 4*n, 8*it.Words()
+		if b.Dense() && denseBytes > sparseBytes {
+			t.Fatalf("card %d stored dense (%dB) though sparse is smaller (%dB)", n, denseBytes, sparseBytes)
+		}
+		if !b.Dense() && sparseBytes > denseBytes {
+			t.Fatalf("card %d stored sparse (%dB) though dense is smaller (%dB)", n, sparseBytes, denseBytes)
+		}
+		if b.MemoryBytes() != min(sparseBytes, denseBytes) {
+			t.Fatalf("card %d MemoryBytes %d, want %d", n, b.MemoryBytes(), min(sparseBytes, denseBytes))
+		}
+	}
+}
+
+// TestBitsetOpsMatchSpec drives both bitset forms against the Spec
+// reference operations across random set pairs: containment and
+// intersection cardinality must agree exactly, whatever the layout.
+func TestBitsetOpsMatchSpec(t *testing.T) {
+	repo := bitsetRepo(t)
+	it := NewInterner(repo)
+	rng := rand.New(rand.NewSource(11))
+	var words []uint64
+	for trial := 0; trial < 400; trial++ {
+		rawA := make([]int, 1+rng.Intn(repo.Len()/2))
+		for i := range rawA {
+			rawA[i] = rng.Intn(repo.Len())
+		}
+		a := specOfIDs(repo, rawA)
+		var b Spec
+		switch trial % 3 {
+		case 0: // arbitrary second set
+			rawB := make([]int, rng.Intn(repo.Len()/2))
+			for i := range rawB {
+				rawB[i] = rng.Intn(repo.Len())
+			}
+			b = specOfIDs(repo, rawB)
+		case 1: // superset of a — the hit-path shape
+			extra := make([]pkggraph.PkgID, 0, a.Len()+8)
+			extra = append(extra, a.IDs()...)
+			for i := 0; i < 8; i++ {
+				extra = append(extra, pkggraph.PkgID(rng.Intn(repo.Len())))
+			}
+			b = New(extra)
+		default: // strict subset of a
+			cut := a.IDs()[:rng.Intn(a.Len())]
+			b = New(append([]pkggraph.PkgID(nil), cut...))
+		}
+		words = it.DenseInto(words, a)
+		bb := it.BitsetOf(b)
+		if got, want := bb.SupersetOfWords(words, a.Len()), a.SubsetOf(b); got != want {
+			t.Fatalf("trial %d: SupersetOfWords=%v, SubsetOf=%v (|a|=%d |b|=%d dense=%v)",
+				trial, got, want, a.Len(), b.Len(), bb.Dense())
+		}
+		if got, want := bb.IntersectWords(words), a.IntersectionLen(b); got != want {
+			t.Fatalf("trial %d: IntersectWords=%d, IntersectionLen=%d", trial, got, want)
+		}
+	}
+}
+
+// TestAliasCollision pins what the landlord_mutants "intern" seed bug
+// does: after Alias(1, 0), package 1 becomes indistinguishable from
+// package 0, so round trips rewrite it and cardinalities shrink —
+// exactly the corruption CheckIntegrity's round-trip audit detects.
+func TestAliasCollision(t *testing.T) {
+	repo := bitsetRepo(t)
+	it := NewInterner(repo)
+	it.Alias(1, 0)
+
+	only1 := New([]pkggraph.PkgID{1})
+	if got := it.SpecOf(it.BitsetOf(only1)); !got.Equal(New([]pkggraph.PkgID{0})) {
+		t.Fatalf("aliased {1} round-tripped to %v, want {0}", got.IDs())
+	}
+	both := New([]pkggraph.PkgID{0, 1})
+	if b := it.BitsetOf(both); b.Card() != 1 {
+		t.Fatalf("aliased {0,1} has cardinality %d, want 1", b.Card())
+	}
+	// An untouched interner keeps them distinct.
+	fresh := NewInterner(repo)
+	if b := fresh.BitsetOf(both); b.Card() != 2 {
+		t.Fatalf("fresh {0,1} has cardinality %d, want 2", b.Card())
+	}
+}
+
+// TestDenseIntoReuse pins the pooling contract: refilling a previously
+// used buffer must clear every stale bit.
+func TestDenseIntoReuse(t *testing.T) {
+	repo := bitsetRepo(t)
+	it := NewInterner(repo)
+	big := make([]pkggraph.PkgID, repo.Len())
+	for i := range big {
+		big[i] = pkggraph.PkgID(i)
+	}
+	words := it.DenseInto(nil, New(big))
+	small := New([]pkggraph.PkgID{3})
+	words = it.DenseInto(words, small)
+	set := 0
+	for _, w := range words {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	if set != 1 {
+		t.Fatalf("reused buffer holds %d bits, want 1", set)
+	}
+	if !it.SpecOf(it.BitsetOf(small)).Equal(small) {
+		t.Fatalf("small spec round trip failed")
+	}
+}
