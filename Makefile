@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-guard fuzz check lint-metrics cover crash-test examples experiments clean
+.PHONY: all build vet test test-short race bench bench-guard fuzz check ha-chaos lint-metrics cover crash-test examples experiments clean
 
 all: build vet lint-metrics test
 
@@ -58,18 +58,29 @@ fuzz:
 # Short-budget invariant harness for every PR: the deterministic
 # simulation suites (differential fast-vs-reference, unsharded, and
 # sharded) and scaled-down soaks under the race detector, the mutant
-# self-test (each of the eleven seeded bugs — six Algorithm 1 clauses,
-# the shard-routing and budget-balancing mutants, plus the three
-# fast-path mutants intern/popcount/lshmiss — must be caught
-# reproducibly; the fast-path three within the differential suite's
-# 900 requests), and one CLI chaos pass. `landlord-check sim` runs the
-# sharded suite too.
+# self-test (each of the twelve seeded bugs — six Algorithm 1 clauses,
+# the shard-routing and budget-balancing mutants, the three fast-path
+# mutants intern/popcount/lshmiss, plus the HA epoch-fencing mutant
+# staleepoch — must be caught reproducibly; the fast-path three within
+# the differential suite's 900 requests, staleepoch within the HA
+# stage's first lease isolation), and one CLI chaos pass.
+# `landlord-check sim` runs the sharded suite too.
 check:
 	$(GO) test -race -short -count=1 ./internal/check
 	$(GO) test -run 'TestMutants|TestMutantFailure' -count=1 ./internal/check
 	$(GO) run ./cmd/landlord-check sim -seed 1
 	$(GO) run ./cmd/landlord-check tracesim -seed 1
 	$(GO) run ./cmd/landlord-check fleetchaos -seed 1
+	$(GO) run ./cmd/landlord-check hachaos -seed 1
+
+# High-availability chaos gate: the primary+standby failover harness
+# under the race detector (two-tick promotion, recovered-state
+# byte-identity, single acking primary per round, warm drain handoff,
+# WAL replica equality), then one CLI pass with a shifted fault
+# schedule.
+ha-chaos:
+	$(GO) test -race -count=1 -run TestHAChaos ./internal/check
+	$(GO) run ./cmd/landlord-check hachaos -seed 1 -kill-phase 7
 
 # Static metric-registration audit: the same family registered under
 # two kinds or two help strings renders a /metrics exposition

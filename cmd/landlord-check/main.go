@@ -6,6 +6,7 @@
 //	landlord-check netchaos -seed 1 [-steps 240] [-trace-dump path]
 //	landlord-check tracesim -seed 1 [-steps 48] [-trace-dump path]
 //	landlord-check fleetchaos -seed 1 [-steps 240] [-agents 3]
+//	landlord-check hachaos  -seed 1 [-steps 200] [-agents 3] [-kill-phase 0] [-trace-dump path]
 //	landlord-check chaos    -duration 10m [-seed 0] [-trace-dump path]
 //
 // sim runs the canonical deterministic suite — two in-memory
@@ -25,8 +26,14 @@
 // audits the fleet invariants — zero lost acks across master
 // kill/restart cycles and agent partitions, route-around of
 // partitioned agents, and bounded key movement under membership churn.
-// chaos loops the whole harness over consecutive seeds until the
-// duration expires (the nightly soak).
+// hachaos boots a primary + standby master pair with epoch-gated
+// agents and a WAL read replica, and audits the high-availability
+// invariants: two-tick standby promotion, recovered-state
+// byte-identity with the dead primary's durable ha-state.json, a
+// single acking primary per round, warm drain handoff, and replica
+// state equality (-kill-phase rotates the fault schedule; the nightly
+// soak sweeps it). chaos loops the whole harness over consecutive
+// seeds until the duration expires (the nightly soak).
 //
 // -trace-dump writes the failing run's tail-sampling trace ring to the
 // given path as JSON, so CI can upload where-the-latency-went context
@@ -63,6 +70,8 @@ func main() {
 		err = runTraceSim(os.Args[2:])
 	case "fleetchaos":
 		err = runFleetChaos(os.Args[2:])
+	case "hachaos":
+		err = runHAChaos(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	default:
@@ -76,14 +85,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|tracesim|fleetchaos|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: landlord-check <sim|soak|netchaos|tracesim|fleetchaos|hachaos|chaos> [flags]
 
   sim      -seed N [-steps N]               deterministic suite (incl. sharded) + persistent chaos run
   soak     -seed N [-requests N] [-workers N] [-shards N]  concurrent soak with injected persist faults
   netchaos -seed N [-steps N] [-trace-dump P]  HTTP server under network + disk chaos
   tracesim -seed N [-steps N] [-trace-dump P]  deterministic span-trace coverage + replay audit
   fleetchaos -seed N [-steps N] [-agents N]    master/agent fleet under partitions + master kills
-  chaos    -duration D [-seed N] [-trace-dump P]  loop sim+soak+netchaos+tracesim+fleetchaos over consecutive seeds (0 = from clock)`)
+  hachaos  -seed N [-steps N] [-agents N] [-kill-phase N] [-trace-dump P]  primary+standby failover, epoch fencing, WAL replica
+  chaos    -duration D [-seed N] [-trace-dump P]  loop sim+soak+netchaos+tracesim+fleetchaos+hachaos over consecutive seeds (0 = from clock)`)
 }
 
 // suite runs the canonical deterministic schedule for one seed: the
@@ -276,6 +286,38 @@ func fleetchaos(seed int64, steps, agents int) error {
 	return nil
 }
 
+func runHAChaos(args []string) error {
+	fs := flag.NewFlagSet("hachaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "hachaos seed")
+	steps := fs.Int("steps", 0, "override the request count (0 = canonical 200)")
+	agents := fs.Int("agents", 0, "override the fleet size (0 = canonical 3)")
+	killPhase := fs.Int("kill-phase", 0, "shift the fault schedule by this many steps (the nightly soak rotates it)")
+	dump := fs.String("trace-dump", "", "on failure, write the persistent agent's trace ring to this path as JSON")
+	fs.Parse(args)
+	return hachaos(*seed, *steps, *agents, *killPhase, *dump)
+}
+
+func hachaos(seed int64, steps, agents, killPhase int, dump string) error {
+	cfg := check.HAChaosDefault(seed)
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	if agents > 0 {
+		cfg.Agents = agents
+	}
+	cfg.KillPhase = killPhase
+	rep, f := check.RunHAChaos(cfg)
+	if f != nil {
+		writeTraceDump(dump, f)
+		return f
+	}
+	fmt.Printf("hachaos seed=%d steps=%d agents=%d kill_phase=%d: acked=%d unavailable=%d kills=%d isolations=%d promotions=%d demotions=%d epoch=%d replica=%d stale_rejects=%d handoff=%d\n",
+		seed, rep.Steps, cfg.Agents, killPhase, rep.Acked, rep.Unavailable,
+		rep.Kills, rep.Isolations, rep.Promotions, rep.Demotions,
+		rep.MaxEpoch, rep.ReplicaRecords, rep.StaleRejects, rep.HandoffSpecs)
+	return nil
+}
+
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "base seed (0 = derived from the clock)")
@@ -306,6 +348,11 @@ func runChaos(args []string) error {
 			return err
 		}
 		if err := fleetchaos(s, 0, 0); err != nil {
+			return err
+		}
+		// Rotate the HA kill schedule with the seed so the soak covers
+		// failovers landing at different points of the request stream.
+		if err := hachaos(s, 0, 0, int(s%29), *dump); err != nil {
 			return err
 		}
 		iters++

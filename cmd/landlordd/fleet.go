@@ -28,9 +28,26 @@ import (
 // no state directory, no recovery phase, and readiness is purely "a
 // quorum of agents has registered" (fleet_quorum).
 func runMaster(site config.Site, drainWindow time.Duration, pprofOn bool) {
+	if site.HAEnabled() && site.StateDir != "" {
+		// The folded HA state persists here on every lease-log append.
+		if err := os.MkdirAll(site.StateDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "landlordd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	m := fleet.NewMaster(site.FleetMasterConfig())
 	stopSweep := m.StartSweeper(site.HeartbeatInterval())
 	defer stopSweep()
+	stopLease := m.StartLeaseLoop()
+	defer stopLease()
+	if site.HAEnabled() {
+		role := "primary"
+		if site.StandbyOf != "" {
+			role = "standby of " + site.StandbyOf
+		}
+		log.Printf("landlordd: high availability on (master_id=%s, %s, lease every %v, failover after 2 missed leases)",
+			site.MasterID, role, site.LeaseInterval())
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", m.Handler())
@@ -72,17 +89,41 @@ func runMaster(site config.Site, drainWindow time.Duration, pprofOn bool) {
 	}
 }
 
-// startFleetAgent joins srv to the configured master's fleet and
-// starts the heartbeat loop. The generation is the startup time in
-// nanoseconds: monotonically fresh per process, so the master detects
-// restarts (new gen) and resets its directory mirror instead of
-// trusting a stale one. The returned stop halts the loop and
-// deregisters, letting the master route around this agent before its
-// listener closes.
-func startFleetAgent(site config.Site, srv *server.Server) (stop func()) {
-	cfg := site.FleetAgentConfig(uint64(time.Now().UnixNano()))
-	ag := fleet.NewAgent(cfg, srv)
-	log.Printf("landlordd: agent %q joining fleet at %s (advertise %s, beat every %v)",
-		cfg.ID, cfg.MasterURL, cfg.AdvertiseURL, cfg.Interval)
+// newFleetAgent builds the fleet agent riding alongside srv. The
+// generation is the startup time in nanoseconds: monotonically fresh
+// per process, so the masters detect restarts (new gen) and reset
+// their directory mirrors instead of trusting stale ones. The caller
+// serves ag.Handler() (the epoch gate that fences superseded masters)
+// and starts the beat loop with startFleetAgent once the handler is
+// live.
+func newFleetAgent(site config.Site, srv *server.Server) *fleet.Agent {
+	return fleet.NewAgent(site.FleetAgentConfig(uint64(time.Now().UnixNano())), srv)
+}
+
+// startFleetAgent starts the heartbeat loop against every configured
+// master. The returned stop halts the loop and deregisters; prefer
+// drainFleetAgent on shutdown for the warm variant.
+func startFleetAgent(site config.Site, ag *fleet.Agent) (stop func()) {
+	masters := site.MasterURLs
+	if len(masters) == 0 {
+		masters = []string{site.MasterURL}
+	}
+	cfg := site.FleetAgentConfig(0)
+	log.Printf("landlordd: agent %q joining fleet at %v (advertise %s, beat every %v)",
+		cfg.ID, masters, cfg.AdvertiseURL, cfg.Interval)
 	return ag.Start()
+}
+
+// drainFleetAgent leaves the fleet warm: the masters' handoff plan
+// routes this agent's resident specs to their rendezvous successors,
+// which are pre-warmed before deregistration, so the keyspace this
+// agent served stays hot across the departure.
+func drainFleetAgent(ag *fleet.Agent, window time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	if err := ag.Drain(ctx); err != nil {
+		log.Printf("landlordd: warm drain incomplete: %v", err)
+		return
+	}
+	log.Printf("landlordd: drained: hot specs handed to rendezvous successors")
 }

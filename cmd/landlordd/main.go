@@ -55,11 +55,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fleet"
 	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -117,10 +119,15 @@ func main() {
 		drainWindow = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		mode        = flag.String("mode", "", "deployment mode: standalone, master, or agent (overrides config)")
 		masterURL   = flag.String("master-url", "", "master base URL for agent mode (overrides config)")
+		masterURLs  = flag.String("master-urls", "", "comma-separated master base URLs for an HA fleet, agent mode (overrides config)")
 		advertise   = flag.String("advertise", "", "URL the master reaches this agent at, agent mode (overrides config)")
 		agentID     = flag.String("agent-id", "", "fleet name for this agent, agent mode (overrides config)")
 		quorum      = flag.Int("quorum", -1, "agents required before the master reports ready (overrides config)")
 		heartbeatMS = flag.Int("heartbeat-ms", 0, "agent heartbeat cadence in ms (overrides config)")
+		masterID    = flag.String("master-id", "", "lease identity enabling master high availability (overrides config)")
+		standbyOf   = flag.String("standby-of", "", "primary base URL this master is a warm standby of (overrides config)")
+		peerURL     = flag.String("peer-url", "", "standby base URL this primary renews its lease with (overrides config)")
+		leaseMS     = flag.Int("lease-ms", 0, "lease renewal cadence in ms for HA masters (overrides config)")
 	)
 	flag.Parse()
 
@@ -159,6 +166,21 @@ func main() {
 	}
 	if *masterURL != "" {
 		site.MasterURL = *masterURL
+	}
+	if *masterURLs != "" {
+		site.MasterURLs = strings.Split(*masterURLs, ",")
+	}
+	if *masterID != "" {
+		site.MasterID = *masterID
+	}
+	if *standbyOf != "" {
+		site.StandbyOf = *standbyOf
+	}
+	if *peerURL != "" {
+		site.PeerURL = *peerURL
+	}
+	if *leaseMS > 0 {
+		site.LeaseIntervalMS = *leaseMS
 	}
 	if *advertise != "" {
 		site.Advertise = *advertise
@@ -253,20 +275,31 @@ func main() {
 		log.Printf("landlordd: degraded-mode heal probe every %v", site.DegradedProbeInterval())
 	}
 
+	// Agent mode: the cache daemon above is unchanged; the fleet agent
+	// rides alongside, registering with every master once the handler
+	// is live and heartbeating the image directory from then on. The
+	// agent's handler wraps the server's with the epoch gate, so
+	// forwards from a superseded master are refused instead of applied.
+	var fleetAgent *fleet.Agent
+	if site.FleetMode() == config.ModeAgent {
+		fleetAgent = newFleetAgent(site, srv)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	if fleetAgent != nil {
+		mux.Handle("/", fleetAgent.Handler())
+	} else {
+		mux.Handle("/", srv.Handler())
+	}
 	if *pprofOn {
 		mountPprof(mux)
 	}
 	var live http.Handler = mux
 	handler.Store(&live)
 
-	// Agent mode: the cache daemon above is unchanged; the fleet agent
-	// rides alongside, registering with the master once the handler is
-	// live and heartbeating the image directory from then on.
 	stopFleet := func() {}
-	if site.FleetMode() == config.ModeAgent {
-		stopFleet = startFleetAgent(site, srv)
+	if fleetAgent != nil {
+		stopFleet = startFleetAgent(site, fleetAgent)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -344,9 +377,14 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills immediately
 		log.Printf("landlordd: shutdown signal received, draining (up to %v)", *drainWindow)
-		// Leave the fleet first: deregistering moves this agent's
-		// keyspace to the survivors before the listener closes, so the
-		// master never forwards into a draining daemon.
+		// Leave the fleet first, warm: the handoff plan pushes this
+		// agent's resident specs to its rendezvous successors, then
+		// deregistration moves the keyspace to the survivors — all
+		// before the listener closes, so no master forwards into a
+		// draining daemon and the departing cache's heat survives it.
+		if fleetAgent != nil {
+			drainFleetAgent(fleetAgent, *drainWindow)
+		}
 		stopFleet()
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
 		defer cancel()

@@ -1,0 +1,41 @@
+package check
+
+import "testing"
+
+// TestHAChaos runs the high-availability chaos schedule: primary
+// kills with two-tick promotion audits, lease-holder isolations with
+// epoch-fenced demotion, warm drain handoff, and the WAL read replica
+// byte-identity check. The run itself carries the invariants; this
+// test asserts the schedule actually exercised them.
+func TestHAChaos(t *testing.T) {
+	cfg := HAChaosDefault(*seedFlag)
+	rep, f := RunHAChaos(cfg)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if rep.Kills < 3 {
+		t.Fatalf("only %d primary kills, want >= 3", rep.Kills)
+	}
+	if rep.Isolations < 2 {
+		t.Fatalf("only %d lease isolations, want >= 2", rep.Isolations)
+	}
+	if rep.Promotions < rep.Kills+rep.Isolations {
+		t.Fatalf("%d promotions for %d kills + %d isolations", rep.Promotions, rep.Kills, rep.Isolations)
+	}
+	if rep.Demotions < rep.Isolations {
+		t.Fatalf("%d demotions for %d isolations", rep.Demotions, rep.Isolations)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("no request was ever acked")
+	}
+	if rep.ReplicaRecords == 0 {
+		t.Fatal("replica applied no WAL records")
+	}
+	if rep.MaxEpoch < uint64(rep.Promotions) {
+		t.Fatalf("final epoch %d below promotion count %d", rep.MaxEpoch, rep.Promotions)
+	}
+	t.Logf("hachaos: steps=%d acked=%d unavailable=%d sheds=%d errors=%d kills=%d isolations=%d promotions=%d demotions=%d epoch=%d replica=%d staleRejects=%d handoff=%d",
+		rep.Steps, rep.Acked, rep.Unavailable, rep.Sheds, rep.Errors,
+		rep.Kills, rep.Isolations, rep.Promotions, rep.Demotions,
+		rep.MaxEpoch, rep.ReplicaRecords, rep.StaleRejects, rep.HandoffSpecs)
+}

@@ -24,8 +24,36 @@ func TestMutantSim(t *testing.T) {
 		t.Skip("LANDLORD_MUTANT not set")
 	}
 
+	// haStage is the fleet control-plane stage: a short HA chaos run
+	// whose first scheduled fault is a lease-holder isolation — the
+	// exact scenario the staleepoch mutant breaks. A stale-accepting
+	// epoch gate lets the isolated old primary keep acking alongside
+	// the newly promoted one, and the round's dual-primary audit fires
+	// at the isolation step itself.
+	haStage := func() (string, int) {
+		cfg := HAChaosDefault(*seedFlag)
+		cfg.Steps, cfg.Kills, cfg.Isolations = 120, 1, 1
+		rep, f := RunHAChaos(cfg)
+		if f != nil {
+			return f.Error(), rep.Steps
+		}
+		return "", rep.Steps
+	}
+
 	detect := func() (string, int) {
 		requests := 0
+		// The fleet mutant (staleepoch) is invisible to every
+		// single-process stage — only the HA harness spawns masters —
+		// so it runs the HA stage first, keeping detection inside the
+		// 1000-request budget. Core mutants run it last (they fall to a
+		// cheaper stage long before).
+		if mutant == "staleepoch" {
+			if msg, n := haStage(); msg != "" {
+				return msg, requests + n
+			} else {
+				requests += n
+			}
+		}
 		// The differential suite runs first: the fast-path mutants
 		// (intern, popcount, lshmiss) corrupt only the interned
 		// representation, which no single-pipeline oracle can see — they
@@ -54,6 +82,13 @@ func TestMutantSim(t *testing.T) {
 			requests += rep.Steps
 			if f != nil {
 				return f.Error(), requests
+			}
+		}
+		if mutant != "staleepoch" {
+			if msg, n := haStage(); msg != "" {
+				return msg, requests + n
+			} else {
+				requests += n
 			}
 		}
 		return "", requests

@@ -28,6 +28,24 @@ type DirEntry struct {
 	ID      uint64 `json:"id"`
 	Version uint64 `json:"version"`
 	Size    int64  `json:"size"`
+	// Packages is the image's sorted package-key set, letting the
+	// master route a request toward a node already holding a superset
+	// without a round trip.
+	Packages []string `json:"packages,omitempty"`
+}
+
+// Equal reports whether two entries describe the same image copy,
+// including the package set.
+func (e DirEntry) Equal(o DirEntry) bool {
+	if e.ID != o.ID || e.Version != o.Version || e.Size != o.Size || len(e.Packages) != len(o.Packages) {
+		return false
+	}
+	for i := range e.Packages {
+		if e.Packages[i] != o.Packages[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DirDelta is one gossip frame: the directory changes that move a
@@ -92,7 +110,7 @@ func (d *Directory) Len() int { return len(d.entries) }
 // the entry actually changed — heartbeats that rebuild the directory
 // from the live cache every tick must not inflate revisions.
 func (d *Directory) Put(e DirEntry) {
-	if cur, ok := d.entries[e.ID]; ok && cur == e {
+	if cur, ok := d.entries[e.ID]; ok && cur.Equal(e) {
 		return
 	}
 	d.entries[e.ID] = e

@@ -143,6 +143,28 @@ type Site struct {
 	// ForwardTimeoutMS caps each forwarded request attempt at the
 	// master (0 = the fleet default).
 	ForwardTimeoutMS int `json:"forward_timeout_ms"`
+
+	// MasterURLs lists every master's base URL for an HA fleet (agent
+	// mode): the agent registers with and heartbeats all of them, so
+	// whichever master holds the lease always has a live membership
+	// view, and the agent learns a failover from whichever master still
+	// reaches it. Empty means MasterURL alone.
+	MasterURLs []string `json:"master_urls"`
+
+	// High availability (master mode; internal/fleet ha.go). MasterID
+	// names this master in the lease protocol and enables HA when set:
+	// forwards are stamped X-Landlord-Epoch/-Master, and the master
+	// serves /fleet/v1/lease. StandbyOf makes this master a warm
+	// standby of the given primary's base URL — it mirrors the
+	// primary's durable lease + membership log over the lease channel
+	// and promotes after two silent lease intervals. PeerURL points a
+	// primary at its standby so a deposed primary demotes into polling
+	// it; StandbyOf and PeerURL are mutually exclusive. With StateDir
+	// set, the folded HA state persists there as ha-state.json.
+	MasterID        string `json:"master_id"`
+	StandbyOf       string `json:"standby_of"`
+	PeerURL         string `json:"peer_url"`
+	LeaseIntervalMS int    `json:"lease_interval_ms"`
 }
 
 // Default returns the configuration the daemon uses with no file.
@@ -256,8 +278,8 @@ func (s Site) Validate() error {
 			return fmt.Errorf("master_url requires mode %q", ModeAgent)
 		}
 	case ModeAgent:
-		if s.MasterURL == "" {
-			return fmt.Errorf("mode %q requires master_url", ModeAgent)
+		if s.MasterURL == "" && len(s.MasterURLs) == 0 {
+			return fmt.Errorf("mode %q requires master_url or master_urls", ModeAgent)
 		}
 		if s.Advertise == "" {
 			return fmt.Errorf("mode %q requires advertise (the URL the master dials back)", ModeAgent)
@@ -276,6 +298,29 @@ func (s Site) Validate() error {
 	}
 	if s.ForwardTimeoutMS < 0 {
 		return fmt.Errorf("forward_timeout_ms must be non-negative")
+	}
+	if len(s.MasterURLs) > 0 && s.FleetMode() != ModeAgent {
+		return fmt.Errorf("master_urls requires mode %q", ModeAgent)
+	}
+	for _, u := range s.MasterURLs {
+		if u == "" {
+			return fmt.Errorf("master_urls must not contain empty entries")
+		}
+	}
+	if (s.MasterID != "" || s.StandbyOf != "" || s.PeerURL != "") && s.FleetMode() != ModeMaster {
+		return fmt.Errorf("master_id/standby_of/peer_url require mode %q", ModeMaster)
+	}
+	if s.StandbyOf != "" && s.PeerURL != "" {
+		return fmt.Errorf("standby_of and peer_url are mutually exclusive (a standby's peer is its primary)")
+	}
+	if (s.StandbyOf != "" || s.PeerURL != "") && s.MasterID == "" {
+		return fmt.Errorf("standby_of/peer_url require master_id (the lease identity)")
+	}
+	if s.LeaseIntervalMS < 0 {
+		return fmt.Errorf("lease_interval_ms must be non-negative")
+	}
+	if s.LeaseIntervalMS > 0 && s.MasterID == "" {
+		return fmt.Errorf("lease_interval_ms requires master_id (high availability off)")
 	}
 	return nil
 }
@@ -309,6 +354,41 @@ func (s Site) FleetMasterConfig() fleet.MasterConfig {
 		DeadAfter:      10 * beat,
 		ForwardTimeout: time.Duration(s.ForwardTimeoutMS) * time.Millisecond,
 		Breaker:        s.BreakerConfig(),
+		HA:             s.FleetHAConfig(),
+	}
+}
+
+// HAEnabled reports whether this master participates in the lease
+// protocol (master_id set).
+func (s Site) HAEnabled() bool { return s.MasterID != "" }
+
+// LeaseInterval is the master lease tick cadence (default 1s). The
+// failover detection window is two intervals.
+func (s Site) LeaseInterval() time.Duration {
+	if s.LeaseIntervalMS <= 0 {
+		return time.Second
+	}
+	return time.Duration(s.LeaseIntervalMS) * time.Millisecond
+}
+
+// FleetHAConfig assembles the lease/replication half of a master. Zero
+// (HA off) when MasterID is unset. A standby's peer is its primary
+// (standby_of); a primary's peer is its standby (peer_url), which a
+// deposed primary demotes into polling.
+func (s Site) FleetHAConfig() fleet.HAConfig {
+	if s.MasterID == "" {
+		return fleet.HAConfig{}
+	}
+	peer := s.PeerURL
+	if s.StandbyOf != "" {
+		peer = s.StandbyOf
+	}
+	return fleet.HAConfig{
+		ID:            s.MasterID,
+		PeerURL:       peer,
+		StartPrimary:  s.StandbyOf == "",
+		StateDir:      s.StateDir,
+		LeaseInterval: s.LeaseInterval(),
 	}
 }
 
@@ -324,6 +404,7 @@ func (s Site) FleetAgentConfig(gen uint64) fleet.AgentConfig {
 		ID:           id,
 		AdvertiseURL: s.Advertise,
 		MasterURL:    s.MasterURL,
+		MasterURLs:   s.MasterURLs,
 		Gen:          gen,
 		Interval:     s.HeartbeatInterval(),
 	}

@@ -222,6 +222,82 @@ func TestFleetConfig(t *testing.T) {
 	}
 }
 
+func TestHAConfig(t *testing.T) {
+	// A standby master: mirrors the named primary, promotes on silence.
+	s, err := Load(writeConfig(t, `{
+		"mode": "master",
+		"master_id": "master-b",
+		"standby_of": "http://master-a:8080",
+		"state_dir": "/var/lib/landlord/ha",
+		"lease_interval_ms": 250
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HAEnabled() {
+		t.Fatal("master_id set but HAEnabled false")
+	}
+	hc := s.FleetHAConfig()
+	if hc.ID != "master-b" || hc.PeerURL != "http://master-a:8080" || hc.StartPrimary {
+		t.Fatalf("standby HA config: %+v", hc)
+	}
+	if hc.StateDir != "/var/lib/landlord/ha" || hc.LeaseInterval != 250*time.Millisecond {
+		t.Fatalf("standby HA config: %+v", hc)
+	}
+	if s.FleetMasterConfig().HA.ID != "master-b" {
+		t.Fatal("FleetMasterConfig does not carry the HA config")
+	}
+
+	// A primary names its standby via peer_url and starts holding the
+	// lease at epoch 1.
+	p, err := Load(writeConfig(t, `{
+		"mode": "master",
+		"master_id": "master-a",
+		"peer_url": "http://master-b:8080"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp := p.FleetHAConfig(); !hp.StartPrimary || hp.PeerURL != "http://master-b:8080" {
+		t.Fatalf("primary HA config: %+v", hp)
+	}
+	if p.LeaseInterval() != time.Second {
+		t.Fatalf("default lease interval = %v", p.LeaseInterval())
+	}
+
+	// HA off: the zero HAConfig disables the lease protocol entirely.
+	if hc := Default().FleetHAConfig(); hc.ID != "" {
+		t.Fatalf("HA config without master_id: %+v", hc)
+	}
+
+	// An HA-fleet agent heartbeats every master.
+	ag, err := Load(writeConfig(t, `{
+		"mode": "agent",
+		"master_urls": ["http://master-a:8080", "http://master-b:8080"],
+		"advertise": "http://agent1:8081"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if urls := ag.FleetAgentConfig(1).MasterURLs; len(urls) != 2 || urls[1] != "http://master-b:8080" {
+		t.Fatalf("agent master_urls lost: %v", urls)
+	}
+
+	// Validation rejects inconsistent HA wiring.
+	for _, bad := range []string{
+		`{"mode": "master", "standby_of": "http://a"}`,                                  // no identity
+		`{"mode": "master", "master_id": "m", "standby_of": "http://a", "peer_url": "http://b"}`, // both peers
+		`{"mode": "standalone", "master_id": "m"}`,                                      // wrong mode
+		`{"mode": "master", "master_urls": ["http://a"]}`,                               // wrong mode
+		`{"mode": "agent", "advertise": "http://x", "master_urls": [""]}`,               // empty entry
+		`{"mode": "master", "lease_interval_ms": 100}`,                                  // lease without HA
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("config accepted: %s", bad)
+		}
+	}
+}
+
 func TestResilienceConfig(t *testing.T) {
 	s, err := Load(writeConfig(t, `{
 		"shed_rate": 500,

@@ -28,13 +28,18 @@ type AgentConfig struct {
 	AdvertiseURL string
 	// MasterURL is the master's base URL.
 	MasterURL string
+	// MasterURLs lists every master in an HA fleet; the agent
+	// registers with and heartbeats all of them, which is what keeps
+	// the standby's membership, ring, and gossip mirrors warm for
+	// promotion. When set it supersedes MasterURL.
+	MasterURLs []string
 	// Gen is the process generation; it must differ across restarts so
 	// the master resets its gossip mirror (<= 0 takes 1, which suits
 	// tests that never restart).
 	Gen uint64
 	// Interval is the heartbeat period (<= 0 takes 1s).
 	Interval time.Duration
-	// HTTPClient talks to the master (nil = http.DefaultClient); the
+	// HTTPClient talks to the masters (nil = http.DefaultClient); the
 	// chaos harness injects fault transports here.
 	HTTPClient *http.Client
 	// BeatTimeout bounds one register/heartbeat exchange (<= 0 takes
@@ -52,44 +57,60 @@ func (cfg AgentConfig) withDefaults() AgentConfig {
 	if cfg.BeatTimeout <= 0 {
 		cfg.BeatTimeout = 2 * time.Second
 	}
+	if len(cfg.MasterURLs) == 0 && cfg.MasterURL != "" {
+		cfg.MasterURLs = []string{cfg.MasterURL}
+	}
 	return cfg
 }
 
+// masterLink is the agent's control-plane state with one master:
+// registration and the per-master delta-sync cursor (each master
+// acknowledges directory revisions independently).
+type masterLink struct {
+	url        string
+	client     *server.Client
+	registered bool
+	ackRev     uint64
+	sendFull   bool
+}
+
 // Agent is the worker-side control loop: it registers its server with
-// a master, heartbeats liveness, and gossips the server's image
-// directory as delta-sync frames riding the heartbeat body. The data
-// plane is untouched — the master forwards plain /v1/request calls to
-// the server's own listener.
+// every configured master, heartbeats liveness, and gossips the
+// server's image directory as delta-sync frames riding the heartbeat
+// body. The data plane is untouched — the master forwards plain
+// /v1/request calls to the server's own listener — except for the
+// epoch gate (epoch.go) that Handler wraps around it in HA fleets.
 type Agent struct {
-	cfg    AgentConfig
-	srv    *server.Server
-	master *server.Client
-	rtt    *telemetry.Histogram
+	cfg   AgentConfig
+	srv   *server.Server
+	links []*masterLink
+	rtt   *telemetry.Histogram
+	gate  EpochGate
 
 	paused atomic.Bool
 
-	mu         sync.Mutex
-	dir        *cluster.Directory
-	ackRev     uint64
-	sendFull   bool
-	registered bool
-	beats      uint64
+	mu    sync.Mutex
+	dir   *cluster.Directory
+	beats uint64
 }
 
 // NewAgent wires srv into a fleet as cfg describes. Call Start (or
 // BeatNow from tests) to begin heartbeating.
 func NewAgent(cfg AgentConfig, srv *server.Server) *Agent {
 	cfg = cfg.withDefaults()
-	cl := server.NewClient(cfg.MasterURL, cfg.HTTPClient)
-	cl.MaxRetries = 0 // the next beat is the retry
-	return &Agent{
-		cfg:    cfg,
-		srv:    srv,
-		master: cl,
+	a := &Agent{
+		cfg: cfg,
+		srv: srv,
 		rtt: srv.Registry().Histogram(metricHeartbeatRTT, helpHeartbeatRTT,
 			telemetry.DefaultLatencyBuckets()),
 		dir: cluster.NewDirectory(cluster.DefaultDirJournal),
 	}
+	for _, url := range cfg.MasterURLs {
+		cl := server.NewClient(url, cfg.HTTPClient)
+		cl.MaxRetries = 0 // the next beat is the retry
+		a.links = append(a.links, &masterLink{url: url, client: cl})
+	}
+	return a
 }
 
 // SetPaused suspends (true) or resumes (false) heartbeating — the
@@ -98,23 +119,30 @@ func NewAgent(cfg AgentConfig, srv *server.Server) *Agent {
 func (a *Agent) SetPaused(v bool) { a.paused.Store(v) }
 
 // Registered reports whether the last exchange left the agent
-// registered with the master.
+// registered with at least one master.
 func (a *Agent) Registered() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.registered
+	for _, l := range a.links {
+		if l.registered {
+			return true
+		}
+	}
+	return false
 }
 
-// Beats returns how many heartbeats have been acknowledged.
+// Beats returns how many heartbeats have been acknowledged (summed
+// across masters).
 func (a *Agent) Beats() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.beats
 }
 
-// BeatNow runs one register-if-needed + heartbeat exchange. It is the
-// loop body of Start, exported so tests and harnesses can drive the
-// control plane deterministically.
+// BeatNow runs one register-if-needed + heartbeat exchange with every
+// master. It is the loop body of Start, exported so tests and
+// harnesses can drive the control plane deterministically. The error
+// is nil when at least one master acknowledged the beat.
 func (a *Agent) BeatNow(ctx context.Context) error {
 	if a.paused.Load() {
 		return nil
@@ -125,23 +153,41 @@ func (a *Agent) BeatNow(ctx context.Context) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
-	if !a.registered {
-		if err := a.registerLocked(ctx); err != nil {
+	a.refreshDirLocked()
+
+	var lastErr error
+	acked := 0
+	for _, l := range a.links {
+		if err := a.beatLinkLocked(ctx, l); err != nil {
+			lastErr = err
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		return lastErr
+	}
+	return nil
+}
+
+// beatLinkLocked runs one master's register-if-needed + heartbeat.
+// Caller holds a.mu.
+func (a *Agent) beatLinkLocked(ctx context.Context, l *masterLink) error {
+	if !l.registered {
+		if err := a.registerLocked(ctx, l); err != nil {
 			return err
 		}
 	}
-	a.refreshDirLocked()
-
-	err := a.beatLocked(ctx)
+	err := a.beatLocked(ctx, l)
 	if err == errUnknownAgent {
 		// The master restarted (or declared us dead) and lost its soft
 		// state: re-register and replay the full directory in the same
 		// call so recovery does not cost an extra interval.
-		a.registered = false
-		if err := a.registerLocked(ctx); err != nil {
+		l.registered = false
+		if err := a.registerLocked(ctx, l); err != nil {
 			return err
 		}
-		err = a.beatLocked(ctx)
+		err = a.beatLocked(ctx, l)
 	}
 	return err
 }
@@ -150,56 +196,66 @@ func (a *Agent) BeatNow(ctx context.Context) error {
 // this agent and a re-register is required.
 var errUnknownAgent = fmt.Errorf("fleet agent: master does not know us")
 
-// registerLocked announces the agent. On success the next heartbeat
-// carries a Full directory frame: the master's mirror starts empty.
-func (a *Agent) registerLocked(ctx context.Context) error {
+// registerLocked announces the agent to one master. On success the
+// next heartbeat carries a Full directory frame: the master's mirror
+// starts empty.
+func (a *Agent) registerLocked(ctx context.Context, l *masterLink) error {
 	req := RegisterRequest{ID: a.cfg.ID, URL: a.cfg.AdvertiseURL, Gen: a.cfg.Gen}
 	var resp RegisterResponse
-	if err := a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/register", req, &resp); err != nil {
+	if err := l.client.DoCtx(ctx, http.MethodPost, "/fleet/v1/register", req, &resp); err != nil {
 		return fmt.Errorf("fleet agent %s: register: %w", a.cfg.ID, err)
 	}
-	a.registered = true
-	a.sendFull = true
-	a.ackRev = 0
+	l.registered = true
+	l.sendFull = true
+	l.ackRev = 0
 	return nil
 }
 
-// beatLocked sends one heartbeat with the pending directory delta.
-func (a *Agent) beatLocked(ctx context.Context) error {
+// beatLocked sends one heartbeat with the pending directory delta for
+// one master.
+func (a *Agent) beatLocked(ctx context.Context, l *masterLink) error {
 	var delta cluster.DirDelta
-	if a.sendFull {
+	if l.sendFull {
 		delta = a.dir.Full()
 	} else {
-		delta = a.dir.DeltaSince(a.ackRev)
+		delta = a.dir.DeltaSince(l.ackRev)
 	}
 	req := HeartbeatRequest{ID: a.cfg.ID, Gen: a.cfg.Gen, Delta: delta}
 	var resp HeartbeatResponse
 	start := time.Now()
-	if err := a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/heartbeat", req, &resp); err != nil {
+	if err := l.client.DoCtx(ctx, http.MethodPost, "/fleet/v1/heartbeat", req, &resp); err != nil {
 		return fmt.Errorf("fleet agent %s: heartbeat: %w", a.cfg.ID, err)
 	}
 	a.rtt.Observe(time.Since(start).Seconds())
 	if resp.Unknown {
 		return errUnknownAgent
 	}
+	// The heartbeat doubles as lease gossip: adopt a newer epoch from
+	// whichever master answered.
+	a.gate.Observe(resp.Epoch, resp.Holder)
 	a.beats++
 	if resp.Resync {
-		a.sendFull = true
+		l.sendFull = true
 		return nil
 	}
-	a.sendFull = false
-	a.ackRev = resp.AckRev
+	l.sendFull = false
+	l.ackRev = resp.AckRev
 	return nil
 }
 
 // refreshDirLocked reconciles the gossip directory against the
-// server's live image list. Put is idempotent, so an unchanged cache
-// advances no revisions and the next delta is empty.
+// server's live image list, including each image's package keys so
+// masters can route by superset affinity. Put is idempotent, so an
+// unchanged cache advances no revisions and the next delta is empty.
 func (a *Agent) refreshDirLocked() {
 	imgs := a.srv.ImagesNow()
+	pkgs := make(map[uint64][]string, len(imgs))
+	for _, snap := range a.srv.SnapshotNow() {
+		pkgs[snap.ID] = snap.Packages
+	}
 	want := make(map[uint64]cluster.DirEntry, len(imgs))
 	for _, im := range imgs {
-		want[im.ID] = cluster.DirEntry{ID: im.ID, Version: im.Version, Size: im.Size}
+		want[im.ID] = cluster.DirEntry{ID: im.ID, Version: im.Version, Size: im.Size, Packages: pkgs[im.ID]}
 	}
 	for _, e := range a.dir.Full().Upserts {
 		if _, ok := want[e.ID]; !ok {
@@ -237,13 +293,22 @@ func (a *Agent) Start() (stop func()) {
 	}
 }
 
-// Deregister removes the agent from the master (graceful shutdown).
+// Deregister removes the agent from every master (graceful shutdown).
+// Drain (handoff.go) is the warm variant.
 func (a *Agent) Deregister() error {
 	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.BeatTimeout)
 	defer cancel()
 	a.mu.Lock()
-	a.registered = false
+	for _, l := range a.links {
+		l.registered = false
+	}
 	a.mu.Unlock()
-	return a.master.DoCtx(ctx, http.MethodPost, "/fleet/v1/deregister",
-		DeregisterRequest{ID: a.cfg.ID}, nil)
+	var lastErr error
+	for _, l := range a.links {
+		if err := l.client.DoCtx(ctx, http.MethodPost, "/fleet/v1/deregister",
+			DeregisterRequest{ID: a.cfg.ID}, nil); err != nil {
+			lastErr = err
+		}
+	}
+	return lastErr
 }

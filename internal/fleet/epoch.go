@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// Agent-side epoch gating: the fencing half of the lease protocol.
+//
+// Every forwarded request carries the sending master's epoch and ID.
+// The agent tracks the maximum epoch it has ever seen (from forwards
+// and from heartbeat responses) and refuses anything older with 503 +
+// the current epoch — so a demoted primary cannot keep mutating the
+// fleet's caches, and learns of its demotion from the rejection. Within
+// one epoch the gate also pins the holder: two masters claiming the
+// same epoch is a protocol violation (it cannot happen with monotone
+// promotions), recorded as a conflict and refused.
+
+// EpochGate is an agent's view of the lease. Safe for concurrent use.
+type EpochGate struct {
+	mu           sync.Mutex
+	epoch        uint64
+	holder       string
+	staleRejects uint64
+	conflicts    uint64
+}
+
+// Observe folds a passively learned lease view (heartbeat responses):
+// newer epochs are adopted, same-epoch holder disagreement is recorded
+// but nothing is rejected — observation is not admission.
+func (g *EpochGate) Observe(epoch uint64, holder string) {
+	if epoch == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case epoch > g.epoch:
+		g.epoch, g.holder = epoch, holder
+	case epoch == g.epoch && holder != "" && g.holder == "":
+		g.holder = holder
+	case epoch == g.epoch && holder != "" && g.holder != "" && holder != g.holder:
+		g.conflicts++
+	}
+}
+
+// Admit decides one stamped forward: adopt-and-accept for the newest
+// epoch, reject for a stale one or a same-epoch holder conflict. The
+// returned epoch is the gate's current view, stamped on rejections so
+// the stale master can demote itself.
+func (g *EpochGate) Admit(epoch uint64, holder string) (bool, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case epoch > g.epoch:
+		g.epoch, g.holder = epoch, holder
+		return true, g.epoch
+	case epoch == g.epoch:
+		if g.holder == "" {
+			g.holder = holder
+		} else if holder != g.holder {
+			g.conflicts++
+			return false, g.epoch
+		}
+		return true, g.epoch
+	default: // stale epoch
+		if mutantEnabled("staleepoch") {
+			// Mutant: accept forwards from a demoted primary. The HA
+			// chaos harness must catch the resulting per-agent epoch
+			// regression.
+			return true, g.epoch
+		}
+		g.staleRejects++
+		return false, g.epoch
+	}
+}
+
+// Snapshot returns the gate's counters for /fleet/v1/epoch and the
+// harness audits.
+func (g *EpochGate) Snapshot() EpochStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return EpochStatus{Epoch: g.epoch, Holder: g.holder,
+		StaleRejects: g.staleRejects, Conflicts: g.conflicts}
+}
+
+// EpochStatus is the GET /fleet/v1/epoch payload.
+type EpochStatus struct {
+	Epoch        uint64 `json:"epoch"`
+	Holder       string `json:"holder"`
+	StaleRejects uint64 `json:"stale_rejects"`
+	Conflicts    uint64 `json:"conflicts"`
+}
+
+// Handler wraps the agent's server handler with the epoch gate:
+// stamped /v1/request forwards are admitted or refused by epoch, and
+// /fleet/v1/epoch exposes the gate. Unstamped requests (direct
+// clients, single-master fleets) pass straight through.
+func (a *Agent) Handler() http.Handler {
+	inner := a.srv.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/v1/epoch", func(w http.ResponseWriter, r *http.Request) {
+		fleetWriteJSON(w, http.StatusOK, a.gate.Snapshot())
+	})
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/request" {
+			if v := r.Header.Get(server.EpochHeader); v != "" {
+				epoch, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					fleetWriteError(w, http.StatusBadRequest, "bad epoch header %q", v)
+					return
+				}
+				ok, cur := a.gate.Admit(epoch, r.Header.Get(server.MasterHeader))
+				if !ok {
+					w.Header().Set(server.EpochHeader, strconv.FormatUint(cur, 10))
+					w.Header().Set("Retry-After", "1")
+					fleetWriteError(w, http.StatusServiceUnavailable,
+						"stale epoch %d (current %d): forwarding master was superseded", epoch, cur)
+					return
+				}
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	return mux
+}
+
+// Gate returns the agent's epoch gate, for harness audits.
+func (a *Agent) Gate() *EpochGate { return &a.gate }

@@ -16,11 +16,16 @@
 // suspect or refusing, and reports fleet membership on /v1/readyz —
 // 503 until a configured quorum of agents is healthy.
 //
-// What is deliberately NOT here: replicated cache state. Each agent
-// owns its slice of the keyspace independently; the master holds soft
-// state only (membership, gossip mirrors, breakers) and a restarted
-// master rebuilds all of it from agent re-registration. See DESIGN.md
-// section 10 for the failure-semantics contract.
+// Cache state is never replicated across agents: each agent owns its
+// slice of the keyspace independently, and a restarted master rebuilds
+// its routing state (membership, gossip mirrors, breakers) from agent
+// re-registration. What IS replicated is the control plane itself: a
+// standby master mirrors the primary's durable lease + membership log
+// over the lease channel and promotes on primary silence, agents fence
+// stale primaries by epoch, and a draining agent hands its hot specs to
+// its rendezvous successors (ha.go, epoch.go, handoff.go). See
+// DESIGN.md section 10 for the failure-semantics contract and section
+// 13 for the high-availability protocol.
 package fleet
 
 import (
@@ -73,6 +78,12 @@ type HeartbeatResponse struct {
 	// Unknown tells the agent the master does not know it — it
 	// restarted and lost membership — so the agent must re-register.
 	Unknown bool `json:"unknown,omitempty"`
+	// Epoch/Holder carry the responding master's lease view (zero when
+	// HA is off): the heartbeat is the lease-renewal plumbing, so
+	// agents learn a failover from whichever master still reaches
+	// them.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Holder string `json:"holder,omitempty"`
 }
 
 // DeregisterRequest removes an agent (graceful shutdown).
@@ -124,6 +135,9 @@ type RouteInfo struct {
 	Key        uint64   `json:"key"`
 	Owner      string   `json:"owner"`
 	Candidates []string `json:"candidates"`
+	// Affinity marks the leading candidate as a non-owner agent chosen
+	// because its directory already holds a superset of the spec.
+	Affinity bool `json:"affinity,omitempty"`
 }
 
 // RouteKey derives the routing key from a job's package keys: the

@@ -31,6 +31,9 @@ const (
 
 	metricAgents = "landlord_fleet_agents"
 	helpAgents   = "Registered agents by state"
+
+	metricRouteAffinity = "landlord_fleet_route_affinity_total"
+	helpRouteAffinity   = "Requests routed to a non-owner agent already holding a superset of the spec"
 )
 
 // probeKeys is how many sampled keys the key-movement histogram probes
@@ -73,6 +76,9 @@ type MasterConfig struct {
 	TransportFor func(agentURL string) http.RoundTripper
 	// Clock is the time source (nil = time.Now); injectable for tests.
 	Clock func() time.Time
+	// HA enables the high-availability layer (ha.go); the zero value
+	// keeps the master single and stateless.
+	HA HAConfig
 }
 
 func (cfg MasterConfig) withDefaults() MasterConfig {
@@ -118,6 +124,10 @@ type Master struct {
 	conns map[string]*agentConn
 
 	keyMove *telemetry.Histogram
+
+	// ha is the high-availability half (ha.go). Lock order: m.mu
+	// before ha.mu, never the reverse.
+	ha haControl
 }
 
 // NewMaster creates a master.
@@ -136,6 +146,7 @@ func NewMaster(cfg MasterConfig) *Master {
 	}
 	m.keyMove = reg.Histogram(metricKeyMovement, helpKeyMovement,
 		[]float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1})
+	m.initHA(cfg.HA)
 	for _, st := range []string{"known", "healthy", "suspect"} {
 		st := st
 		reg.GaugeFunc(metricAgents, helpAgents, func() float64 {
@@ -171,6 +182,9 @@ func (m *Master) Handler() http.Handler {
 	mux.HandleFunc("/fleet/v1/deregister", m.handleDeregister)
 	mux.HandleFunc("/fleet/v1/members", m.handleMembers)
 	mux.HandleFunc("/fleet/v1/route", m.handleRoute)
+	mux.HandleFunc("/fleet/v1/lease", m.handleLease)
+	mux.HandleFunc("/fleet/v1/ha", m.handleHA)
+	mux.HandleFunc("/fleet/v1/handoff", m.handleHandoff)
 	mux.HandleFunc("/v1/request", m.handleRequest)
 	mux.HandleFunc("/v1/readyz", m.handleReadyz)
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -209,6 +223,7 @@ func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	known, _, _ := m.ms.Counts()
 	m.mu.Unlock()
+	m.haNoteMember(req.ID, req.URL, req.Gen)
 	fleetWriteJSON(w, http.StatusOK, RegisterResponse{OK: true, Known: known})
 }
 
@@ -225,6 +240,10 @@ func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	m.mu.Lock()
 	resp := m.ms.Heartbeat(req, m.cfg.Clock())
 	m.mu.Unlock()
+	// Heartbeat responses carry the lease view — the "renewed over the
+	// existing heartbeat plumbing" half: agents learn a new epoch from
+	// whichever master they can still reach, including the standby.
+	resp.Epoch, resp.Holder = m.haStamp()
 	fleetWriteJSON(w, http.StatusOK, resp)
 }
 
@@ -246,6 +265,7 @@ func (m *Master) handleDeregister(w http.ResponseWriter, r *http.Request) {
 		delete(m.conns, req.ID)
 	}
 	m.mu.Unlock()
+	m.haNoteUnmember(req.ID)
 	fleetWriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -267,7 +287,7 @@ func (m *Master) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.mu.Lock()
-	info := m.routeLocked(key)
+	info := m.routeLocked(key, nil)
 	m.mu.Unlock()
 	fleetWriteJSON(w, http.StatusOK, info)
 }
@@ -293,9 +313,20 @@ func (m *Master) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // ---- routing ----
 
-// routeLocked computes a key's owner and failover candidates. Caller
-// holds m.mu.
-func (m *Master) routeLocked(key uint64) RouteInfo {
+// routeLocked computes a key's owner and failover candidates. When
+// packages is non-nil, routing is affinity-aware: an agent whose
+// gossiped directory already holds a superset image of the requested
+// packages serves the spec as a pure hit — no merge, no new bytes —
+// so superset holders outrank everything except the owner-when-it-
+// also-holds. The pinned preference order (TestRouteAffinityOrder):
+//
+//  1. the ring owner, when routable AND holding a superset
+//  2. non-owner superset holders, in rendezvous order
+//  3. the ring owner, when routable (no superset)
+//  4. remaining routable agents, in rendezvous order
+//
+// Caller holds m.mu.
+func (m *Master) routeLocked(key uint64, packages []string) RouteInfo {
 	info := RouteInfo{Key: key}
 	routable := m.ms.Routable()
 	owner := m.ring.Lookup(key)
@@ -312,11 +343,28 @@ func (m *Master) routeLocked(key uint64) RouteInfo {
 	if owner != "" {
 		info.Owner = owner
 	}
-	if ownerRoutable {
+	ownerHolds := packages != nil && ownerRoutable && m.holdsSupersetLocked(owner, packages)
+	if ownerHolds {
+		info.Candidates = append(info.Candidates, owner)
+	}
+	if packages != nil {
+		for _, id := range RendezvousOrder(routable, key) {
+			if id == owner {
+				continue
+			}
+			if m.holdsSupersetLocked(id, packages) {
+				if len(info.Candidates) == 0 {
+					info.Affinity = true // leading pick is an affinity redirect
+				}
+				info.Candidates = append(info.Candidates, id)
+			}
+		}
+	}
+	if ownerRoutable && !ownerHolds {
 		info.Candidates = append(info.Candidates, owner)
 	}
 	for _, id := range RendezvousOrder(routable, key) {
-		if id == owner {
+		if id == owner || contains(info.Candidates, id) {
 			continue
 		}
 		info.Candidates = append(info.Candidates, id)
@@ -325,6 +373,45 @@ func (m *Master) routeLocked(key uint64) RouteInfo {
 		info.Candidates = info.Candidates[:m.cfg.MaxAttempts]
 	}
 	return info
+}
+
+// holdsSupersetLocked reports whether id's gossiped directory mirror
+// holds an image covering every requested package key. Caller holds
+// m.mu.
+func (m *Master) holdsSupersetLocked(id string, packages []string) bool {
+	dir := m.ms.Dir(id)
+	if dir == nil {
+		return false
+	}
+	for _, e := range dir.Entries() {
+		if len(e.Packages) < len(packages) {
+			continue
+		}
+		have := make(map[string]bool, len(e.Packages))
+		for _, k := range e.Packages {
+			have[k] = true
+		}
+		ok := true
+		for _, k := range packages {
+			if !have[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(ids []string, id string) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // connLocked returns (creating if needed) the client for an agent.
@@ -344,6 +431,16 @@ func (m *Master) connLocked(id string) *agentConn {
 	cl := server.NewClient(url, hc)
 	cl.MaxRetries = 0 // failover to the next candidate is the retry
 	cl.SetBreaker(resilience.NewBreaker(m.cfg.Breaker))
+	if m.ha.enabled() {
+		// Every forward carries the lease view, read at send time: a
+		// demoted master's next forward already carries the new epoch.
+		cl.SetExtraHeaders(func(h http.Header) {
+			if epoch, holder := m.haStamp(); epoch > 0 {
+				h.Set(server.EpochHeader, strconv.FormatUint(epoch, 10))
+				h.Set(server.MasterHeader, holder)
+			}
+		})
+	}
 	c := &agentConn{url: url, client: cl}
 	m.conns[id] = c
 	return c
@@ -366,6 +463,20 @@ func (m *Master) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Responses are stamped with the lease view whatever the outcome, so
+	// clients can tell which master term answered across a failover.
+	epoch, holder := m.haStamp()
+	if epoch > 0 {
+		w.Header().Set(server.EpochHeader, strconv.FormatUint(epoch, 10))
+		w.Header().Set(server.MasterHeader, holder)
+	}
+	if !m.haIsPrimary() {
+		w.Header().Set("Retry-After", "1")
+		fleetWriteError(w, http.StatusServiceUnavailable,
+			"not primary: epoch %d held by %s", epoch, holder)
+		return
+	}
+
 	// Continue a propagated trace or start a fresh one; the forward
 	// client re-propagates it to the chosen agent.
 	tid, parent, _ := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeaderName))
@@ -374,8 +485,11 @@ func (m *Master) handleRequest(w http.ResponseWriter, r *http.Request) {
 
 	key := RouteKey(body.Packages)
 	m.mu.Lock()
-	info := m.routeLocked(key)
+	info := m.routeLocked(key, body.Packages)
 	m.mu.Unlock()
+	if info.Affinity {
+		m.reg.Counter(metricRouteAffinity, helpRouteAffinity).Inc()
+	}
 	at.AttrInt(routeSpan, "route_key", int64(key))
 	at.AttrStr(routeSpan, "owner", info.Owner)
 	at.End(routeSpan)
@@ -417,6 +531,21 @@ func (m *Master) handleRequest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		lastErr = err
+		// An agent refusing with a higher epoch is the demotion signal:
+		// a newer primary exists and the agents already follow it. A
+		// demoted master must not keep forwarding — the remaining
+		// candidates would see a stale (or holderless) stamp.
+		m.maybeDemoteOnEpoch(err)
+		if !m.haIsPrimary() {
+			newEpoch, newHolder := m.haStamp()
+			w.Header().Set(server.EpochHeader, strconv.FormatUint(newEpoch, 10))
+			w.Header().Set(server.MasterHeader, newHolder)
+			w.Header().Set("Retry-After", "1")
+			at.Finish("superseded", "demoted mid-forward", 0)
+			fleetWriteError(w, http.StatusServiceUnavailable,
+				"not primary: superseded at epoch %d", newEpoch)
+			return
+		}
 		switch outcome := classifyForwardError(err); outcome {
 		case "shed", "rejected":
 			// The agent answered and said no (429 admission, 4xx): relay
@@ -426,7 +555,7 @@ func (m *Master) handleRequest(w http.ResponseWriter, r *http.Request) {
 			se := err.(*server.StatusError)
 			at.Finish(outcome, se.Msg, 0)
 			if outcome == "shed" {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", retryAfterSeconds(se))
 			}
 			fleetWriteError(w, se.Status, "%s", forwardErrMsg(se))
 			return
@@ -507,6 +636,16 @@ func forwardErrMsg(se *server.StatusError) string {
 		return se.Msg
 	}
 	return fmt.Sprintf("agent refused with status %d", se.Status)
+}
+
+// retryAfterSeconds relays the agent's own Retry-After hint (whole
+// seconds, minimum 1) instead of a hardcoded value, so admission
+// windows survive the extra hop.
+func retryAfterSeconds(se *server.StatusError) string {
+	if se.RetryAfter > 0 {
+		return strconv.Itoa(int((se.RetryAfter + time.Second - 1) / time.Second))
+	}
+	return "1"
 }
 
 func (m *Master) routeCount(agent, outcome string) {

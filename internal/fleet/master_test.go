@@ -198,7 +198,7 @@ func TestFleetFailoverRoutesAroundDeadAgent(t *testing.T) {
 	for i := 0; ; i++ {
 		keys = specKeys(f.repo, i, 3)
 		f.master.mu.Lock()
-		info := f.master.routeLocked(RouteKey(keys))
+		info := f.master.routeLocked(RouteKey(keys), nil)
 		f.master.mu.Unlock()
 		if info.Owner == victim.id {
 			break

@@ -1,0 +1,8 @@
+//go:build !landlord_mutants
+
+package fleet
+
+// mutantEnabled reports whether a named fleet mutant is active. In
+// normal builds it is a constant false the compiler erases; build with
+// -tags landlord_mutants (see mutant_on.go) to select one at run time.
+func mutantEnabled(string) bool { return false }

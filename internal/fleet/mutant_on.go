@@ -1,0 +1,29 @@
+//go:build landlord_mutants
+
+package fleet
+
+import (
+	"os"
+	"sync"
+)
+
+// Fleet-layer mutants compiled in under the landlord_mutants tag,
+// selected by the LANDLORD_MUTANT environment variable (the same
+// mechanism as internal/core's mutants):
+//
+//	staleepoch — the agent's epoch gate accepts forwards from a
+//	             demoted primary, so after a failover both the old
+//	             and new master can mutate the same agent's cache.
+//	             check.RunHAChaos must catch it via the per-agent
+//	             epoch-monotonicity audit.
+var (
+	mutantOnce sync.Once
+	mutantName string
+)
+
+// mutantEnabled reports whether the named mutant was selected via
+// LANDLORD_MUTANT. An empty or unset variable disables all mutants.
+func mutantEnabled(name string) bool {
+	mutantOnce.Do(func() { mutantName = os.Getenv("LANDLORD_MUTANT") })
+	return mutantName == name
+}

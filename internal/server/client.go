@@ -59,6 +59,8 @@ type Client struct {
 
 	sleep  func(time.Duration) // test hook
 	jitter func() float64      // in [0,1); seeded/injectable for tests
+
+	extraHeaders func(http.Header)
 }
 
 // NewClient creates a client for the service at base (e.g.
@@ -97,6 +99,12 @@ func (c *Client) SetRetryBudget(b *resilience.RetryBudget) { c.budget = b }
 // shared.
 func (c *Client) SetJitter(fn func() float64) { c.jitter = fn }
 
+// SetExtraHeaders installs a hook stamping extra headers on every
+// outgoing request — the fleet master uses it to mark forwards with
+// its lease epoch. Call before use; fn must be safe for concurrent use
+// if the client is shared.
+func (c *Client) SetExtraHeaders(fn func(http.Header)) { c.extraHeaders = fn }
+
 // Breaker returns the client's circuit breaker (nil when disabled),
 // for tests and metrics.
 func (c *Client) Breaker() *resilience.Breaker { return c.breaker }
@@ -108,6 +116,14 @@ type StatusError struct {
 	Path   string
 	Status int
 	Msg    string // server-provided error payload, may be empty
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	// DoCtx honors it as a floor under the jittered backoff, so a
+	// fleet-wide "come back in N seconds" during failover is respected
+	// even when the jitter would have retried sooner.
+	RetryAfter time.Duration
+	// Epoch is the fleet lease epoch stamped on the response (zero when
+	// absent), letting callers spot a failover mid-conversation.
+	Epoch uint64
 }
 
 // Error implements error.
@@ -143,11 +159,17 @@ func (c *Client) backoff(n int) time.Duration {
 // random fraction of the exponential ceiling. Deterministic backoff
 // synchronizes every client that failed together into retrying
 // together — the thundering herd that keeps a recovering server down;
-// jitter spreads the herd across the whole window.
-func (c *Client) sleepBackoff(n int) {
+// jitter spreads the herd across the whole window. A server-provided
+// Retry-After floor wins over a shorter jittered delay: when the
+// service names its recovery window, retrying inside it is wasted
+// load.
+func (c *Client) sleepBackoff(n int, floor time.Duration) {
 	d := c.backoff(n)
 	if c.jitter != nil {
 		d = time.Duration(c.jitter() * float64(d))
+	}
+	if d < floor {
+		d = floor
 	}
 	c.sleep(d)
 }
@@ -187,7 +209,12 @@ func (c *Client) DoCtx(ctx context.Context, method, path string, in, out any) er
 			if c.budget != nil && !c.budget.Withdraw() {
 				return fmt.Errorf("server client: retry budget exhausted: %w", lastErr)
 			}
-			c.sleepBackoff(attempt - 1)
+			var floor time.Duration
+			var se *StatusError
+			if errors.As(lastErr, &se) {
+				floor = se.RetryAfter
+			}
+			c.sleepBackoff(attempt-1, floor)
 		}
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
@@ -256,6 +283,9 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 		req.Header.Set(telemetry.TraceHeaderName,
 			telemetry.FormatTraceHeader(at.TraceID(), at.Root()))
 	}
+	if c.extraHeaders != nil {
+		c.extraHeaders(req.Header)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return true, fmt.Errorf("server client: %s %s: %w", method, path, err)
@@ -264,6 +294,16 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 	if resp.StatusCode != http.StatusOK {
 		retryable := resp.StatusCode == http.StatusServiceUnavailable
 		se := &StatusError{Method: method, Path: path, Status: resp.StatusCode}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if v := resp.Header.Get(EpochHeader); v != "" {
+			if e, err := strconv.ParseUint(v, 10, 64); err == nil {
+				se.Epoch = e
+			}
+		}
 		var eb errorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil {
 			se.Msg = eb.Error

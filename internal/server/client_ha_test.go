@@ -1,0 +1,91 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestClientSurfacesRetryAfterAndEpoch: a master-forwarded 429/503
+// carries Retry-After and the lease epoch; both land on the
+// StatusError so callers can dispatch on them.
+func TestClientSurfacesRetryAfterAndEpoch(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/request", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set(EpochHeader, "7")
+		writeError(w, http.StatusTooManyRequests, "overloaded")
+	})
+	mux.HandleFunc("/v1/prune", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.Header().Set(EpochHeader, "9")
+		writeError(w, http.StatusServiceUnavailable, "not primary")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	client := NewClient(ts.URL, ts.Client())
+	client.MaxRetries = 0
+	_, err := client.Request([]string{"a"}, true)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StatusError, got %v", err)
+	}
+	if se.Status != http.StatusTooManyRequests || se.RetryAfter != 2*time.Second || se.Epoch != 7 {
+		t.Errorf("429: status=%d retryAfter=%v epoch=%d, want 429/2s/7", se.Status, se.RetryAfter, se.Epoch)
+	}
+	_, err = client.Prune(0.5, 1)
+	if !errors.As(err, &se) {
+		t.Fatalf("want StatusError, got %v", err)
+	}
+	if se.Status != http.StatusServiceUnavailable || se.RetryAfter != 5*time.Second || se.Epoch != 9 {
+		t.Errorf("503: status=%d retryAfter=%v epoch=%d, want 503/5s/9", se.Status, se.RetryAfter, se.Epoch)
+	}
+}
+
+// TestClientRetryAfterFloorsBackoff (fake clock, no real sleeps): the
+// server's Retry-After wins over a shorter jittered backoff, and
+// loses to a longer one — the floor never shortens a wait.
+func TestClientRetryAfterFloorsBackoff(t *testing.T) {
+	var calls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.Header().Set(EpochHeader, "4")
+			writeError(w, http.StatusServiceUnavailable, "failover in progress")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	client := NewClient(ts.URL, ts.Client())
+	var slept []time.Duration
+	client.sleep = func(d time.Duration) { slept = append(slept, d) }
+	client.SetJitter(func() float64 { return 1 }) // pin to the ceiling
+	if err := client.Ready(); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	// Jittered ceilings would be 100ms and 200ms; the 3s hint floors
+	// both.
+	if want := []time.Duration{3 * time.Second, 3 * time.Second}; !reflect.DeepEqual(slept, want) {
+		t.Errorf("floored sleeps = %v, want %v", slept, want)
+	}
+
+	// A backoff already longer than the hint is unchanged.
+	calls, slept = 0, nil
+	client.RetryBase = 10 * time.Second
+	client.RetryCap = 20 * time.Second
+	if err := client.Ready(); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if want := []time.Duration{10 * time.Second, 20 * time.Second}; !reflect.DeepEqual(slept, want) {
+		t.Errorf("unfloored sleeps = %v, want %v", slept, want)
+	}
+}

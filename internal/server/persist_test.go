@@ -194,7 +194,10 @@ func TestClientRetriesDuringRecovery(t *testing.T) {
 	if err := client.Ready(); err != nil {
 		t.Fatalf("Ready with retries: %v", err)
 	}
-	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	// The placeholder's Retry-After: 1 floors the 100ms/200ms jittered
+	// ceilings — the server named its recovery window, so the client
+	// waits it out instead of probing inside it.
+	want := []time.Duration{time.Second, time.Second}
 	if !reflect.DeepEqual(slept, want) {
 		t.Errorf("backoff sleeps = %v, want %v", slept, want)
 	}

@@ -22,6 +22,17 @@ const DeadlineHeader = "X-Landlord-Deadline"
 // so clients and tests can tell a degraded hit from a healthy one.
 const DegradedHeader = "X-Landlord-Degraded"
 
+// EpochHeader carries the fleet lease epoch. A master stamps it on
+// forwarded requests and on its own responses; agents use it to reject
+// forwards from a demoted primary, and clients use it to tell which
+// master term answered during a failover window.
+const EpochHeader = "X-Landlord-Epoch"
+
+// MasterHeader names the lease holder (master ID) that stamped
+// EpochHeader, so an agent can detect two masters claiming the same
+// epoch — the dual-primary signal the HA harness audits.
+const MasterHeader = "X-Landlord-Master"
+
 // ServeState is the server's overload/failure position, exported by
 // the landlord_serve_state gauge and the state:* events in /v1/events.
 type ServeState int32

@@ -73,6 +73,10 @@ type Server struct {
 	// degraded-mode serving, and the state:* events.
 	shedder *resilience.Shedder
 	health  health
+
+	// streamer, when non-nil (EnableReplication), republishes every
+	// WAL record for read replicas pulling /ha/v1/wal.
+	streamer *persist.Streamer
 }
 
 // New creates a Server with a fresh Manager. The server installs its
@@ -331,7 +335,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // per-route request/latency/status instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for route, h := range map[string]http.HandlerFunc{
+	routes := map[string]http.HandlerFunc{
 		"/v1/request":    s.handleRequest,
 		"/v1/stats":      s.handleStats,
 		"/v1/checkpoint": s.handleCheckpoint,
@@ -344,8 +348,14 @@ func (s *Server) Handler() http.Handler {
 		"/v1/events":     s.handleEvents,
 		"/v1/trace":      s.handleTrace,
 		"/v1/trace/":     s.handleTrace,
+		"/v1/warm":       s.handleWarm,
 		"/metrics":       s.handleMetrics,
-	} {
+	}
+	if s.streamer != nil {
+		routes["/ha/v1/wal"] = s.handleStreamWAL
+		routes["/ha/v1/checkpoint"] = s.handleStreamCheckpoint
+	}
+	for route, h := range routes {
 		mux.Handle(route, telemetry.Middleware(s.reg, route, h))
 	}
 	return mux
